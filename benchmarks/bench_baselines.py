@@ -1,0 +1,80 @@
+"""E9 — context baselines: the processes the paper positions itself against.
+
+Vertex cover time on one even-degree expander (G(n,4)) and one poor
+expander (toroidal grid) for: the E-process, the SRW, the rotor-router
+([16], O(mD)), RWC(2) ([3]), the unvisited-vertex V-process, and the
+locally fair walks of [5] (Least-Used-First O(mD); Oldest-First — the one
+that can be exponentially bad).
+"""
+
+from __future__ import annotations
+
+from conftest import ROOT_SEED, eprocess_factory, srw_factory
+
+from repro.errors import CoverTimeout
+from repro.graphs.generators import torus_grid
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.rng import spawn
+from repro.sim.runner import cover_time_trials
+from repro.sim.tables import format_table
+from repro.walks.choice import RandomWalkWithChoice, UnvisitedVertexWalk
+from repro.walks.fair import LeastUsedFirstWalk, OldestFirstWalk
+from repro.walks.rotor import RotorRouterWalk
+
+TRIALS = 3
+N_REGULAR = 2048
+TORUS_SIDE = 40  # n = 1600
+
+WALKS = [
+    ("E-process", eprocess_factory),
+    ("SRW", srw_factory),
+    ("rotor-router", lambda g, s, rng: RotorRouterWalk(g, s, rng=rng, randomize_rotors=True)),
+    ("RWC(2)", lambda g, s, rng: RandomWalkWithChoice(g, s, d=2, rng=rng)),
+    ("V-process", lambda g, s, rng: UnvisitedVertexWalk(g, s, rng=rng)),
+    ("least-used-first", lambda g, s, rng: LeastUsedFirstWalk(g, s, rng=rng)),
+    ("oldest-first", lambda g, s, rng: OldestFirstWalk(g, s, rng=rng)),
+]
+
+
+def _run():
+    workloads = [
+        ("G(2048,4)", random_connected_regular_graph(N_REGULAR, 4, spawn(ROOT_SEED, "E9-g"))),
+        (f"T_{TORUS_SIDE}x{TORUS_SIDE}", torus_grid(TORUS_SIDE, TORUS_SIDE)),
+    ]
+    rows = []
+    summary = {}
+    for wname, graph in workloads:
+        budget = 400 * graph.n * max(1, graph.n.bit_length())
+        for pname, factory in WALKS:
+            try:
+                run = cover_time_trials(
+                    graph, factory, trials=TRIALS, root_seed=ROOT_SEED,
+                    max_steps=budget, label=f"E9-{wname}-{pname}",
+                )
+                mean = run.stats.mean
+                rows.append([wname, pname, mean, mean / graph.n])
+                summary[(wname, pname)] = mean
+            except CoverTimeout:
+                rows.append([wname, pname, float("nan"), float("nan")])
+                summary[(wname, pname)] = None
+    return rows, summary
+
+
+def bench_baseline_processes(benchmark, emit):
+    rows, summary = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["graph", "process", "CV mean", "CV/n"],
+        rows,
+        title="E9 / baselines: vertex cover times of every process in the "
+        "paper's related-work discussion",
+        float_digits=1,
+    )
+    emit("E9_baselines", table)
+
+    # headline orderings on the expander
+    g = "G(2048,4)"
+    assert summary[(g, "E-process")] < summary[(g, "SRW")]
+    assert summary[(g, "V-process")] < summary[(g, "SRW")]
+    benchmark.extra_info["expander_speedup"] = round(
+        summary[(g, "SRW")] / summary[(g, "E-process")], 2
+    )

@@ -1,0 +1,62 @@
+"""E6 — Corollary 4: CE(E-process) = O(ωn) on random 4-regular graphs.
+
+Random regular graphs have constant girth whp (small cycles exist), so
+Theorem 3 does not apply directly; Corollary 4 says the edge cover is
+nevertheless ω(n)-linear for any ω → ∞.  Measured: CE/n grows (much)
+slower than ln n — we print it against ln n and fit the normalized profile,
+whose slope must sit well below the SRW's.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import ROOT_SEED, eprocess_factory
+
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.fitting import fit_normalized_profile
+from repro.sim.runner import cover_time_trials
+from repro.sim.tables import format_table
+
+SIZES = [1000, 2000, 4000, 8000, 16000]
+TRIALS = 5
+DEGREE = 4
+
+
+def _run():
+    rows = []
+    means = []
+    for n in SIZES:
+        run = cover_time_trials(
+            workload=lambda rng, nn=n: random_connected_regular_graph(nn, DEGREE, rng),
+            walk_factory=eprocess_factory,
+            trials=TRIALS,
+            root_seed=ROOT_SEED,
+            target="edges",
+            label=f"E6-n{n}",
+        )
+        means.append(run.stats.mean)
+        m = n * DEGREE // 2
+        rows.append([n, m, run.stats.mean, run.stats.mean / n, math.log(n)])
+    profile = fit_normalized_profile(SIZES, means)
+    return rows, profile
+
+
+def bench_corollary4_edge_cover_random_regular(benchmark, emit):
+    rows, profile = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["n", "m", "CE(E) mean", "CE(E)/n", "ln n (reference)"],
+        rows,
+        title="E6 / Corollary 4: edge cover of the E-process on G(n,4) — "
+        "CE/n grows far slower than ln n (O(ω n) for slowly growing ω)",
+    )
+    emit("E6_edge_cover_random_regular", table)
+
+    # CE/n must grow much slower than ln n: the profile slope of CE
+    # (y/n = a + b ln n) is far below 1 — the SRW's vertex-cover slope alone
+    # is ≈ 2 on this family.  Measured runs come out essentially flat
+    # (slope ≈ 0, sometimes marginally negative from noise).
+    benchmark.extra_info["profile_slope"] = round(profile.slope, 4)
+    assert -0.3 < profile.slope < 0.8
+    # and the normalized values stay small in absolute terms
+    assert all(row[3] < row[4] for row in rows[1:])  # CE/n < ln n beyond n=1000

@@ -1,0 +1,58 @@
+"""E12 — engine throughput: steps/second of the walk engines.
+
+Not a paper claim — this is the harness's own scaling sanity check, and the
+one benchmark in the suite that uses pytest-benchmark's repeated-rounds
+timing the classic way.  It documents how far the pure-Python engines can
+be pushed toward the paper's n = 5·10⁵ grid.
+"""
+
+from __future__ import annotations
+
+from conftest import ROOT_SEED
+
+from repro.core.eprocess import EdgeProcess
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.rng import spawn
+from repro.walks.rotor import RotorRouterWalk
+from repro.walks.srw import SimpleRandomWalk
+
+N = 20_000
+DEGREE = 4
+CHUNK = 50_000
+
+
+def _graph():
+    return random_connected_regular_graph(N, DEGREE, spawn(ROOT_SEED, "E12"))
+
+
+def bench_srw_steps(benchmark):
+    graph = _graph()
+    walk = SimpleRandomWalk(graph, 0, rng=spawn(ROOT_SEED, "E12-s"))
+
+    def chunk():
+        walk.run(CHUNK)
+
+    benchmark.pedantic(chunk, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_round"] = CHUNK
+
+
+def bench_eprocess_steps(benchmark):
+    graph = _graph()
+    walk = EdgeProcess(graph, 0, rng=spawn(ROOT_SEED, "E12-e"), record_phases=False)
+
+    def chunk():
+        walk.run(CHUNK)
+
+    benchmark.pedantic(chunk, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_round"] = CHUNK
+
+
+def bench_rotor_steps(benchmark):
+    graph = _graph()
+    walk = RotorRouterWalk(graph, 0, rng=spawn(ROOT_SEED, "E12-r"))
+
+    def chunk():
+        walk.run(CHUNK)
+
+    benchmark.pedantic(chunk, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_round"] = CHUNK

@@ -1,0 +1,80 @@
+"""E13 — context: the workload of Avin–Krishnamachari [3].
+
+The RWC(d) baseline was evaluated on geometric random graphs and toroidal
+grids; we close the loop by running RWC(2), the SRW, and the E-process on
+a connected random geometric graph (note: RGGs are irregular with
+odd-degree vertices, so the E-process runs without any of the paper's
+guarantees).
+
+Expected — and measured — shape: both choice-based processes beat the
+SRW; between them, *vertex*-greedy RWC(2) beats the *edge*-greedy
+E-process, because on a dense workload (average degree ≈ 23, m ≈ 11.5n)
+the E-process spends its blue steps exhausting local cliques edge by
+edge.  This is the flip side of the paper's sparse-graph story: the
+E-process's Θ(n) guarantee is a bounded-degree, even-degree phenomenon.
+"""
+
+from __future__ import annotations
+
+from conftest import ROOT_SEED, eprocess_factory, srw_factory
+
+from repro.graphs.geometric import connectivity_radius, random_geometric_graph
+from repro.graphs.properties import is_connected
+from repro.sim.rng import spawn
+from repro.sim.runner import cover_time_trials
+from repro.sim.tables import format_table
+from repro.walks.choice import RandomWalkWithChoice
+
+N = 2000
+TRIALS = 3
+
+
+def _connected_rgg():
+    radius = connectivity_radius(N, constant=3.0)
+    for attempt in range(50):
+        graph = random_geometric_graph(N, radius, spawn(ROOT_SEED, "E13-g", attempt))
+        if is_connected(graph):
+            return graph
+    raise AssertionError("no connected RGG sample in 50 attempts")
+
+
+def _run():
+    graph = _connected_rgg()
+    walks = [
+        ("E-process", eprocess_factory),
+        ("SRW", srw_factory),
+        ("RWC(2)", lambda g, s, rng: RandomWalkWithChoice(g, s, d=2, rng=rng)),
+    ]
+    rows = []
+    means = {}
+    for name, factory in walks:
+        run = cover_time_trials(
+            graph, factory, trials=TRIALS, root_seed=ROOT_SEED,
+            max_steps=2000 * graph.n, label=f"E13-{name}",
+        )
+        means[name] = run.stats.mean
+        rows.append([name, graph.n, graph.m, run.stats.mean, run.stats.mean / graph.n])
+    return rows, means
+
+
+def bench_geometric_workload(benchmark, emit):
+    rows, means = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["process", "n", "m", "CV mean", "CV/n"],
+        rows,
+        title="E13 / [3]'s workload: vertex cover on a connected random "
+        "geometric graph (unit torus, radius at 3x connectivity threshold)",
+        float_digits=1,
+    )
+    emit("E13_geometric", table)
+
+    assert means["RWC(2)"] < means["SRW"]        # [3]'s reported effect
+    assert means["E-process"] < means["SRW"]     # edge-greed still beats blind
+    # on this dense irregular workload the vertex-greedy walk wins the
+    # head-to-head (see module docstring) — record, don't hide, the ordering
+    benchmark.extra_info["rwc2_over_eprocess"] = round(
+        means["E-process"] / means["RWC(2)"], 2
+    )
+    benchmark.extra_info["eprocess_over_srw"] = round(
+        means["SRW"] / means["E-process"], 2
+    )

@@ -1,0 +1,58 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+index (one paper table/figure or in-text claim).  The pattern:
+
+* the experiment body runs exactly once under ``benchmark.pedantic`` (the
+  timing pytest-benchmark reports is the whole experiment);
+* the paper-shaped table is printed *and* written to ``benchmarks/out/`` so
+  EXPERIMENTS.md can embed it;
+* headline scalars land in ``benchmark.extra_info`` for the JSON output.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.eprocess import EdgeProcess
+from repro.sim.rng import DEFAULT_ROOT_SEED
+from repro.walks.srw import SimpleRandomWalk
+
+OUTPUT_DIR = Path(__file__).parent / "out"
+
+#: One root seed for the whole harness: rerunning reproduces every number.
+ROOT_SEED = DEFAULT_ROOT_SEED
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """``emit(name, text)``: print a rendered table and archive it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def eprocess_factory(graph, start, rng):
+    """Standard E-process construction for benchmarks (lean recording)."""
+    return EdgeProcess(graph, start, rng=rng, record_phases=False)
+
+
+def srw_factory(graph, start, rng):
+    """Standard SRW construction for benchmarks."""
+    return SimpleRandomWalk(graph, start, rng=rng)
+
+
+def srw_edge_factory(graph, start, rng):
+    """SRW with edge tracking (edge cover measurements)."""
+    return SimpleRandomWalk(graph, start, rng=rng, track_edges=True)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Rule A does not matter — even when it is an adversary.
+
+Theorem 1's bound is independent of how the E-process picks among unvisited
+edges: "the rule could be deterministic, or decided on-line by an
+adversary".  This example runs the same even-degree workload under every
+built-in rule plus a custom spiteful rule written inline with
+``CallableRule`` (it always walks toward the most-recently-visited region),
+and shows all of them covering in Θ(n).
+
+Run:  python examples/adversarial_rules.py [n]
+"""
+
+import sys
+
+from repro import (
+    ALL_RULE_FACTORIES,
+    CallableRule,
+    EdgeProcess,
+    cover_time_trials,
+    random_connected_regular_graph,
+    spawn,
+)
+from repro.sim.tables import format_table
+
+
+def revisit_seeker(vertex, candidates, process):
+    """A custom adversary: prefer the unvisited edge whose far endpoint was
+    visited most recently (drag the walk back into explored territory)."""
+    def recency(cand):
+        _eid, w = cand
+        t = process.first_visit_time[w]
+        return t if t >= 0 else -1  # unvisited endpoints last
+
+    return max(candidates, key=recency)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    graph = random_connected_regular_graph(n, 4, spawn(42, "adv-graph", n))
+
+    rules = dict(ALL_RULE_FACTORIES)
+    rules["revisit-seeker (custom)"] = lambda: CallableRule(revisit_seeker, name="revisit-seeker")
+
+    rows = []
+    for name in sorted(rules):
+        factory = rules[name]
+        run = cover_time_trials(
+            graph,
+            lambda g, s, rng, f=factory: EdgeProcess(g, s, rng=rng, rule=f(), record_phases=False),
+            trials=3,
+            root_seed=42,
+            label=f"adv-{name}",
+        )
+        rows.append([name, run.stats.mean, run.stats.mean / n])
+
+    print(
+        format_table(
+            ["rule A", "mean cover time", "cover / n"],
+            rows,
+            title=f"E-process cover time on G({n},4) under every rule A "
+            f"(ln n = {__import__('math').log(n):.2f}; all rows sit near 2, "
+            "far below one log factor)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Figure 1, miniature edition: normalized cover time of the E-process.
+
+Reproduces the paper's single figure as an ASCII plot: normalized cover
+time C_V/n against n for d-regular random graphs, d = 3..7.  Even degrees
+plot flat (Θ(n) cover, Corollary 2); odd degrees grow like c·ln n
+(Section 5), with c ordered c(3) > c(5) > c(7) as in the paper.
+
+Run:  python examples/figure1_mini.py [trials]
+(defaults to 3 trials per point; the benchmark bench_figure1.py runs the
+full-size version with paper-style fits)
+"""
+
+import sys
+
+from repro import EdgeProcess, cover_time_trials, fit_nlogn, random_connected_regular_graph
+from repro.sim.plot import ascii_plot
+from repro.sim.tables import format_table
+
+SIZES = [500, 1000, 2000, 4000, 8000]
+DEGREES = [3, 4, 5, 6, 7]
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    series = []
+    fit_rows = []
+    for d in DEGREES:
+        normalized = []
+        raw = []
+        for n in SIZES:
+            nn = n if (n * d) % 2 == 0 else n + 1
+            run = cover_time_trials(
+                workload=lambda rng, k=nn, deg=d: random_connected_regular_graph(k, deg, rng),
+                walk_factory=lambda g, s, rng: EdgeProcess(g, s, rng=rng, record_phases=False),
+                trials=trials,
+                root_seed=1207,
+                label=f"fig1mini-{d}-{nn}",
+            )
+            normalized.append(run.stats.mean / nn)
+            raw.append(run.stats.mean)
+        series.append((f"d={d}", [float(x) for x in SIZES], normalized))
+        fit = fit_nlogn(SIZES, raw)
+        fit_rows.append([f"d={d}", fit.constant, {3: 0.93, 5: 0.41, 7: 0.38}.get(d, "flat")])
+
+    print(
+        ascii_plot(
+            series,
+            title="Normalized cover time of the E-process on d-regular graphs "
+            "(cf. paper Figure 1)",
+            x_label="n (log axis)",
+            y_label="C_V / n",
+            log_x=True,
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["series", "fitted c in c*n*ln(n)", "paper"],
+            fit_rows,
+            title="Fitted n-log-n constants (meaningful for odd d only)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The hypercube example: a full log factor saved on edge cover.
+
+After eq. (3) the paper works the hypercube H_r (n = 2^r, degree r):
+
+* SRW edge cover:        Θ(m log m)  =  Θ(n log² n)
+* E-process edge cover:  m + C_V(SRW) = Θ(n log n)
+* eq. (2)'s gap-based bound would only give O(n log² n) — the sandwich
+  eq. (3) is the tight tool here.
+
+This example measures all three quantities for growing r and prints the
+eq. (3) sandwich next to the measured values.
+
+Run:  python examples/hypercube_edge_cover.py
+"""
+
+import math
+
+from repro import (
+    EdgeProcess,
+    SimpleRandomWalk,
+    cover_time_trials,
+    edge_cover_sandwich,
+    grw_edge_cover_bound,
+    hypercube_graph,
+    spectral_gap,
+)
+from repro.sim.tables import format_table
+
+RS = [4, 6, 8, 10]
+TRIALS = 3
+
+
+def main() -> None:
+    rows = []
+    for r in RS:
+        graph = hypercube_graph(r)
+        n, m = graph.n, graph.m
+        e_run = cover_time_trials(
+            graph,
+            lambda g, s, rng: EdgeProcess(g, s, rng=rng, record_phases=False),
+            trials=TRIALS, root_seed=1024, target="edges", label=f"hc-e-{r}",
+        )
+        srw_vertex = cover_time_trials(
+            graph,
+            lambda g, s, rng: SimpleRandomWalk(g, s, rng=rng),
+            trials=TRIALS, root_seed=1024, label=f"hc-cv-{r}",
+        )
+        srw_edge = cover_time_trials(
+            graph,
+            lambda g, s, rng: SimpleRandomWalk(g, s, rng=rng, track_edges=True),
+            trials=TRIALS, root_seed=1024, target="edges", label=f"hc-ce-{r}",
+        )
+        low, high = edge_cover_sandwich(m, srw_vertex.stats.mean)
+        eq2 = grw_edge_cover_bound(m, n, spectral_gap(graph, lazy=True))
+        rows.append(
+            [
+                f"H_{r}",
+                n,
+                m,
+                e_run.stats.mean,
+                f"[{low:.0f}, {high:.0f}]",
+                srw_edge.stats.mean,
+                srw_edge.stats.mean / e_run.stats.mean,
+                math.log(n),
+                eq2,
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "n", "m", "CE(E)", "eq.(3) sandwich", "CE(SRW)", "SRW/E", "ln n", "eq.(2) bound"],
+            rows,
+            title="Edge cover on hypercubes: the E-process saves the SRW's "
+            "extra log factor (SRW/E tracks ln n); eq.(2) is loose here",
+            float_digits=1,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

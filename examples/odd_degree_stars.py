@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Section 5: why odd degrees cost a log factor — isolated blue stars.
+
+On random 3-regular graphs the unvisited-edge ("blue") walk strands
+vertices at the centres of isolated blue stars; mopping them up is a
+coupon-collector problem for the embedded random walk, which is the
+paper's intuition for the Ω(n log n) cover time at odd degree.
+
+This example measures, per n:
+
+* the cumulative star census |I| (every vertex that ever becomes a star
+  centre) against the paper's n/8 independence heuristic — measured values
+  run lower (≈ 0.05 n) because the interleaved red walk rescues candidates
+  before their stars complete;
+* the tail share: the fraction of the whole cover time spent visiting the
+  last 1% of vertices (large for d=3, small for d=4).
+
+Run:  python examples/odd_degree_stars.py
+"""
+
+from repro import EdgeProcess, random_connected_regular_graph, spawn
+from repro.core.stars import (
+    cumulative_star_census,
+    expected_isolated_stars,
+    passed_over_vertices,
+)
+from repro.sim.profiles import record_profile
+from repro.sim.tables import format_table
+
+SIZES = [1000, 2000, 4000]
+TRIALS = 3
+
+
+def census_row(n: int, r: int):
+    counts, covers, passed = [], [], []
+    for t in range(TRIALS):
+        rng = spawn(31337, "stars", n, r, t)
+        graph = random_connected_regular_graph(n, r, rng)
+        walk = EdgeProcess(graph, rng.randrange(n), rng=rng, record_phases=False)
+        result = cumulative_star_census(walk)
+        counts.append(result.count)
+        covers.append(result.cover_steps)
+        passed.append(len(passed_over_vertices(walk)))
+    mean_count = sum(counts) / TRIALS
+    mean_cover = sum(covers) / TRIALS
+    heuristic = expected_isolated_stars(n, r) if r % 2 else 0.0
+    return [
+        f"G({n},{r})",
+        mean_count,
+        sum(passed) / TRIALS,
+        heuristic,
+        mean_count / n,
+        mean_cover / n,
+    ]
+
+
+def tail_row(n: int, r: int):
+    rng = spawn(31337, "tail", n, r)
+    graph = random_connected_regular_graph(n, r, rng)
+    walk = EdgeProcess(graph, 0, rng=rng, record_phases=False)
+    profile = record_profile(walk)
+    return [f"G({n},{r})", profile.vertex_cover_step, profile.half_cover_step,
+            profile.tail_fraction(n)]
+
+
+def main() -> None:
+    rows = [census_row(n, 3) for n in SIZES]
+    rows.append(census_row(2000, 4))  # even-degree control: zero stars
+    print(
+        format_table(
+            ["graph", "|I| measured", "passed-over", "n/8 heuristic", "|I|/n", "cover/n"],
+            rows,
+            title="Cumulative isolated-star census (Section 5); last row is "
+            "the even-degree control — passed-over events still occur there "
+            "but parity strands nothing",
+        )
+    )
+    print()
+    tails = [tail_row(4000, 3), tail_row(4000, 4)]
+    print(
+        format_table(
+            ["graph", "cover step", "half-cover step", "tail share (last 1%)"],
+            tails,
+            title="Where the time goes: the d=3 walk spends a large share of "
+            "its run collecting the final stragglers",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

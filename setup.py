@@ -1,0 +1,11 @@
+"""Legacy-path shim so ``pip install -e .`` works offline.
+
+All project metadata lives in pyproject.toml's ``[project]`` table
+(setuptools >= 61 reads it from here); this file only exists so pip can use
+the non-PEP-517 editable install, which does not require the ``wheel``
+package that is unavailable in this offline environment.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,398 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror the experiment index in DESIGN.md:
+
+* ``figure1``  — the paper's Figure 1 sweep (normalized E-process cover time
+  on d-regular graphs) at a configurable scale.
+* ``cover``    — vertex/edge cover time of any walk on any built-in family.
+* ``spectral`` — eigenvalue gap and conductance interval of a family member.
+* ``goodness`` — exact ℓ-goodness of a small graph.
+* ``stars``    — Section 5 isolated-star census on random r-regular graphs.
+* ``profile``  — ASCII coverage-vs-time curves (E-process vs SRW).
+* ``blanket``  — eq. (4)'s blanket-style visit-count times.
+
+Every command accepts ``--seed`` and prints plain-text tables, so outputs
+are reproducible and diff-able.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.core.eprocess import EdgeProcess
+from repro.core.components import isolated_blue_stars
+from repro.core.goodness import ell_goodness_exact
+from repro.core.stars import expected_isolated_stars
+from repro.errors import ReproError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    lps_graph,
+    random_connected_regular_graph,
+    torus_grid,
+)
+from repro.graphs.properties import girth
+from repro.sim.fitting import fit_normalized_profile, select_growth_model
+from repro.sim.results import Series, SweepPoint, aggregate
+from repro.sim.rng import DEFAULT_ROOT_SEED, spawn
+from repro.sim.runner import cover_time_trials
+from repro.sim.tables import format_kv_block, format_series_table, format_table
+from repro.spectral.conductance import conductance_interval_from_gap
+from repro.spectral.eigen import extreme_eigenvalues, spectral_gap
+from repro.walks import (
+    LeastUsedFirstWalk,
+    OldestFirstWalk,
+    RandomWalkWithChoice,
+    RotorRouterWalk,
+    SimpleRandomWalk,
+    UnvisitedVertexWalk,
+)
+
+__all__ = ["main", "build_parser"]
+
+WALKS = {
+    "eprocess": lambda g, s, rng: EdgeProcess(g, s, rng=rng),
+    "srw": lambda g, s, rng: SimpleRandomWalk(g, s, rng=rng, track_edges=True),
+    "rotor": lambda g, s, rng: RotorRouterWalk(g, s, rng=rng, randomize_rotors=True, track_edges=True),
+    "rwc2": lambda g, s, rng: RandomWalkWithChoice(g, s, d=2, rng=rng),
+    "vprocess": lambda g, s, rng: UnvisitedVertexWalk(g, s, rng=rng),
+    "least-used": lambda g, s, rng: LeastUsedFirstWalk(g, s, rng=rng),
+    "oldest-first": lambda g, s, rng: OldestFirstWalk(g, s, rng=rng),
+}
+
+
+def _build_family_graph(args: argparse.Namespace, rng) -> Graph:
+    family = args.family
+    if family == "regular":
+        return random_connected_regular_graph(args.n, args.degree, rng)
+    if family == "cycle":
+        return cycle_graph(args.n)
+    if family == "complete":
+        return complete_graph(args.n)
+    if family == "torus":
+        side = max(3, int(math.isqrt(args.n)))
+        return torus_grid(side, side)
+    if family == "hypercube":
+        r = max(1, int(round(math.log2(args.n))))
+        return hypercube_graph(r)
+    if family == "lps":
+        return lps_graph(args.p, args.q)
+    raise ReproError(f"unknown family {family!r}")
+
+
+def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        default="regular",
+        choices=["regular", "cycle", "complete", "torus", "hypercube", "lps"],
+        help="graph family (default: random regular)",
+    )
+    parser.add_argument("--n", type=int, default=1000, help="target vertex count")
+    parser.add_argument("--degree", type=int, default=4, help="degree for --family regular")
+    parser.add_argument("--p", type=int, default=5, help="LPS p (degree p+1)")
+    parser.add_argument("--q", type=int, default=13, help="LPS q (size ~ q^3)")
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    sizes = args.sizes
+    degrees = args.degrees
+    series: List[Series] = []
+    for d in degrees:
+        points = []
+        for n in sizes:
+            adjusted = n if (n * d) % 2 == 0 else n + 1
+            run = cover_time_trials(
+                workload=lambda rng, nn=adjusted, dd=d: random_connected_regular_graph(nn, dd, rng),
+                walk_factory=lambda g, s, rng: EdgeProcess(g, s, rng=rng, record_phases=False),
+                trials=args.trials,
+                root_seed=args.seed,
+                label=f"figure1-d{d}-n{adjusted}",
+            )
+            points.append(SweepPoint(x=adjusted, stats=run.stats.scaled(1.0 / adjusted)))
+        series.append(Series(label=f"E d={d}", points=points))
+    print(format_series_table(series, x_header="n", title="Figure 1: normalized cover time C_V/n (E-process, d-regular)"))
+    print()
+    rows = []
+    for s, d in zip(series, degrees):
+        ns = s.xs()
+        raw = [p.stats.mean * p.x for p in s.points]
+        winner, lin, nlogn = select_growth_model(ns, raw)
+        profile = fit_normalized_profile(ns, raw)
+        rows.append([f"d={d}", winner, lin.constant, nlogn.constant, profile.slope])
+    print(
+        format_table(
+            ["series", "best model", "c (c*n)", "c (c*n*ln n)", "profile slope"],
+            rows,
+            title="Growth-model fits (paper: d=3,5,7 -> c*n*ln n with c≈0.93/0.41/0.38; d=4,6 -> flat)",
+        )
+    )
+    return 0
+
+
+def _cmd_cover(args: argparse.Namespace) -> int:
+    if args.walk not in WALKS:
+        raise ReproError(f"unknown walk {args.walk!r}; choose from {sorted(WALKS)}")
+    build_rng = spawn(args.seed, "cli-cover-graph")
+    graph = _build_family_graph(args, build_rng)
+    run = cover_time_trials(
+        workload=graph,
+        walk_factory=WALKS[args.walk],
+        trials=args.trials,
+        root_seed=args.seed,
+        target=args.target,
+        label=f"cli-cover-{args.walk}",
+    )
+    denom = graph.n if args.target == "vertices" else graph.m
+    print(
+        format_kv_block(
+            f"{args.target} cover time of {args.walk} on {graph.name or args.family}",
+            [
+                ["n", graph.n],
+                ["m", graph.m],
+                ["trials", args.trials],
+                ["mean steps", run.stats.mean],
+                ["std", run.stats.std],
+                ["min", run.stats.minimum],
+                ["max", run.stats.maximum],
+                ["mean / size", run.stats.mean / denom],
+                ["mean / (size ln size)", run.stats.mean / (denom * math.log(max(denom, 2)))],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_spectral(args: argparse.Namespace) -> int:
+    build_rng = spawn(args.seed, "cli-spectral-graph")
+    graph = _build_family_graph(args, build_rng)
+    lam1, lam2, lamn = extreme_eigenvalues(graph)
+    gap = spectral_gap(graph)
+    lazy_gap = spectral_gap(graph, lazy=True)
+    phi_lo, phi_hi = conductance_interval_from_gap(graph)
+    print(
+        format_kv_block(
+            f"spectral profile of {graph.name or args.family}",
+            [
+                ["n", graph.n],
+                ["m", graph.m],
+                ["lambda_1", lam1],
+                ["lambda_2", lam2],
+                ["lambda_n", lamn],
+                ["gap 1-lambda_max", gap],
+                ["lazy gap", lazy_gap],
+                ["conductance >=", phi_lo],
+                ["conductance <=", phi_hi],
+            ],
+            float_digits=5,
+        )
+    )
+    return 0
+
+
+def _cmd_goodness(args: argparse.Namespace) -> int:
+    build_rng = spawn(args.seed, "cli-goodness-graph")
+    graph = _build_family_graph(args, build_rng)
+    if graph.n > args.limit:
+        raise ReproError(
+            f"exact goodness on n={graph.n} would be slow; pass --limit to override"
+        )
+    value = ell_goodness_exact(graph)
+    print(
+        format_kv_block(
+            f"exact ℓ-goodness of {graph.name or args.family}",
+            [["n", graph.n], ["m", graph.m], ["girth", girth(graph)], ["ell", value]],
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.sim.plot import ascii_plot
+    from repro.sim.profiles import record_profile
+    from repro.walks.srw import SimpleRandomWalk
+
+    build_rng = spawn(args.seed, "cli-profile-graph")
+    graph = _build_family_graph(args, build_rng)
+    e_walk = EdgeProcess(graph, 0, rng=spawn(args.seed, "cli-profile-e"))
+    e_profile = record_profile(e_walk)
+    s_walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-profile-s"))
+    s_profile = record_profile(s_walk)
+    series = [
+        (
+            "E-process",
+            [float(max(p.step, 1)) for p in e_profile.points],
+            e_profile.vertex_fractions(graph.n),
+        ),
+        (
+            "SRW",
+            [float(max(p.step, 1)) for p in s_profile.points],
+            s_profile.vertex_fractions(graph.n),
+        ),
+    ]
+    print(
+        ascii_plot(
+            series,
+            title=f"vertex coverage vs time on {graph.name or args.family} "
+            "(log time axis)",
+            x_label="steps",
+            y_label="fraction visited",
+            log_x=True,
+        )
+    )
+    print()
+    print(
+        format_kv_block(
+            "cover landmarks",
+            [
+                ["E-process cover step", e_profile.vertex_cover_step],
+                ["SRW cover step", s_profile.vertex_cover_step],
+                ["E tail share (last 1%)", e_profile.tail_fraction(graph.n)],
+                ["SRW tail share (last 1%)", s_profile.tail_fraction(graph.n)],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_blanket(args: argparse.Namespace) -> int:
+    from repro.sim.blanket import time_to_visit_counts
+    from repro.walks.srw import SimpleRandomWalk
+
+    build_rng = spawn(args.seed, "cli-blanket-graph")
+    graph = _build_family_graph(args, build_rng)
+    t_r_values = []
+    cv_values = []
+    for trial in range(args.trials):
+        walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-blanket", trial))
+        t_r_values.append(
+            time_to_visit_counts(walk, threshold=lambda v: graph.degree(v))
+        )
+        cover_walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-blanket-cv", trial))
+        cv_values.append(cover_walk.run_until_vertex_cover())
+    from repro.sim.results import aggregate as _agg
+
+    t_r = _agg(t_r_values)
+    cv = _agg(cv_values)
+    print(
+        format_kv_block(
+            f"blanket-style times on {graph.name or args.family} (eq. 4 route)",
+            [
+                ["n", graph.n],
+                ["m", graph.m],
+                ["trials", args.trials],
+                ["CV(SRW) mean", cv.mean],
+                ["T(d): every v seen d(v) times", t_r.mean],
+                ["T(d) / CV  (O(1) by Ding-Lee-Peres)", t_r.mean / cv.mean],
+                ["eq.(4) edge-cover envelope m + CV", graph.m + cv.mean],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_stars(args: argparse.Namespace) -> int:
+    counts = []
+    for trial in range(args.trials):
+        rng = spawn(args.seed, "cli-stars", trial)
+        graph = random_connected_regular_graph(args.n, args.r, rng)
+        walk = EdgeProcess(graph, rng.randrange(graph.n), rng=rng, record_phases=False)
+        budget = args.snapshot_steps if args.snapshot_steps else 2 * graph.m
+        for _ in range(budget):
+            if walk.num_visited_edges == graph.m:
+                break
+            walk.step()
+        counts.append(len(isolated_blue_stars(walk)))
+    stats = aggregate(counts)
+    expected = expected_isolated_stars(args.n, args.r) if args.r % 2 == 1 else 0.0
+    print(
+        format_kv_block(
+            f"isolated blue stars on random {args.r}-regular graphs (n={args.n})",
+            [
+                ["trials", args.trials],
+                ["snapshot steps", args.snapshot_steps or 2 * args.n * args.r // 2],
+                ["mean stars", stats.mean],
+                ["std", stats.std],
+                ["heuristic n((r-2)/(r-1))^r", expected],
+                ["mean / n", stats.mean / args.n],
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E-process experiments (Berenbrink-Cooper-Friedetzky, PODC'12)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("figure1", help="regenerate Figure 1 at a chosen scale")
+    fig1.add_argument("--sizes", type=int, nargs="+", default=[1000, 2000, 4000, 8000])
+    fig1.add_argument("--degrees", type=int, nargs="+", default=[3, 4, 5, 6, 7])
+    fig1.add_argument("--trials", type=int, default=5)
+    fig1.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    fig1.set_defaults(fn=_cmd_figure1)
+
+    cover = sub.add_parser("cover", help="cover time of one walk on one family")
+    _add_family_arguments(cover)
+    cover.add_argument("--walk", default="eprocess", choices=sorted(WALKS))
+    cover.add_argument("--target", default="vertices", choices=["vertices", "edges"])
+    cover.add_argument("--trials", type=int, default=5)
+    cover.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    cover.set_defaults(fn=_cmd_cover)
+
+    spectral = sub.add_parser("spectral", help="eigenvalue gap / conductance")
+    _add_family_arguments(spectral)
+    spectral.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    spectral.set_defaults(fn=_cmd_spectral)
+
+    goodness = sub.add_parser("goodness", help="exact ℓ-goodness (small graphs)")
+    _add_family_arguments(goodness)
+    goodness.add_argument("--limit", type=int, default=64)
+    goodness.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    goodness.set_defaults(fn=_cmd_goodness)
+
+    profile = sub.add_parser("profile", help="coverage-vs-time curves (ASCII)")
+    _add_family_arguments(profile)
+    profile.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    profile.set_defaults(fn=_cmd_profile)
+
+    blanket = sub.add_parser("blanket", help="eq.(4) blanket-style times")
+    _add_family_arguments(blanket)
+    blanket.add_argument("--trials", type=int, default=3)
+    blanket.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    blanket.set_defaults(fn=_cmd_blanket)
+
+    stars = sub.add_parser("stars", help="Section 5 isolated-star census")
+    stars.add_argument("--n", type=int, default=3000)
+    stars.add_argument("--r", type=int, default=3)
+    stars.add_argument("--trials", type=int, default=5)
+    stars.add_argument("--snapshot-steps", type=int, default=0, help="0 = 2m steps")
+    stars.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    stars.set_defaults(fn=_cmd_stars)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""The paper's bounds as executable formulas.
+
+Each function reproduces one displayed bound with the paper's constants
+(where the paper gives them) or with an explicit ``constant`` knob (where it
+writes ``O(·)``).  The benchmark harness prints measured values next to
+these, and the test suite checks their algebraic properties (monotonicity,
+sandwich ordering, special cases).
+
+Reference map
+-------------
+=====================================  =========================================
+Function                               Paper statement
+=====================================  =========================================
+``feige_lower_bound``                  Feige [8]: ``C_V ≥ (1−o(1)) n ln n``
+``radzik_lower_bound``                 Theorem 5: ``C_V ≥ (n/4) ln(n/2)``
+``theorem1_vertex_cover_bound``        Theorem 1
+``eq1_expander_vertex_cover_bound``    eq. (1) (constant-gap expanders)
+``grw_edge_cover_bound``               eq. (2) (Orenshtein–Shinkar [13])
+``edge_cover_sandwich``                eq. (3) / Observation 12
+``eq4_blanket_edge_cover_bound``       eq. (4) (via Ding–Lee–Peres blanket time)
+``theorem3_edge_cover_bound``          Theorem 3
+``lemma14_subgraph_count_bound``       Lemma 14: ``β(s, v) ≤ 2^{sΔ}``
+``lemma15_tau_star``                   Lemma 15's τ* (with its 14(Δ+4) constant)
+``rotor_router_cover_bound``           ``O(mD)`` for the rotor-router [16]
+``eprocess_speedup``                   the Ω(min(log n, ℓ)) speed-up remark
+=====================================  =========================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "feige_lower_bound",
+    "radzik_lower_bound",
+    "theorem1_vertex_cover_bound",
+    "eq1_expander_vertex_cover_bound",
+    "grw_edge_cover_bound",
+    "edge_cover_sandwich",
+    "eq4_blanket_edge_cover_bound",
+    "theorem3_edge_cover_bound",
+    "lemma14_subgraph_count_bound",
+    "lemma15_tau_star",
+    "rotor_router_cover_bound",
+    "eprocess_speedup",
+]
+
+
+def _positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ReproError(f"{name} must be positive, got {value}")
+
+
+def feige_lower_bound(n: int) -> float:
+    """Feige's asymptotic SRW lower bound, reported as ``n ln n``."""
+    _positive("n", n)
+    return n * math.log(n) if n > 1 else 0.0
+
+
+def radzik_lower_bound(n: int) -> float:
+    """Theorem 5: every weighted random walk has ``C_V ≥ (n/4) ln(n/2)``."""
+    _positive("n", n)
+    if n <= 2:
+        return 0.0
+    return (n / 4.0) * math.log(n / 2.0)
+
+
+def theorem1_vertex_cover_bound(
+    n: int, ell: float, gap: float, constant: float = 1.0
+) -> float:
+    """Theorem 1: ``C_V(E) = O(n + n log n / (ℓ (1 − λmax)))``."""
+    _positive("n", n)
+    _positive("ell", ell)
+    _positive("gap", gap)
+    log_n = math.log(n) if n > 1 else 1.0
+    return constant * (n + n * log_n / (ell * gap))
+
+
+def eq1_expander_vertex_cover_bound(n: int, ell: float, constant: float = 1.0) -> float:
+    """eq. (1): for constant-gap expanders, ``C_V(E) = O(n + n log n / ℓ)``."""
+    _positive("n", n)
+    _positive("ell", ell)
+    log_n = math.log(n) if n > 1 else 1.0
+    return constant * (n + n * log_n / ell)
+
+
+def grw_edge_cover_bound(m: int, n: int, gap: float, constant: float = 1.0) -> float:
+    """eq. (2): Greedy Random Walk edge cover ``m + O(n log n / (1 − λmax))``."""
+    _positive("m", m)
+    _positive("n", n)
+    _positive("gap", gap)
+    log_n = math.log(n) if n > 1 else 1.0
+    return m + constant * n * log_n / gap
+
+
+def edge_cover_sandwich(m: int, cv_srw: float) -> Tuple[float, float]:
+    """eq. (3): ``m ≤ C_E(E-process) ≤ m + C_V(SRW)``; returns the pair."""
+    _positive("m", m)
+    if cv_srw < 0:
+        raise ReproError(f"C_V(SRW) must be nonnegative, got {cv_srw}")
+    return float(m), m + cv_srw
+
+
+def eq4_blanket_edge_cover_bound(m: int, cv_srw: float, constant: float = 1.0) -> float:
+    """eq. (4): ``C_E(E-process) = O(m + C_V(SRW))`` via blanket time."""
+    _positive("m", m)
+    if cv_srw < 0:
+        raise ReproError(f"C_V(SRW) must be nonnegative, got {cv_srw}")
+    return constant * (m + cv_srw)
+
+
+def theorem3_edge_cover_bound(
+    m: int,
+    n: int,
+    gap: float,
+    girth_value: float,
+    max_degree: int,
+    constant: float = 1.0,
+) -> float:
+    """Theorem 3: ``C_E(E) = O(m + m/(1−λmax)² (log n / g + log Δ))``."""
+    _positive("m", m)
+    _positive("n", n)
+    _positive("gap", gap)
+    _positive("girth", girth_value)
+    _positive("max_degree", max_degree)
+    log_n = math.log(n) if n > 1 else 1.0
+    log_delta = math.log(max_degree) if max_degree > 1 else 0.0
+    return constant * (m + (m / gap**2) * (log_n / girth_value + log_delta))
+
+
+def lemma14_subgraph_count_bound(s: int, max_degree: int) -> float:
+    """Lemma 14: at most ``2^{sΔ}`` connected edge-induced subgraphs of
+    ``s`` vertices rooted at a fixed vertex."""
+    if s < 1 or max_degree < 1:
+        raise ReproError("need s >= 1 and Δ >= 1")
+    return 2.0 ** (s * max_degree)
+
+
+def lemma15_tau_star(
+    m: int,
+    n: int,
+    min_degree: int,
+    max_degree: int,
+    ell: float,
+    gap: float,
+) -> float:
+    """Lemma 15's explicit τ*:
+    ``m (1 + 14(Δ+4) log n / (δ · min(ℓ, log n) · (1 − λmax)))``."""
+    _positive("m", m)
+    _positive("n", n)
+    _positive("min_degree", min_degree)
+    _positive("max_degree", max_degree)
+    _positive("ell", ell)
+    _positive("gap", gap)
+    log_n = math.log(n) if n > 1 else 1.0
+    s = min(ell, log_n)
+    return m * (1.0 + 14.0 * (max_degree + 4) * log_n / (min_degree * s * gap))
+
+
+def rotor_router_cover_bound(m: int, diam: int, constant: float = 1.0) -> float:
+    """Rotor-router vertex cover ``O(mD)`` (Yanovski et al. [16])."""
+    _positive("m", m)
+    _positive("diameter", diam)
+    return constant * m * diam
+
+
+def eprocess_speedup(n: int, ell: float) -> float:
+    """The remark below eq. (1): speed-up ``Ω(min(log n, ℓ))`` over any
+    reversible walk on an ℓ-good even-degree expander."""
+    _positive("n", n)
+    _positive("ell", ell)
+    log_n = math.log(n) if n > 1 else 1.0
+    return min(log_n, ell)

@@ -1,0 +1,245 @@
+"""Blue-component structure of an E-process state (Observation 11, §5).
+
+While the E-process is in a red phase, the unvisited ("blue") edges induce
+even-degree components; every unvisited vertex lies in one.  This module
+extracts that structure from a live :class:`~repro.core.eprocess.EdgeProcess`:
+
+* :func:`blue_components` — edge-induced components of the blue subgraph;
+* :func:`maximal_blue_subgraph_at` — the paper's ``S*_v`` (fan out from an
+  unvisited vertex along blue edges);
+* :func:`verify_observation_11` — the even-degree/boundary invariants;
+* :func:`isolated_blue_stars` — Section 5's census: unvisited vertices whose
+  blue component is exactly their own star (the objects the ``n/8``
+  heuristic counts on random 3-regular graphs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.eprocess import EdgeProcess
+from repro.core.phases import PhaseViolation
+from repro.errors import ReproError
+
+__all__ = [
+    "BlueComponent",
+    "blue_components",
+    "blue_degree_map",
+    "maximal_blue_subgraph_at",
+    "verify_observation_11",
+    "is_isolated_star_center",
+    "isolated_blue_stars",
+    "blue_component_order_distribution",
+]
+
+
+@dataclass(frozen=True)
+class BlueComponent:
+    """One edge-induced component of the unvisited subgraph.
+
+    Attributes
+    ----------
+    vertices:
+        Sorted vertex ids touched by the component's edges.
+    edge_ids:
+        Sorted ids of the component's (blue) edges.
+    contains_unvisited_vertex:
+        Whether any member vertex is itself unvisited — the paper notes that
+        not every blue component need contain unvisited vertices.
+    """
+
+    vertices: Tuple[int, ...]
+    edge_ids: Tuple[int, ...]
+    contains_unvisited_vertex: bool
+
+    @property
+    def order(self) -> int:
+        """Number of vertices."""
+        return len(self.vertices)
+
+    @property
+    def size(self) -> int:
+        """Number of edges."""
+        return len(self.edge_ids)
+
+
+def blue_degree_map(process: EdgeProcess) -> List[int]:
+    """Blue degree of every vertex (the process's O(1)-maintained counters)."""
+    return list(process.blue_degree)
+
+
+def blue_components(process: EdgeProcess) -> List[BlueComponent]:
+    """Edge-induced components of the blue (unvisited) subgraph.
+
+    Runs BFS over blue edges only; isolated visited vertices do not appear.
+    Components are ordered by smallest member vertex.
+    """
+    graph = process.graph
+    visited_edges = process.visited_edges
+    assert visited_edges is not None
+    seen_vertex = bytearray(graph.n)
+    components: List[BlueComponent] = []
+    for root in range(graph.n):
+        if seen_vertex[root] or process.blue_degree[root] == 0:
+            continue
+        comp_vertices: Set[int] = set()
+        comp_edges: Set[int] = set()
+        queue = deque([root])
+        seen_vertex[root] = 1
+        comp_vertices.add(root)
+        while queue:
+            v = queue.popleft()
+            for eid, w in graph.incidence(v):
+                if visited_edges[eid]:
+                    continue
+                comp_edges.add(eid)
+                if not seen_vertex[w]:
+                    seen_vertex[w] = 1
+                    comp_vertices.add(w)
+                    queue.append(w)
+        has_unvisited = any(not process.visited_vertices[v] for v in comp_vertices)
+        components.append(
+            BlueComponent(
+                vertices=tuple(sorted(comp_vertices)),
+                edge_ids=tuple(sorted(comp_edges)),
+                contains_unvisited_vertex=has_unvisited,
+            )
+        )
+    return components
+
+
+def maximal_blue_subgraph_at(process: EdgeProcess, vertex: int) -> BlueComponent:
+    """The paper's ``S*_v``: fan out from ``vertex`` along blue edges only.
+
+    Defined for an unvisited vertex during a red phase (Observation 11); we
+    allow any vertex with positive blue degree and report its component.
+
+    Raises
+    ------
+    ReproError
+        If ``vertex`` has no blue edges (then ``S*_v`` is empty/undefined).
+    """
+    if process.blue_degree[vertex] == 0:
+        raise ReproError(f"vertex {vertex} has no unvisited edges; S*_v empty")
+    for component in blue_components(process):
+        if vertex in component.vertices:
+            return component
+    raise ReproError("unreachable: positive blue degree but no component")
+
+
+def verify_observation_11(process: EdgeProcess) -> List[BlueComponent]:
+    """Check Observation 11's invariants on the current state.
+
+    Requires the process to be *in a red phase* (no blue edges at the
+    current vertex) or at time 0 on an even-degree graph.  Checks:
+
+    1. every unvisited vertex has all its edges blue (full blue degree);
+    2. every vertex has even blue degree;
+    3. for every blue component: positive even degrees inside, and every
+       edge leaving the component's vertex set is red (boundary condition
+       3(b) — true by maximality).
+
+    Returns the blue components for further inspection.
+    """
+    graph = process.graph
+    if not graph.has_even_degrees():
+        raise PhaseViolation("Observation 11 presupposes even degrees")
+    if not process.in_red_phase and process.steps > 0:
+        raise PhaseViolation(
+            "Observation 11 applies while the process is in a red phase; "
+            f"the current vertex {process.current} still has blue edges"
+        )
+    # (1) unvisited vertices keep full blue degree
+    for v in range(graph.n):
+        if not process.visited_vertices[v]:
+            if process.blue_degree[v] != graph.degree(v):
+                raise PhaseViolation(
+                    f"unvisited vertex {v} has blue degree "
+                    f"{process.blue_degree[v]} < its degree {graph.degree(v)}"
+                )
+    # (2) all blue degrees even
+    for v in range(graph.n):
+        if process.blue_degree[v] % 2 != 0:
+            raise PhaseViolation(f"vertex {v} has odd blue degree during red phase")
+    # (3) component structure
+    components = blue_components(process)
+    visited_edges = process.visited_edges
+    assert visited_edges is not None
+    for component in components:
+        inside = set(component.vertices)
+        blue_deg: Dict[int, int] = {v: 0 for v in inside}
+        for eid in component.edge_ids:
+            u, w = graph.endpoints(eid)
+            if u == w:
+                blue_deg[u] += 2
+            else:
+                blue_deg[u] += 1
+                blue_deg[w] += 1
+        for v in inside:
+            if blue_deg[v] == 0 or blue_deg[v] % 2 != 0:
+                raise PhaseViolation(
+                    f"blue component at {min(inside)}: vertex {v} has blue "
+                    f"degree {blue_deg[v]} (want positive even)"
+                )
+        # boundary edges (inside -> outside) must be red
+        for v in inside:
+            for eid, w in graph.incidence(v):
+                if w not in inside and not visited_edges[eid]:
+                    raise PhaseViolation(
+                        f"blue edge {eid} leaves component at vertex {v} — "
+                        "component not maximal"
+                    )
+    return components
+
+
+def is_isolated_star_center(process: EdgeProcess, vertex: int) -> bool:
+    """Whether ``vertex`` is currently the centre of an isolated blue star.
+
+    Conditions (Section 5): ``vertex`` unvisited with all its edges blue, no
+    loop at it, and every neighbour's blue edges all lead back to ``vertex``.
+    """
+    graph = process.graph
+    visited_edges = process.visited_edges
+    assert visited_edges is not None
+    if process.visited_vertices[vertex]:
+        return False
+    if process.blue_degree[vertex] != graph.degree(vertex):
+        return False
+    for eid, w in graph.incidence(vertex):
+        if w == vertex:
+            return False  # loop: not a star
+        for eid2, x in graph.incidence(w):
+            if not visited_edges[eid2] and x != vertex:
+                return False
+    return True
+
+
+def isolated_blue_stars(process: EdgeProcess) -> List[int]:
+    """Centres of isolated blue stars (Section 5's objects).
+
+    A vertex ``v`` qualifies when: ``v`` is unvisited, all ``d(v)`` of its
+    edges are blue, and every neighbour's blue edges all lead back to ``v``
+    (so the blue component containing ``v`` is exactly the star on ``v`` and
+    its neighbours).  On random 3-regular graphs the paper's heuristic
+    predicts ``≈ n/8`` such centres once the blue walk has exhausted itself.
+
+    Note that the red walk rescues stars continuously, so this *standing*
+    census is far below ``n/8`` at any single time; the paper's set ``I`` is
+    the *cumulative* census over the run — see
+    :func:`repro.core.stars.cumulative_star_census`.
+    """
+    centres: List[int] = []
+    for v in range(process.graph.n):
+        if is_isolated_star_center(process, v):
+            centres.append(v)
+    return centres
+
+
+def blue_component_order_distribution(process: EdgeProcess) -> Dict[int, int]:
+    """Histogram ``component order -> count`` of the blue components."""
+    hist: Dict[int, int] = {}
+    for component in blue_components(process):
+        hist[component.order] = hist.get(component.order, 0) + 1
+    return hist

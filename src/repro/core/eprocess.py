@@ -1,0 +1,212 @@
+"""The E-process: a random walk that prefers unvisited edges.
+
+This is the paper's object of study.  At each step, from the current vertex
+``v``:
+
+* if any edge incident with ``v`` is **unvisited** ("blue"), traverse one —
+  chosen by the pluggable rule A (:mod:`repro.core.rules`) — and mark it
+  visited ("red");
+* otherwise take a **simple random walk** step over the incident edges.
+
+Bookkeeping kept in O(1) per step:
+
+* ``blue_degree[v]`` — the number of unvisited edge-endpoints at ``v``
+  (a blue loop contributes 2), so the blue-vs-red decision never scans;
+* ``red_steps`` / ``blue_steps`` — the split Observation 12 reasons about
+  (``t = t_R + t_B`` with ``t_B ≤ m``);
+* phase marks — ``(first_step, colour, vertex at phase start)`` triples,
+  enough to verify Observation 10 (blue phases on even-degree graphs return
+  to their start vertex) without storing the trajectory.
+
+The embedded "red walk" (the SRW the proofs analyse) can optionally be
+recorded via ``record_red_trajectory=True``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import EvenDegreeError, RuleError
+from repro.graphs.graph import Graph
+from repro.core.rules import Candidate, EdgeRule, UniformEdgeRule
+from repro.walks.base import WalkProcess
+
+__all__ = ["BLUE", "RED", "PhaseMark", "EdgeProcess"]
+
+BLUE = "blue"
+RED = "red"
+
+
+class PhaseMark(NamedTuple):
+    """Start of a maximal run of same-coloured transitions.
+
+    Attributes
+    ----------
+    step:
+        Step index of the phase's first transition (1-based: the transition
+        taken at ``step`` moves ``X(step-1) → X(step)``).
+    color:
+        ``BLUE`` or ``RED``.
+    vertex:
+        The vertex the walk occupied when the phase began.
+    """
+
+    step: int
+    color: str
+    vertex: int
+
+
+class EdgeProcess(WalkProcess):
+    """The edge-process (E-process) of Berenbrink–Cooper–Friedetzky.
+
+    Parameters
+    ----------
+    graph:
+        Graph to explore.  The process is well-defined on any graph; the
+        paper's cover-time guarantees additionally need connected even
+        degrees (set ``require_even_degrees=True`` to enforce).
+    start:
+        Start vertex (all edges start blue/unvisited).
+    rng:
+        Mersenne-Twister source for the red (SRW) phases and for randomized
+        rules.
+    rule:
+        Rule A for picking among unvisited edges; defaults to the paper's
+        experimental choice, :class:`~repro.core.rules.UniformEdgeRule`.
+    require_even_degrees:
+        Raise :class:`~repro.errors.EvenDegreeError` unless every degree is
+        even (the hypothesis of Observation 10 / Theorem 1).
+    record_phases:
+        Keep :class:`PhaseMark` entries (cheap: one per phase).
+    record_red_trajectory:
+        Additionally store the embedded red walk's vertex sequence
+        ``W(0), W(1), ...`` (memory: one int per red step).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        start: int,
+        rng: Optional[random.Random] = None,
+        rule: Optional[EdgeRule] = None,
+        require_even_degrees: bool = False,
+        record_phases: bool = True,
+        record_red_trajectory: bool = False,
+    ):
+        if require_even_degrees and not graph.has_even_degrees():
+            odd = [v for v in range(graph.n) if graph.degree(v) % 2 == 1]
+            raise EvenDegreeError(
+                f"graph has {len(odd)} odd-degree vertices (e.g. {odd[:5]}); "
+                "Theorem 1's guarantees need even degrees"
+            )
+        super().__init__(graph, start, rng=rng, track_edges=True)
+        self.rule = rule if rule is not None else UniformEdgeRule()
+        self.blue_degree: List[int] = list(graph.degrees())
+        self.red_steps = 0
+        self.blue_steps = 0
+        self._has_loops = graph.has_loops()
+        self._record_phases = record_phases
+        self.phase_marks: List[PhaseMark] = []
+        self._last_color: Optional[str] = None
+        self._record_red_trajectory = record_red_trajectory
+        self.red_trajectory: List[int] = [start] if record_red_trajectory else []
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def blue_candidates(self, vertex: int) -> List[Candidate]:
+        """Unvisited incident ``(edge_id, neighbour)`` pairs at ``vertex``.
+
+        Loops are reported once (traversing a loop consumes the whole edge).
+        """
+        visited = self.visited_edges
+        assert visited is not None
+        out: List[Candidate] = []
+        if self._has_loops:
+            seen = set()
+            for eid, w in self._incidence[vertex]:
+                if not visited[eid] and eid not in seen:
+                    seen.add(eid)
+                    out.append((eid, w))
+        else:
+            for eid, w in self._incidence[vertex]:
+                if not visited[eid]:
+                    out.append((eid, w))
+        return out
+
+    def _transition(self) -> int:
+        v = self.current
+        if self.blue_degree[v] > 0:
+            candidates = self.blue_candidates(v)
+            choice = self.rule.choose(v, candidates, self)
+            if choice not in candidates:
+                raise RuleError(
+                    f"rule {self.rule.name!r} returned {choice!r}, not one of "
+                    f"the {len(candidates)} unvisited edges at vertex {v}"
+                )
+            edge_id, nxt = choice
+            self._record_edge_visit(edge_id)
+            if nxt == v:  # loop consumes both endpoints
+                self.blue_degree[v] -= 2
+            else:
+                self.blue_degree[v] -= 1
+                self.blue_degree[nxt] -= 1
+            self._note_color(BLUE, v)
+            self.blue_steps += 1
+            return nxt
+        incident = self._incidence[v]
+        _eid, nxt = incident[self.rng.randrange(len(incident))]
+        self._note_color(RED, v)
+        self.red_steps += 1
+        if self._record_red_trajectory:
+            self.red_trajectory.append(nxt)
+        return nxt
+
+    def _note_color(self, color: str, vertex_before: int) -> None:
+        if self._record_phases and color != self._last_color:
+            self.phase_marks.append(PhaseMark(self.steps + 1, color, vertex_before))
+        self._last_color = color
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def last_color(self) -> Optional[str]:
+        """Colour of the most recent transition (None before any step)."""
+        return self._last_color
+
+    @property
+    def next_color(self) -> str:
+        """Colour the *next* transition will have from the current vertex."""
+        return BLUE if self.blue_degree[self.current] > 0 else RED
+
+    @property
+    def in_red_phase(self) -> bool:
+        """Paper's "the E-process is in a red phase": the walk sits at a
+        vertex with no unvisited edges (also true at t=0 only if the start
+        vertex is isolated among visited edges, which cannot happen)."""
+        return self.blue_degree[self.current] == 0
+
+    @property
+    def num_blue_edges(self) -> int:
+        """Edges still unvisited."""
+        return self.graph.m - self.num_visited_edges
+
+    def is_blue(self, edge_id: int) -> bool:
+        """Whether ``edge_id`` is still unvisited."""
+        assert self.visited_edges is not None
+        return not self.visited_edges[edge_id]
+
+    def blue_edge_ids(self) -> List[int]:
+        """All unvisited edge ids, ascending."""
+        return self.unvisited_edges()
+
+    def __repr__(self) -> str:
+        return (
+            f"<EdgeProcess t={self.steps} (red={self.red_steps}, "
+            f"blue={self.blue_steps}) at={self.current} "
+            f"vertices={self.num_visited_vertices}/{self.graph.n} "
+            f"edges={self.num_visited_edges}/{self.graph.m} "
+            f"rule={self.rule.name}>"
+        )

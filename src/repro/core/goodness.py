@@ -1,0 +1,160 @@
+"""ℓ-goodness: the paper's local expansion property for even-degree graphs.
+
+A vertex ``v`` is *ℓ-good* if every even-degree subgraph containing all
+edges incident with ``v`` has at least ``ℓ`` vertices; a graph is ℓ-good if
+every vertex is.  Theorem 1's cover-time bound scales as ``n log n / ℓ``,
+and Corollary 2 rests on random r-regular graphs (r ≥ 4 even) being
+``Ω(log n)``-good whp.
+
+Exact values reduce to GF(2) linear algebra plus bounded enumeration
+(:func:`repro.graphs.cycle_space.minimum_even_subgraph`); for graphs too
+large for that we provide the two certified lower bounds the paper uses:
+
+* **girth bound** — any even subgraph containing ``v``'s edges contains a
+  cycle through ``v``, so ``ℓ(v) ≥ girth``;
+* **(P2) density bound** — if no connected vertex set of size ``s < L``
+  induces more than ``s`` edges, then any vertex of degree ≥ 4 forces
+  ``ℓ(v) ≥ L`` (the minimal even subgraph at such a vertex has more edges
+  than vertices); Corollary 2 instantiates ``L = log n / (4 log(re))``.
+
+A randomized (P2) violation search is included so the density certificate
+can be spot-checked on concrete samples rather than assumed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import GoodnessError
+from repro.graphs.cycle_space import minimum_even_subgraph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import girth, shortest_cycle_through
+
+__all__ = [
+    "ell_value_at",
+    "ell_goodness_exact",
+    "is_ell_good",
+    "ell_lower_bound_girth",
+    "corollary2_ell",
+    "p2_max_density_ratio",
+    "p2_violation_search",
+]
+
+
+def ell_value_at(graph: Graph, vertex: int, max_enumeration_bits: int = 22) -> int:
+    """Exact ℓ-good value at ``vertex``: order of the minimum even subgraph
+    containing all its incident edges.
+
+    Raises
+    ------
+    GoodnessError
+        If ``vertex`` has odd degree, or the exact search is too large
+        (use the lower bounds for big graphs).
+    """
+    order, _mask = minimum_even_subgraph(graph, vertex, max_enumeration_bits)
+    return order
+
+
+def ell_goodness_exact(
+    graph: Graph,
+    vertices: Optional[Iterable[int]] = None,
+    max_enumeration_bits: int = 22,
+) -> int:
+    """Exact graph-level ℓ: minimum of :func:`ell_value_at` over vertices.
+
+    With ``vertices=None``, all vertices are checked — only feasible on
+    small graphs.  The graph must have all even degrees.
+    """
+    if not graph.has_even_degrees():
+        raise GoodnessError("ℓ-goodness is defined for even-degree graphs")
+    targets = list(vertices) if vertices is not None else list(range(graph.n))
+    if not targets:
+        raise GoodnessError("no vertices to evaluate")
+    return min(ell_value_at(graph, v, max_enumeration_bits) for v in targets)
+
+
+def is_ell_good(graph: Graph, ell: int, max_enumeration_bits: int = 22) -> bool:
+    """Whether the graph is ℓ-good for the given ``ell`` (exact; small graphs)."""
+    return ell_goodness_exact(graph, max_enumeration_bits=max_enumeration_bits) >= ell
+
+
+def ell_lower_bound_girth(graph: Graph, vertex: Optional[int] = None) -> float:
+    """Certified lower bound ``ℓ(v) ≥ girth`` (or shortest cycle through v).
+
+    Any even subgraph containing all edges at ``v`` has an Eulerian
+    decomposition into cycles, one of which passes through ``v``; that cycle
+    alone touches at least ``girth`` vertices.
+    """
+    if vertex is not None:
+        return shortest_cycle_through(graph, vertex)
+    return girth(graph)
+
+
+def corollary2_ell(n: int, r: int) -> float:
+    """Corollary 2's whp ℓ for random r-regular graphs (r ≥ 4 even):
+    ``ℓ = log n / (4 log(r e))`` from property (P2)."""
+    if r < 4 or r % 2 != 0:
+        raise GoodnessError(f"Corollary 2 needs even r >= 4, got r={r}")
+    if n < 2:
+        raise GoodnessError(f"need n >= 2, got {n}")
+    return math.log(n) / (4.0 * math.log(r * math.e))
+
+
+def _induced_edge_count(graph: Graph, members: set) -> int:
+    count = 0
+    for u, v in graph.edges():
+        if u in members and v in members:
+            count += 1
+    return count
+
+
+def p2_max_density_ratio(graph: Graph, vertex_sets: Iterable[Iterable[int]]) -> float:
+    """``max |E(S)| − |S|`` over the given sets (≤ 0 certifies them (P2)-ok)."""
+    worst = -math.inf
+    for vertex_set in vertex_sets:
+        members = set(vertex_set)
+        worst = max(worst, _induced_edge_count(graph, members) - len(members))
+    if math.isinf(worst):
+        raise GoodnessError("no vertex sets supplied")
+    return worst
+
+
+def p2_violation_search(
+    graph: Graph,
+    max_size: int,
+    rng: random.Random,
+    samples: int = 2000,
+) -> Optional[Tuple[List[int], int]]:
+    """Randomized search for a (P2) violation: a connected set ``S`` with
+    ``|S| ≤ max_size`` inducing **more than** ``|S|`` edges.
+
+    Grows ``samples`` random connected subgraphs (random-neighbour BFS
+    growth from random roots, random stop size) and tests each prefix.
+    Returns ``(vertices, induced_edges)`` for the first violation found, or
+    ``None``.  A ``None`` answer is evidence, not proof — exhaustive checking
+    is exponential; the paper's Lemma 18 gives (P2) only *whp*.
+    """
+    if max_size < 3:
+        raise GoodnessError(f"max_size must be >= 3, got {max_size}")
+    if graph.n == 0:
+        return None
+    for _ in range(samples):
+        root = rng.randrange(graph.n)
+        members = {root}
+        frontier = [w for (_e, w) in graph.incidence(root) if w != root]
+        target = rng.randint(3, max_size)
+        while len(members) < target and frontier:
+            nxt = frontier[rng.randrange(len(frontier))]
+            if nxt in members:
+                frontier.remove(nxt)
+                continue
+            members.add(nxt)
+            for _e, w in graph.incidence(nxt):
+                if w not in members:
+                    frontier.append(w)
+            induced = _induced_edge_count(graph, members)
+            if induced > len(members):
+                return sorted(members), induced
+    return None

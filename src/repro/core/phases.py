@@ -1,0 +1,186 @@
+"""Red/blue phase structure of an E-process run (Observations 10–12).
+
+The paper decomposes an E-process trajectory into *blue phases* (maximal
+runs of unvisited-edge transitions) and *red phases* (maximal runs of SRW
+transitions), and rests on three structural facts:
+
+* **Observation 10** — on even-degree graphs, every blue phase ends at the
+  vertex where it began (parity argument).
+* **Observation 11** — while the process is in a red phase, every vertex has
+  even blue degree; the maximal blue subgraph ``S*_v`` rooted at an
+  unvisited vertex ``v`` contains all of ``v``'s edges and has positive even
+  degrees (see :mod:`repro.core.components`).
+* **Observation 12** — ``t = t_R + t_B`` with ``t_B ≤ m``, hence
+  ``t_R ≤ t ≤ t_R + m``; consequently
+  ``m ≤ C_E(E-process) ≤ m + C_V(SRW)`` (eq. 3).
+
+This module turns the phase marks recorded by
+:class:`~repro.core.eprocess.EdgeProcess` into explicit :class:`Phase`
+objects and provides *verifiers* that check the observations on a live run —
+they are used by the test suite (including the property-based suite) and can
+be pointed at any user-supplied rule to certify an execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.eprocess import BLUE, RED, EdgeProcess, PhaseMark
+from repro.errors import ReproError
+
+__all__ = [
+    "Phase",
+    "PhaseViolation",
+    "phase_decomposition",
+    "blue_phases",
+    "red_phases",
+    "verify_observation_10",
+    "verify_observation_12",
+    "verify_step_accounting",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A maximal run of same-coloured transitions.
+
+    Attributes
+    ----------
+    color:
+        ``"blue"`` or ``"red"``.
+    start_step, end_step:
+        First and last transition indices of the phase (inclusive, 1-based).
+    start_vertex:
+        Position of the walk when the phase began.
+    end_vertex:
+        Position after the phase's last transition, or ``None`` when the
+        phase is still open (the run ended mid-phase).
+    """
+
+    color: str
+    start_step: int
+    end_step: int
+    start_vertex: int
+    end_vertex: Optional[int]
+
+    @property
+    def length(self) -> int:
+        """Number of transitions in the phase."""
+        return self.end_step - self.start_step + 1
+
+
+class PhaseViolation(ReproError):
+    """An Observation 10/11/12 invariant failed on a concrete run."""
+
+
+def phase_decomposition(process: EdgeProcess) -> List[Phase]:
+    """All phases of the run so far, in order.
+
+    Requires the process to have been created with ``record_phases=True``
+    (the default).
+    """
+    marks: List[PhaseMark] = process.phase_marks
+    if not marks and process.steps > 0:
+        raise ReproError("phase recording was disabled for this process")
+    phases: List[Phase] = []
+    for i, mark in enumerate(marks):
+        if i + 1 < len(marks):
+            nxt = marks[i + 1]
+            phases.append(
+                Phase(
+                    color=mark.color,
+                    start_step=mark.step,
+                    end_step=nxt.step - 1,
+                    start_vertex=mark.vertex,
+                    end_vertex=nxt.vertex,
+                )
+            )
+        else:
+            phases.append(
+                Phase(
+                    color=mark.color,
+                    start_step=mark.step,
+                    end_step=process.steps,
+                    start_vertex=mark.vertex,
+                    end_vertex=process.current if _phase_closed(process) else None,
+                )
+            )
+    return phases
+
+
+def _phase_closed(process: EdgeProcess) -> bool:
+    """The final phase is closed iff its colour differs from the colour the
+    next transition would take — for blue phases this means the walk has
+    stopped at a vertex with no blue edges."""
+    if process.last_color is None:
+        return False
+    return process.next_color != process.last_color
+
+
+def blue_phases(process: EdgeProcess) -> List[Phase]:
+    """Only the blue phases (unvisited-edge runs)."""
+    return [p for p in phase_decomposition(process) if p.color == BLUE]
+
+
+def red_phases(process: EdgeProcess) -> List[Phase]:
+    """Only the red phases (embedded SRW runs)."""
+    return [p for p in phase_decomposition(process) if p.color == RED]
+
+
+def verify_observation_10(process: EdgeProcess) -> List[Phase]:
+    """Check that every *completed* blue phase returned to its start vertex.
+
+    Only meaningful on even-degree graphs — on odd-degree graphs the parity
+    argument fails and violations are expected (this is precisely why the
+    paper's Section 5 conjectures Ω(n log n) for odd r).
+
+    Returns the list of blue phases checked.
+
+    Raises
+    ------
+    PhaseViolation
+        If a completed blue phase ended somewhere else.
+    """
+    if not process.graph.has_even_degrees():
+        raise PhaseViolation(
+            "Observation 10 presupposes even degrees; this graph has odd-"
+            "degree vertices"
+        )
+    checked = []
+    for phase in blue_phases(process):
+        if phase.end_vertex is None:
+            continue  # still open
+        if phase.end_vertex != phase.start_vertex:
+            raise PhaseViolation(
+                f"blue phase starting at step {phase.start_step} began at "
+                f"vertex {phase.start_vertex} but ended at {phase.end_vertex}"
+            )
+        checked.append(phase)
+    return checked
+
+
+def verify_observation_12(process: EdgeProcess) -> None:
+    """Check the step accounting of Observation 12.
+
+    ``t = t_R + t_B``, ``t_B ≤ m``, and ``t_B`` equals the number of visited
+    edges (each blue transition consumes exactly one edge).
+    """
+    t, t_red, t_blue = process.steps, process.red_steps, process.blue_steps
+    if t != t_red + t_blue:
+        raise PhaseViolation(
+            f"step accounting broken: t={t} but t_R + t_B = {t_red + t_blue}"
+        )
+    if t_blue > process.graph.m:
+        raise PhaseViolation(
+            f"blue steps {t_blue} exceed the edge count m={process.graph.m}"
+        )
+    if t_blue != process.num_visited_edges:
+        raise PhaseViolation(
+            f"blue steps {t_blue} != visited edges {process.num_visited_edges}"
+        )
+
+
+def verify_step_accounting(process: EdgeProcess) -> None:
+    """Alias of :func:`verify_observation_12` with a self-describing name."""
+    verify_observation_12(process)

@@ -1,0 +1,73 @@
+"""Phase statistics: the anatomy of an E-process run.
+
+Aggregates the red/blue phase decomposition into the quantities the
+paper's analysis narrates: how long the first blue phase runs (on
+even-degree expanders it swallows most of the graph), how many phases a
+run needs, how the red/blue split behaves, and how large blue phases are
+when the process re-enters unexplored territory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.eprocess import BLUE, EdgeProcess
+from repro.core.phases import Phase, blue_phases, phase_decomposition
+from repro.errors import ReproError
+
+__all__ = ["PhaseStats", "phase_statistics"]
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Summary of a run's phase structure.
+
+    Attributes
+    ----------
+    num_blue_phases, num_red_phases:
+        Phase counts (the final, possibly open, phase included).
+    first_blue_length:
+        Transitions in the first blue phase — the "initial sweep".
+    longest_blue_length, mean_blue_length:
+        Distributional landmarks of the blue phases.
+    blue_fraction:
+        Fraction of all steps that were blue (``t_B / t``); equals
+        ``(visited edges) / t`` by Observation 12.
+    first_blue_edge_share:
+        Fraction of all edges consumed by the first blue phase alone.
+    """
+
+    num_blue_phases: int
+    num_red_phases: int
+    first_blue_length: int
+    longest_blue_length: int
+    mean_blue_length: float
+    blue_fraction: float
+    first_blue_edge_share: float
+
+
+def phase_statistics(process: EdgeProcess) -> PhaseStats:
+    """Compute :class:`PhaseStats` for a (partially or fully) run process.
+
+    Requires phase recording and at least one step.
+    """
+    if process.steps == 0:
+        raise ReproError("no steps taken; phase statistics undefined")
+    phases: List[Phase] = phase_decomposition(process)
+    blues = [p for p in phases if p.color == BLUE]
+    reds = [p for p in phases if p.color != BLUE]
+    if not blues:
+        raise ReproError("no blue phase recorded (was record_phases disabled?)")
+    blue_lengths = [p.length for p in blues]
+    first_blue = blues[0].length
+    m = process.graph.m
+    return PhaseStats(
+        num_blue_phases=len(blues),
+        num_red_phases=len(reds),
+        first_blue_length=first_blue,
+        longest_blue_length=max(blue_lengths),
+        mean_blue_length=sum(blue_lengths) / len(blue_lengths),
+        blue_fraction=process.blue_steps / process.steps,
+        first_blue_edge_share=first_blue / m if m else 0.0,
+    )

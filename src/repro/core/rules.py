@@ -1,0 +1,179 @@
+"""Rule A: how the E-process chooses among unvisited (blue) edges.
+
+The paper stresses that its analysis is *independent* of this rule: "the
+rule could be deterministic, or decided on-line by an adversary, or could
+vary from vertex to vertex".  We therefore make the rule a first-class
+strategy object and ship a spectrum of them, from the u.a.r. rule used in
+the paper's experiments to genuinely adversarial choices; the rule-ablation
+benchmark (experiment E8) measures that cover times stay Θ(n) across all of
+them on even-degree expanders.
+
+A rule's ``choose(vertex, candidates, process)`` receives the current
+vertex, the non-empty list of unvisited incident ``(edge_id, neighbour)``
+pairs, and the process itself (for rng / graph access), and must return one
+of the candidates.
+
+Stateful rules (round-robin pointers, cached distances) are cheap to build;
+create a fresh instance per run — the experiment runner's ``rule_factory``
+hooks do exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import RuleError
+from repro.graphs.properties import bfs_distances
+
+__all__ = [
+    "EdgeRule",
+    "UniformEdgeRule",
+    "LowestLabelRule",
+    "HighestLabelRule",
+    "RoundRobinRule",
+    "AdversarialHomingRule",
+    "FarthestFirstRule",
+    "CallableRule",
+    "ALL_RULE_FACTORIES",
+]
+
+Candidate = Tuple[int, int]  # (edge_id, neighbour)
+
+
+class EdgeRule(ABC):
+    """Strategy for picking the next unvisited edge (the paper's rule A)."""
+
+    #: Short identifier used in reports and benchmark tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        """Return one entry of ``candidates`` (guaranteed non-empty)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class UniformEdgeRule(EdgeRule):
+    """Choose uniformly at random — the paper's experimental rule and the
+    Greedy Random Walk rule of Orenshtein–Shinkar [13]."""
+
+    name = "uniform"
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        return candidates[process.rng.randrange(len(candidates))]
+
+
+class LowestLabelRule(EdgeRule):
+    """Deterministic: always take the unvisited edge with the smallest id."""
+
+    name = "lowest-label"
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        return min(candidates)
+
+
+class HighestLabelRule(EdgeRule):
+    """Deterministic: always take the unvisited edge with the largest id."""
+
+    name = "highest-label"
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        return max(candidates)
+
+
+class RoundRobinRule(EdgeRule):
+    """Per-vertex rotor over the unvisited candidates.
+
+    Each vertex keeps a counter; the k-th blue departure from a vertex takes
+    the ``k mod (number of candidates)``-th unvisited edge.  Deterministic
+    and "varies from vertex to vertex" in the paper's sense.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counters: Dict[int, int] = {}
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        count = self._counters.get(vertex, 0)
+        self._counters[vertex] = count + 1
+        return candidates[count % len(candidates)]
+
+
+class _DistanceGuidedRule(EdgeRule):
+    """Shared plumbing: rank candidates by BFS distance from the start vertex.
+
+    Distances are computed lazily on first use and cached per (graph, start)
+    pair, so one rule instance can serve several runs on the same workload.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, int], List[int]] = {}
+
+    def _distances(self, process) -> List[int]:
+        key = (id(process.graph), process.start)
+        if key not in self._cache:
+            self._cache[key] = bfs_distances(process.graph, process.start)
+        return self._cache[key]
+
+
+class AdversarialHomingRule(_DistanceGuidedRule):
+    """An adversary that steers the walk *back toward its start vertex*.
+
+    Among unvisited edges it picks the one whose far endpoint is closest to
+    the start (ties: lowest edge id).  Intuitively the worst case for
+    exploration — the walk is constantly dragged home — yet Theorem 1's
+    bound still applies; the ablation benchmark confirms the Θ(n) cover.
+    """
+
+    name = "adversarial-homing"
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        dist = self._distances(process)
+        return min(candidates, key=lambda cand: (dist[cand[1]], cand[0]))
+
+
+class FarthestFirstRule(_DistanceGuidedRule):
+    """Greedy explorer: take the unvisited edge leading farthest from start."""
+
+    name = "farthest-first"
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        dist = self._distances(process)
+        return max(candidates, key=lambda cand: (dist[cand[1]], -cand[0]))
+
+
+class CallableRule(EdgeRule):
+    """Wrap an arbitrary function ``fn(vertex, candidates, process)``.
+
+    The wrapper validates that the function returns one of the candidates,
+    raising :class:`RuleError` otherwise — so buggy user rules fail loudly
+    instead of corrupting the walk's invariants.
+    """
+
+    def __init__(self, fn: Callable[[int, List[Candidate], object], Candidate], name: str = "callable"):
+        self._fn = fn
+        self.name = name
+
+    def choose(self, vertex: int, candidates: List[Candidate], process) -> Candidate:
+        choice = self._fn(vertex, candidates, process)
+        if choice not in candidates:
+            raise RuleError(
+                f"rule {self.name!r} returned {choice!r}, which is not an "
+                f"unvisited incident edge of vertex {vertex}"
+            )
+        return choice
+
+
+#: Factories for every built-in rule — the ablation benchmark sweeps these.
+ALL_RULE_FACTORIES: Dict[str, Callable[[], EdgeRule]] = {
+    "uniform": UniformEdgeRule,
+    "lowest-label": LowestLabelRule,
+    "highest-label": HighestLabelRule,
+    "round-robin": RoundRobinRule,
+    "adversarial-homing": AdversarialHomingRule,
+    "farthest-first": FarthestFirstRule,
+}

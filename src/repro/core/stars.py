@@ -1,0 +1,202 @@
+"""Section 5: isolated blue stars on odd-degree regular graphs.
+
+The paper's heuristic for why odd degrees cost a log factor: on a random
+3-regular graph, fix a locally tree-like vertex ``v``; each time the blue
+walk enters ``N(v)`` it "turns away" from ``v`` independently with
+probability 1/2, so with probability ``(1/2)³ = 1/8`` vertex ``v`` ends up
+the centre of an *isolated blue star* ``{v, w, x, y}``.  Collecting the
+``≈ n/8`` such stars is then a coupon-collector problem for the red walk:
+``Ω(n log n)`` steps.
+
+This module packages the heuristic's numbers (for the census measured by
+:func:`repro.core.components.isolated_blue_stars`) plus the coupon-collector
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.errors import ReproError
+
+__all__ = [
+    "turn_away_probability",
+    "isolated_star_probability",
+    "expected_isolated_stars",
+    "coupon_collector_time",
+    "star_collection_lower_bound",
+    "StarCensusResult",
+    "cumulative_star_census",
+    "passed_over_vertices",
+]
+
+
+def turn_away_probability(r: int) -> float:
+    """Probability one neighbour "turns away" from ``v`` at its first visit.
+
+    A degree-``r`` vertex ``w`` is first visited via one (blue) edge and
+    departs u.a.r. among its ``r − 1`` remaining unvisited edges; with
+    ``v`` unvisited the departure avoids the edge to ``v`` with probability
+    ``(r−2)/(r−1)``.  For ``r = 3`` this is the paper's 1/2.
+    """
+    if r < 3:
+        raise ReproError(f"need r >= 3, got r={r}")
+    return (r - 2.0) / (r - 1.0)
+
+
+def isolated_star_probability(r: int) -> float:
+    """Independence heuristic for a tree-like vertex being "passed over".
+
+    All ``r`` neighbours turn away at their first visits:
+    ``((r−2)/(r−1))^r`` — the paper's ``(1/2)³ = 1/8`` at ``r = 3``.  For
+    ``r = 3`` a passed-over vertex is exactly an isolated-star centre; for
+    larger odd ``r`` the stranded objects are larger blue components and
+    this number only describes the passed-over event.  Measured values run
+    *below* this heuristic (benchmark E10): the neighbours' first visits
+    happen along one blue trajectory, so the turn-away events are
+    negatively correlated, and later revisits rescue candidates early.
+
+    Raises
+    ------
+    ReproError
+        For even ``r`` (Observation 10 forecloses stranding: the blue walk
+        can always leave, and measured censuses are exactly zero).
+    """
+    if r < 3 or r % 2 == 0:
+        raise ReproError(
+            f"isolated stars arise on odd-degree graphs with r >= 3, got r={r}"
+        )
+    return turn_away_probability(r) ** r
+
+
+def expected_isolated_stars(n: int, r: int) -> float:
+    """Heuristic expected passed-over count: ``n ((r−2)/(r−1))^r``
+    (``n/8`` for the paper's r = 3)."""
+    if n < 1:
+        raise ReproError(f"n must be positive, got {n}")
+    return n * isolated_star_probability(r)
+
+
+def passed_over_vertices(process) -> list:
+    """Vertices whose every neighbour "turned away" at its first visit.
+
+    Post-hoc analysis of a finished E-process run, using only the recorded
+    first-visit and first-edge-visit times: neighbour ``w``'s first arrival
+    edge has ``first_edge_visit_time == first_visit_time[w]`` and its first
+    departure edge has time ``first_visit_time[w] + 1`` (the E-process
+    departs a freshly visited vertex along a blue edge immediately).  A
+    vertex is *passed over* when none of those arrivals/departures used an
+    edge to it — the event whose probability the paper's ``(1/2)³``
+    heuristic estimates.  The start vertex and its neighbours are excluded.
+
+    The walk must have covered all vertices (run to vertex cover first).
+    """
+    graph = process.graph
+    fvt = process.first_visit_time
+    fevt = process.first_edge_visit_time
+    if not process.vertices_covered:
+        raise ReproError("passed-over analysis needs a fully covered run")
+    passed = []
+    start = process.start
+    for v in range(graph.n):
+        if v == start:
+            continue
+        ok = True
+        for eid, w in graph.incidence(v):
+            if w == start or w == v:
+                ok = False
+                break
+            t_w = fvt[w]
+            # did w's first arrival or first departure use this edge?
+            if fevt[eid] == t_w or fevt[eid] == t_w + 1:
+                ok = False
+                break
+        if ok:
+            passed.append(v)
+    return passed
+
+
+def coupon_collector_time(k: int) -> float:
+    """Expected draws to collect ``k`` coupons: ``k · H_k``."""
+    if k < 0:
+        raise ReproError(f"k must be nonnegative, got {k}")
+    if k == 0:
+        return 0.0
+    harmonic = sum(1.0 / i for i in range(1, k + 1))
+    return k * harmonic
+
+
+@dataclass(frozen=True)
+class StarCensusResult:
+    """Outcome of :func:`cumulative_star_census`.
+
+    Attributes
+    ----------
+    centres:
+        Every vertex that was, at any point of the run, the centre of an
+        isolated blue star — the paper's set ``I``.
+    cover_steps:
+        Steps at vertex cover (or at the budget if the walk timed out).
+    covered:
+        Whether the walk reached full vertex cover within the budget.
+    """
+
+    centres: Set[int]
+    cover_steps: int
+    covered: bool
+
+    @property
+    def count(self) -> int:
+        """``|I|`` — compare against ``n · 2^{-r}``."""
+        return len(self.centres)
+
+
+def cumulative_star_census(process, max_steps: Optional[int] = None) -> StarCensusResult:
+    """Drive an E-process to vertex cover, collecting the paper's set ``I``.
+
+    A vertex can only *become* a star centre when a blue edge near it is
+    consumed, so after each blue transition ``(u, v)`` we re-examine the
+    unvisited neighbours of both endpoints — O(Δ³) work per blue step, which
+    is constant on the paper's graph class.  The returned set accumulates
+    every centre ever observed (the red walk later rescues them; the
+    *standing* census is always much smaller).
+
+    The ``process`` must be a fresh :class:`~repro.core.eprocess.EdgeProcess`.
+    """
+    from repro.core.components import is_isolated_star_center  # local: avoid cycle
+
+    if process.steps != 0:
+        raise ReproError("cumulative census needs a fresh process (t = 0)")
+    graph = process.graph
+    centres: Set[int] = set()
+    budget = max_steps if max_steps is not None else 10_000 + 20 * graph.n * graph.n
+    while not process.vertices_covered and process.steps < budget:
+        previous = process.current
+        blue_before = process.blue_steps
+        arrived = process.step()
+        if process.blue_steps == blue_before:
+            continue  # red step: no star can form
+        for endpoint in (previous, arrived):
+            for _eid, w in graph.incidence(endpoint):
+                if not process.visited_vertices[w] and w not in centres:
+                    if is_isolated_star_center(process, w):
+                        centres.add(w)
+    return StarCensusResult(
+        centres=centres,
+        cover_steps=process.steps,
+        covered=process.vertices_covered,
+    )
+
+
+def star_collection_lower_bound(n: int, r: int) -> float:
+    """Order-of-magnitude time for the red walk to mop up the stars.
+
+    With ``s = n·2^{-r}`` stars, visiting all of them is a coupon-collector
+    problem at rate ``Θ(s/n)`` per step, giving ``Θ(n log s)`` — the
+    paper's intuition for the Ω(n log n) cover time at odd ``r``.  Returned
+    as ``n · ln(max(s, 2))``.
+    """
+    stars = expected_isolated_stars(n, r)
+    return n * math.log(max(stars, 2.0))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input (bad endpoints, vertex counts, ...)."""
+
+
+class NotConnectedError(GraphError):
+    """An operation required a connected graph but the input was not."""
+
+
+class EvenDegreeError(GraphError):
+    """An operation required an even-degree graph but a vertex had odd degree.
+
+    The paper's vertex cover analysis (Theorem 1) and the parity argument of
+    Observation 10 only hold on even-degree graphs; walk processes that rely
+    on these guarantees raise this error eagerly.
+    """
+
+
+class GenerationError(ReproError):
+    """A random graph generator failed (invalid parameters or retry budget)."""
+
+
+class SpectralError(ReproError):
+    """Eigenvalue / linear-algebra computation failed or is undefined."""
+
+
+class CoverTimeout(ReproError):
+    """A walk failed to cover its target within the allotted step budget.
+
+    Attributes
+    ----------
+    steps:
+        Number of steps taken before giving up.
+    remaining:
+        Number of targets (vertices or edges) still unvisited.
+    """
+
+    def __init__(self, message: str, steps: int, remaining: int):
+        super().__init__(message)
+        self.steps = steps
+        self.remaining = remaining
+
+
+class RuleError(ReproError):
+    """An edge-selection rule returned an invalid choice."""
+
+
+class GoodnessError(ReproError):
+    """ℓ-goodness computation failed (e.g. exact search dimension too large)."""

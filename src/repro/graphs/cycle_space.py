@@ -1,0 +1,291 @@
+"""GF(2) cycle space of a multigraph — the space of even-degree edge sets.
+
+The paper's central structural object is the *even-degree edge-induced
+subgraph* (blue components, ℓ-goodness).  Over GF(2) these are exactly the
+elements of the cycle space, so exact ℓ-goodness questions reduce to linear
+algebra plus bounded enumeration:
+
+    "minimum number of vertices touched by a cycle-space element containing
+     all edges incident with v"                      (= the ℓ-good value at v)
+
+Edge sets are represented as Python integers used as bitmasks over edge ids
+(arbitrary precision, fast XOR/popcount).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import GoodnessError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import connected_components
+
+__all__ = [
+    "edge_mask",
+    "mask_edges",
+    "vertex_support",
+    "is_even_edge_set",
+    "cycle_space_basis",
+    "cycle_space_dimension",
+    "contains_all_incident",
+    "minimum_even_subgraph",
+]
+
+
+def edge_mask(edge_ids: Iterable[int]) -> int:
+    """Bitmask with the given edge ids set."""
+    mask = 0
+    for eid in edge_ids:
+        mask |= 1 << eid
+    return mask
+
+
+def mask_edges(mask: int) -> List[int]:
+    """Edge ids present in ``mask`` in ascending order."""
+    out = []
+    eid = 0
+    while mask:
+        if mask & 1:
+            out.append(eid)
+        mask >>= 1
+        eid += 1
+    return out
+
+
+def vertex_support(graph: Graph, mask: int) -> set:
+    """Set of vertices incident with at least one edge of ``mask``."""
+    support = set()
+    for eid in mask_edges(mask):
+        u, v = graph.endpoints(eid)
+        support.add(u)
+        support.add(v)
+    return support
+
+
+def is_even_edge_set(graph: Graph, mask: int) -> bool:
+    """Whether every vertex has even degree in the edge set ``mask``.
+
+    Loops contribute 2 to their vertex and never break parity.
+    """
+    parity = {}
+    for eid in mask_edges(mask):
+        u, v = graph.endpoints(eid)
+        if u == v:
+            continue
+        parity[u] = parity.get(u, 0) ^ 1
+        parity[v] = parity.get(v, 0) ^ 1
+    return not any(parity.values())
+
+
+def cycle_space_basis(graph: Graph) -> List[int]:
+    """A fundamental-cycle basis of the cycle space, as edge bitmasks.
+
+    Built from a BFS forest: each non-tree edge ``e = {u, v}`` contributes
+    the mask of ``e`` plus the tree paths from ``u`` and ``v`` to their
+    meeting point.  Loops and parallel edges are handled naturally (a loop is
+    a cycle-space element by itself; the second copy of a parallel edge
+    closes a 2-cycle).
+
+    The basis has ``m − n + c`` elements (``c`` = number of components).
+    """
+    n = graph.n
+    parent_vertex = [-1] * n
+    parent_edge = [-1] * n
+    depth = [0] * n
+    visited = [False] * n
+    tree_edges = set()
+    order: List[int] = []
+    from collections import deque
+
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        queue = deque([root])
+        while queue:
+            x = queue.popleft()
+            order.append(x)
+            for eid, w in graph.incidence(x):
+                if not visited[w]:
+                    visited[w] = True
+                    parent_vertex[w] = x
+                    parent_edge[w] = eid
+                    depth[w] = depth[x] + 1
+                    tree_edges.add(eid)
+                    queue.append(w)
+
+    def tree_path_mask(u: int, v: int) -> int:
+        """XOR of tree edges on the unique forest path between u and v."""
+        mask = 0
+        a, b = u, v
+        while depth[a] > depth[b]:
+            mask ^= 1 << parent_edge[a]
+            a = parent_vertex[a]
+        while depth[b] > depth[a]:
+            mask ^= 1 << parent_edge[b]
+            b = parent_vertex[b]
+        while a != b:
+            mask ^= 1 << parent_edge[a]
+            mask ^= 1 << parent_edge[b]
+            a = parent_vertex[a]
+            b = parent_vertex[b]
+        return mask
+
+    basis: List[int] = []
+    for eid, (u, v) in enumerate(graph.edges()):
+        if eid in tree_edges:
+            continue
+        basis.append((1 << eid) ^ tree_path_mask(u, v))
+    return basis
+
+
+def cycle_space_dimension(graph: Graph) -> int:
+    """``m − n + c``: dimension of the cycle space."""
+    return graph.m - graph.n + len(connected_components(graph))
+
+
+def contains_all_incident(graph: Graph, mask: int, vertex: int) -> bool:
+    """Whether ``mask`` contains every edge incident with ``vertex``."""
+    want = edge_mask(graph.incident_edges(vertex))
+    return (mask & want) == want
+
+
+def _solve_gf2(rows: List[int], rhs: List[int], num_unknowns: int) -> Optional[Tuple[int, List[int]]]:
+    """Solve ``A c = b`` over GF(2).
+
+    ``rows[i]`` is a bitmask over unknowns; ``rhs[i]`` in {0,1}.  Returns
+    ``(particular_solution_mask, nullspace_basis_masks)`` or ``None`` if
+    inconsistent.
+    """
+    # Gaussian elimination on [A | b].
+    augmented = [(rows[i], rhs[i]) for i in range(len(rows))]
+    pivot_of_col: dict = {}
+    reduced: List[Tuple[int, int]] = []
+    for row, b in augmented:
+        for col, (prow, pb) in pivot_of_col.items():
+            if row >> col & 1:
+                row ^= prow
+                b ^= pb
+        if row == 0:
+            if b == 1:
+                return None  # inconsistent
+            continue
+        col = row.bit_length() - 1  # leading (highest) set bit as pivot
+        # re-reduce rows already stored that have this column set
+        for c2 in list(pivot_of_col):
+            prow, pb = pivot_of_col[c2]
+            if prow >> col & 1:
+                pivot_of_col[c2] = (prow ^ row, pb ^ b)
+        pivot_of_col[col] = (row, b)
+    # The elimination keeps reduced row-echelon form (each pivot column
+    # appears in exactly one stored row), so with free variables set to 0 the
+    # particular solution reads straight off the right-hand sides.
+    particular = 0
+    for col, (row, b) in pivot_of_col.items():
+        if b:
+            particular |= 1 << col
+    pivot_cols = set(pivot_of_col.keys())
+    nullspace: List[int] = []
+    for free_col in range(num_unknowns):
+        if free_col in pivot_cols:
+            continue
+        vec = 1 << free_col
+        for col, (row, _b) in pivot_of_col.items():
+            if row >> free_col & 1:
+                vec |= 1 << col
+        nullspace.append(vec)
+    return particular, nullspace
+
+
+def minimum_even_subgraph(
+    graph: Graph,
+    vertex: int,
+    max_enumeration_bits: int = 22,
+) -> Tuple[int, int]:
+    """Exact minimum-order even subgraph containing all edges at ``vertex``.
+
+    Returns ``(order, mask)``: the number of vertices touched by a smallest
+    even-degree edge-induced subgraph that contains every edge incident with
+    ``vertex``, and one optimal edge bitmask.  This is exactly the quantity
+    defining the paper's ℓ-good property at ``vertex``.
+
+    The search enumerates the affine subspace of cycle-space elements whose
+    restriction to the incident edges of ``vertex`` is all-ones; its dimension
+    is ``dim(cycle space) − rank(constraints)``.  If that exceeds
+    ``max_enumeration_bits`` a :class:`GoodnessError` is raised — use the
+    bound-based estimators in :mod:`repro.core.goodness` for large graphs.
+
+    Raises
+    ------
+    GoodnessError
+        If no even subgraph contains all incident edges (odd-degree vertex)
+        or the enumeration is too large.
+    """
+    incident = graph.incident_edges(vertex)
+    if graph.degree(vertex) % 2 != 0:
+        raise GoodnessError(
+            f"vertex {vertex} has odd degree {graph.degree(vertex)}; no even "
+            "subgraph can contain all its edges"
+        )
+    if not incident:
+        return (0, 0)
+    basis = cycle_space_basis(graph)
+    dim = len(basis)
+    # Constraint per incident edge e: parity over basis vectors containing e == 1.
+    rows: List[int] = []
+    rhs: List[int] = []
+    for e in incident:
+        row = 0
+        for k, vec in enumerate(basis):
+            if vec >> e & 1:
+                row |= 1 << k
+        rows.append(row)
+        rhs.append(1)
+    solved = _solve_gf2(rows, rhs, dim)
+    if solved is None:
+        raise GoodnessError(
+            f"no even subgraph contains all edges at vertex {vertex} "
+            "(graph parity obstruction)"
+        )
+    particular, nullspace = solved
+    k = len(nullspace)
+    if k > max_enumeration_bits:
+        raise GoodnessError(
+            f"exact search needs 2^{k} candidates (> 2^{max_enumeration_bits}); "
+            "use bound-based estimators instead"
+        )
+
+    def coeff_to_mask(coeff: int) -> int:
+        mask = 0
+        idx = 0
+        while coeff:
+            if coeff & 1:
+                mask ^= basis[idx]
+            coeff >>= 1
+            idx += 1
+        return mask
+
+    base_mask = coeff_to_mask(particular)
+    null_masks = [coeff_to_mask(vec) for vec in nullspace]
+
+    best_order = graph.n + 1
+    best_mask = 0
+    # Gray-code walk over the affine subspace: one XOR per step.
+    current = base_mask
+    gray_prev = 0
+    for step in range(1 << k):
+        gray = step ^ (step >> 1)
+        changed = gray ^ gray_prev
+        if changed:
+            bit = changed.bit_length() - 1
+            current ^= null_masks[bit]
+        gray_prev = gray
+        order = len(vertex_support(graph, current))
+        if order < best_order and current:
+            best_order = order
+            best_mask = current
+    if best_mask == 0:
+        raise GoodnessError(
+            f"search found no nonempty even subgraph at vertex {vertex}"
+        )
+    return best_order, best_mask

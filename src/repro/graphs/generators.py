@@ -1,0 +1,260 @@
+"""Deterministic graph families used as fixtures and benchmark workloads.
+
+Families with known spectra, girths, and cover times anchor both the test
+suite (exact expectations) and the paper's examples: the hypercube ``H_r``
+(edge cover claim after eq (3)), the toroidal grid (workload of [3]), and
+even-degree circulants (simple expander-like fixtures).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, GraphBuilder
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "hypercube_graph",
+    "torus_grid",
+    "circulant_graph",
+    "petersen_graph",
+    "theta_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "star_graph",
+    "double_cycle",
+    "bowtie_graph",
+]
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (n >= 3); 2-regular, girth n."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    b = GraphBuilder(n)
+    b.add_cycle(list(range(n)))
+    return b.build(f"C_{n}")
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on n vertices (n >= 1)."""
+    if n < 1:
+        raise GraphError(f"path needs n >= 1, got {n}")
+    b = GraphBuilder(n)
+    b.add_path(list(range(n)))
+    return b.build(f"P_{n}")
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``; (n-1)-regular, girth 3 for n >= 3."""
+    if n < 1:
+        raise GraphError(f"complete graph needs n >= 1, got {n}")
+    b = GraphBuilder(n)
+    for u, v in combinations(range(n), 2):
+        b.add_edge(u, v)
+    return b.build(f"K_{n}")
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with parts ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError(f"both parts must be non-empty, got ({a}, {b})")
+    builder = GraphBuilder(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            builder.add_edge(u, v)
+    return builder.build(f"K_{{{a},{b}}}")
+
+
+def hypercube_graph(r: int) -> Graph:
+    """The hypercube ``H_r`` on ``2**r`` vertices; r-regular, girth 4 (r>=2).
+
+    Vertex ids are bitmasks; vertex ``x`` joins ``x ^ (1 << i)``.  The paper's
+    edge-cover example uses ``H_r`` with ``r = log2 n``; even ``r`` gives an
+    even-degree graph suitable for the E-process guarantees.
+    """
+    if r < 1:
+        raise GraphError(f"hypercube needs r >= 1, got {r}")
+    n = 1 << r
+    b = GraphBuilder(n)
+    for x in range(n):
+        for i in range(r):
+            y = x ^ (1 << i)
+            if x < y:
+                b.add_edge(x, y)
+    return b.build(f"H_{r}")
+
+
+def torus_grid(rows: int, cols: int) -> Graph:
+    """The toroidal grid ``rows × cols`` (both >= 3); 4-regular, even degree.
+
+    Wrap-around in both dimensions.  This is the workload on which [3]
+    evaluated the random walk with choice; it is 4-regular, hence inside the
+    paper's even-degree class, but a poor expander (gap ``Θ(1/n)``).
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError(f"torus needs both dimensions >= 3, got ({rows}, {cols})")
+    b = GraphBuilder(rows * cols)
+
+    def vid(i: int, j: int) -> int:
+        return (i % rows) * cols + (j % cols)
+
+    for i in range(rows):
+        for j in range(cols):
+            b.add_edge(vid(i, j), vid(i, j + 1))
+            b.add_edge(vid(i, j), vid(i + 1, j))
+    return b.build(f"T_{rows}x{cols}")
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> Graph:
+    """Circulant graph: vertex ``v`` joins ``v ± s (mod n)`` for each offset.
+
+    With ``k`` distinct offsets ``0 < s < n/2`` the graph is ``2k``-regular —
+    a convenient deterministic even-degree family.  An offset of exactly
+    ``n/2`` (n even) would contribute a perfect matching (odd degree) and is
+    rejected to preserve even degree.
+    """
+    if n < 3:
+        raise GraphError(f"circulant needs n >= 3, got {n}")
+    cleaned: list = []
+    for s in offsets:
+        s = s % n
+        if s == 0:
+            raise GraphError("offset 0 would create loops")
+        if n % 2 == 0 and s == n // 2:
+            raise GraphError(
+                f"offset n/2 = {s} yields odd degree; even-degree circulants "
+                "need offsets strictly between 0 and n/2"
+            )
+        s = min(s, n - s)
+        if s in cleaned:
+            raise GraphError(f"duplicate offset {s}")
+        cleaned.append(s)
+    b = GraphBuilder(n)
+    seen = set()
+    for s in sorted(cleaned):
+        for v in range(n):
+            w = (v + s) % n
+            key = (min(v, w), max(v, w))
+            if key not in seen:
+                seen.add(key)
+                b.add_edge(*key)
+    return b.build(f"Ci_{n}({','.join(str(s) for s in sorted(cleaned))})")
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 10 vertices, 3-regular, girth 5."""
+    b = GraphBuilder(10)
+    for i in range(5):  # outer C5
+        b.add_edge(i, (i + 1) % 5)
+    for i in range(5):  # inner pentagram
+        b.add_edge(5 + i, 5 + (i + 2) % 5)
+    for i in range(5):  # spokes
+        b.add_edge(i, 5 + i)
+    return b.build("Petersen")
+
+
+def theta_graph(a: int, b_len: int, c: int) -> Graph:
+    """Theta graph: two terminals joined by three internally disjoint paths.
+
+    Path lengths (edge counts) are ``a, b_len, c`` (each >= 1, at most one
+    equal to 1).  The two terminals have degree 3 (odd); useful as a minimal
+    *non*-even-degree fixture and for girth arithmetic (girth = sum of two
+    shortest path lengths).
+    """
+    lengths = sorted((a, b_len, c))
+    if lengths[0] < 1:
+        raise GraphError("path lengths must be >= 1")
+    if lengths[1] == 1:
+        raise GraphError("at most one path may be a single edge (else parallel edges)")
+    builder = GraphBuilder(2)
+    s, t = 0, 1
+    for length in (a, b_len, c):
+        prev = s
+        for _ in range(length - 1):
+            mid = builder.add_vertex()
+            builder.add_edge(prev, mid)
+            prev = mid
+        builder.add_edge(prev, t)
+    return builder.build(f"Theta_{a},{b_len},{c}")
+
+
+def barbell_graph(clique: int, bridge: int) -> Graph:
+    """Two ``K_clique`` blobs joined by a path with ``bridge`` edges.
+
+    A classic bad-conductance fixture: the SRW cover time is driven by the
+    bottleneck, which exercises the ``1/(1-λmax)`` terms of the bounds.
+    """
+    if clique < 3:
+        raise GraphError(f"clique size must be >= 3, got {clique}")
+    if bridge < 1:
+        raise GraphError(f"bridge must have >= 1 edge, got {bridge}")
+    b = GraphBuilder(2 * clique + max(0, bridge - 1))
+    left = list(range(clique))
+    right = list(range(clique, 2 * clique))
+    for u, v in combinations(left, 2):
+        b.add_edge(u, v)
+    for u, v in combinations(right, 2):
+        b.add_edge(u, v)
+    prev = left[-1]
+    for k in range(bridge - 1):
+        mid = 2 * clique + k
+        b.add_edge(prev, mid)
+        prev = mid
+    b.add_edge(prev, right[0])
+    return b.build(f"Barbell_{clique}+{bridge}")
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """``K_clique`` with a path of ``tail`` edges hanging off one vertex."""
+    if clique < 3:
+        raise GraphError(f"clique size must be >= 3, got {clique}")
+    if tail < 1:
+        raise GraphError(f"tail must have >= 1 edge, got {tail}")
+    b = GraphBuilder(clique + tail)
+    for u, v in combinations(range(clique), 2):
+        b.add_edge(u, v)
+    prev = clique - 1
+    for k in range(tail):
+        b.add_edge(prev, clique + k)
+        prev = clique + k
+    return b.build(f"Lollipop_{clique}+{tail}")
+
+
+def star_graph(leaves: int) -> Graph:
+    """Star ``K_{1,leaves}``: vertex 0 is the centre."""
+    if leaves < 1:
+        raise GraphError(f"star needs >= 1 leaf, got {leaves}")
+    b = GraphBuilder(leaves + 1)
+    for leaf in range(1, leaves + 1):
+        b.add_edge(0, leaf)
+    return b.build(f"Star_{leaves}")
+
+
+def double_cycle(n: int) -> Graph:
+    """``C_n`` with every edge doubled: a 4-regular even multigraph."""
+    if n < 3:
+        raise GraphError(f"double cycle needs n >= 3, got {n}")
+    b = GraphBuilder(n)
+    for v in range(n):
+        w = (v + 1) % n
+        b.add_edge(v, w)
+        b.add_edge(v, w)
+    return b.build(f"2C_{n}")
+
+
+def bowtie_graph() -> Graph:
+    """Two triangles sharing one vertex (vertex 0, degree 4).
+
+    The minimal even-degree graph in which a degree-4 vertex's edges force an
+    even subgraph on 5 vertices — the canonical small ℓ-goodness fixture.
+    """
+    b = GraphBuilder(5)
+    b.add_cycle([0, 1, 2])
+    b.add_cycle([0, 3, 4])
+    return b.build("Bowtie")

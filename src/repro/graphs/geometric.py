@@ -1,0 +1,100 @@
+"""Random geometric graphs on the unit torus.
+
+The paper situates the E-process against Avin–Krishnamachari's random walk
+with choice [3], which was evaluated experimentally on *geometric random
+graphs* and toroidal grids.  This module supplies that workload: ``n``
+points placed uniformly on the unit torus, vertices joined when their
+(wrap-around) distance is at most ``radius``.
+
+Neighbour search uses a bucket grid of cell width ``radius`` so
+construction is ``O(n + expected edges)`` rather than ``O(n²)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.errors import GenerationError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "random_geometric_graph",
+    "connectivity_radius",
+]
+
+
+def connectivity_radius(n: int, constant: float = 1.5) -> float:
+    """Radius at the connectivity threshold: ``sqrt(c · ln n / (π n))``.
+
+    Geometric random graphs on the unit torus become connected whp once
+    ``π r² n ≈ ln n``; ``constant`` > 1 gives a safety margin.
+    """
+    if n < 2:
+        raise GenerationError(f"need n >= 2, got {n}")
+    if constant <= 0:
+        raise GenerationError(f"constant must be positive, got {constant}")
+    return math.sqrt(constant * math.log(n) / (math.pi * n))
+
+
+def _torus_distance_squared(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    dx = abs(a[0] - b[0])
+    dy = abs(a[1] - b[1])
+    dx = min(dx, 1.0 - dx)
+    dy = min(dy, 1.0 - dy)
+    return dx * dx + dy * dy
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    rng: random.Random,
+    name: str = "",
+) -> Graph:
+    """Sample a random geometric graph on the unit torus.
+
+    Parameters
+    ----------
+    n:
+        Number of points (vertices).
+    radius:
+        Connection radius in (0, 0.5]; see :func:`connectivity_radius` for
+        the connectivity threshold.
+    rng:
+        Mersenne-Twister source.
+
+    Returns a simple graph; isolated vertices are possible below the
+    connectivity threshold (callers wanting connectivity should retry or
+    raise the radius).
+    """
+    if n < 1:
+        raise GenerationError(f"need n >= 1, got {n}")
+    if not (0.0 < radius <= 0.5):
+        raise GenerationError(f"radius must lie in (0, 0.5], got {radius}")
+    points: List[Tuple[float, float]] = [(rng.random(), rng.random()) for _ in range(n)]
+
+    cells = max(1, int(1.0 / radius))
+    cell_width = 1.0 / cells
+    buckets: dict = {}
+    for idx, (x, y) in enumerate(points):
+        key = (int(x / cell_width) % cells, int(y / cell_width) % cells)
+        buckets.setdefault(key, []).append(idx)
+
+    r_sq = radius * radius
+    edges: List[Tuple[int, int]] = []
+    for (cx, cy), members in buckets.items():
+        # scan this cell and its 8 torus-neighbouring cells
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                other_key = ((cx + dx) % cells, (cy + dy) % cells)
+                others = buckets.get(other_key)
+                if others is None:
+                    continue
+                for u in members:
+                    for v in others:
+                        if u < v and _torus_distance_squared(points[u], points[v]) <= r_sq:
+                            edges.append((u, v))
+    # deduplicate: wrap-around on tiny grids can visit a cell pair twice
+    edges = sorted(set(edges))
+    return Graph(n, edges, name=name or f"RGG({n},{radius:.3f})")

@@ -1,0 +1,358 @@
+"""Finite undirected multigraphs with dense integer vertex and edge ids.
+
+This is the graph substrate every other subsystem builds on.  Design goals,
+in order:
+
+1. *Fast walk simulation.*  Vertices are ``0..n-1`` and edges are ``0..m-1``,
+   so walk processes can index plain ``list``/``bytearray`` state by id.  The
+   incidence structure is a list of ``(edge_id, neighbour)`` pairs per vertex;
+   a uniform choice over a vertex's incidence entries *is* the simple random
+   walk transition on multigraphs (parallel edges weight the transition,
+   loops — which appear twice — keep the chain's stationary distribution
+   proportional to degree).
+
+2. *Multigraph fidelity.*  The paper's proofs contract vertex sets to a
+   single vertex "retaining multiple edges and loops" (Section 2.2) and
+   subdivide edges (Lemma 16).  Those transforms need loops and parallel
+   edges to be first-class, so they are.
+
+3. *Immutability.*  A :class:`Graph` never changes after construction; all
+   generators and transforms build new graphs through :class:`GraphBuilder`.
+   Walk processes can therefore share one graph across thousands of trials.
+
+Conventions
+-----------
+* A loop ``(v, v)`` contributes **2** to ``degree(v)`` and appears twice in
+  ``incidence(v)``.
+* ``sum(degrees) == 2 * m`` always holds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["Graph", "GraphBuilder"]
+
+Edge = Tuple[int, int]
+IncidenceEntry = Tuple[int, int]  # (edge_id, neighbour)
+
+
+def _normalize_edge(u: int, v: int) -> Edge:
+    """Return the endpoints in sorted order (undirected identity)."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An immutable undirected multigraph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertices are the integers ``0..num_vertices-1``.
+    edges:
+        Iterable of ``(u, v)`` endpoint pairs.  Order defines edge ids.
+        Loops (``u == v``) and parallel edges are allowed.
+    name:
+        Optional human-readable label used in ``repr`` and reports.
+    """
+
+    __slots__ = ("_n", "_edges", "_incidence", "_degrees", "_name")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge], name: str = ""):
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        edge_list: List[Edge] = []
+        incidence: List[List[IncidenceEntry]] = [[] for _ in range(num_vertices)]
+        degrees = [0] * num_vertices
+        for eid, (u, v) in enumerate(edges):
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise GraphError(
+                    f"edge {eid} = ({u}, {v}) has an endpoint outside "
+                    f"0..{num_vertices - 1}"
+                )
+            edge_list.append((u, v))
+            incidence[u].append((eid, v))
+            incidence[v].append((eid, u))
+            degrees[u] += 1
+            degrees[v] += 1
+        self._n = num_vertices
+        self._edges: Tuple[Edge, ...] = tuple(edge_list)
+        self._incidence: Tuple[Tuple[IncidenceEntry, ...], ...] = tuple(
+            tuple(entries) for entries in incidence
+        )
+        self._degrees: Tuple[int, ...] = tuple(degrees)
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges (loops and parallel edges each count once)."""
+        return len(self._edges)
+
+    @property
+    def name(self) -> str:
+        """Human-readable label (may be empty)."""
+        return self._name
+
+    def vertices(self) -> range:
+        """The vertex set as a ``range`` object."""
+        return range(self._n)
+
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as ``(u, v)`` pairs, indexed by edge id."""
+        return self._edges
+
+    def endpoints(self, edge_id: int) -> Edge:
+        """Endpoints ``(u, v)`` of the edge with the given id."""
+        return self._edges[edge_id]
+
+    def other_endpoint(self, edge_id: int, vertex: int) -> int:
+        """The endpoint of ``edge_id`` that is not ``vertex``.
+
+        For a loop at ``vertex`` this returns ``vertex`` itself.
+        """
+        u, v = self._edges[edge_id]
+        if vertex == u:
+            return v
+        if vertex == v:
+            return u
+        raise GraphError(f"vertex {vertex} is not an endpoint of edge {edge_id}")
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` (a loop contributes 2)."""
+        return self._degrees[vertex]
+
+    def degrees(self) -> Tuple[int, ...]:
+        """Degrees of all vertices, indexed by vertex id."""
+        return self._degrees
+
+    def incidence(self, vertex: int) -> Tuple[IncidenceEntry, ...]:
+        """Incident ``(edge_id, neighbour)`` pairs of ``vertex``.
+
+        Loops at ``vertex`` appear twice, so ``len(incidence(v)) == degree(v)``.
+        """
+        return self._incidence[vertex]
+
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Distinct neighbours of ``vertex`` in ascending order.
+
+        A vertex with a loop is its own neighbour.
+        """
+        return tuple(sorted({w for (_, w) in self._incidence[vertex]}))
+
+    def incident_edges(self, vertex: int) -> Tuple[int, ...]:
+        """Distinct ids of edges incident with ``vertex``."""
+        return tuple(sorted({eid for (eid, _) in self._incidence[vertex]}))
+
+    # ------------------------------------------------------------------
+    # Aggregate properties
+    # ------------------------------------------------------------------
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        return max(self._degrees, default=0)
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree δ (0 for the empty graph)."""
+        return min(self._degrees, default=0)
+
+    @property
+    def total_degree(self) -> int:
+        """Sum of degrees; always equals ``2 * m``."""
+        return 2 * len(self._edges)
+
+    def is_regular(self) -> bool:
+        """Whether every vertex has the same degree."""
+        return self._n == 0 or self.max_degree == self.min_degree
+
+    def regularity(self) -> int:
+        """The common degree of a regular graph.
+
+        Raises
+        ------
+        GraphError
+            If the graph is not regular.
+        """
+        if not self.is_regular():
+            raise GraphError("graph is not regular")
+        return self._degrees[0] if self._n else 0
+
+    def has_even_degrees(self) -> bool:
+        """Whether all vertex degrees are even (the paper's graph class)."""
+        return all(d % 2 == 0 for d in self._degrees)
+
+    def has_loops(self) -> bool:
+        """Whether any edge is a loop."""
+        return any(u == v for (u, v) in self._edges)
+
+    def has_parallel_edges(self) -> bool:
+        """Whether any two edges share both endpoints."""
+        seen = set()
+        for u, v in self._edges:
+            key = _normalize_edge(u, v)
+            if key in seen:
+                return True
+            seen.add(key)
+        return False
+
+    def is_simple(self) -> bool:
+        """Whether the graph has neither loops nor parallel edges."""
+        return not self.has_loops() and not self.has_parallel_edges()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether at least one edge joins ``u`` and ``v``."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        # scan the smaller incidence list
+        if len(self._incidence[u]) > len(self._incidence[v]):
+            u, v = v, u
+        return any(w == v for (_, w) in self._incidence[u])
+
+    def edge_ids_between(self, u: int, v: int) -> Tuple[int, ...]:
+        """All edge ids joining ``u`` and ``v`` (parallel edges give several)."""
+        if u == v:
+            # each loop appears twice in incidence; deduplicate
+            return tuple(sorted({eid for (eid, w) in self._incidence[u] if w == u}))
+        return tuple(sorted(eid for (eid, w) in self._incidence[u] if w == v))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def edge_subgraph(self, edge_ids: Iterable[int]) -> "Graph":
+        """Edge-induced subgraph on the *same* vertex set.
+
+        Vertex ids are preserved; the returned graph has the selected edges
+        renumbered ``0..k-1`` in ascending original-id order.  This is the
+        natural object for the paper's "blue subgraph" (unvisited edges).
+        """
+        ids = sorted(set(edge_ids))
+        for eid in ids:
+            if not (0 <= eid < len(self._edges)):
+                raise GraphError(f"edge id {eid} out of range 0..{self.m - 1}")
+        return Graph(self._n, [self._edges[eid] for eid in ids], name=self._name)
+
+    def relabeled(self, name: str) -> "Graph":
+        """A copy of this graph carrying a different name."""
+        return Graph(self._n, self._edges, name=name)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same vertex count and same edge multiset."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._n != other._n or self.m != other.m:
+            return False
+        mine = sorted(_normalize_edge(u, v) for (u, v) in self._edges)
+        theirs = sorted(_normalize_edge(u, v) for (u, v) in other._edges)
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._n, tuple(sorted(_normalize_edge(u, v) for (u, v) in self._edges)))
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"<Graph{label} n={self._n} m={self.m}>"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+
+class GraphBuilder:
+    """Mutable accumulator that produces immutable :class:`Graph` objects.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> v0, v1 = b.add_vertex(), b.add_vertex()
+    >>> b.add_edge(v0, v1)
+    0
+    >>> g = b.build("edge")
+    >>> (g.n, g.m)
+    (2, 1)
+    """
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = num_vertices
+        self._edges: List[Edge] = []
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices added so far."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Edges added so far."""
+        return len(self._edges)
+
+    def add_vertex(self) -> int:
+        """Add one vertex; returns its id."""
+        vid = self._n
+        self._n += 1
+        return vid
+
+    def add_vertices(self, count: int) -> range:
+        """Add ``count`` vertices; returns their id range."""
+        if count < 0:
+            raise GraphError(f"count must be >= 0, got {count}")
+        start = self._n
+        self._n += count
+        return range(start, self._n)
+
+    def ensure_vertices(self, count: int) -> None:
+        """Grow the vertex set so that at least ``count`` vertices exist."""
+        if count > self._n:
+            self._n = count
+
+    def add_edge(self, u: int, v: int) -> int:
+        """Add an edge (loops and parallels allowed); returns its id."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(
+                f"edge ({u}, {v}) has an endpoint outside 0..{self._n - 1}; "
+                "add vertices first"
+            )
+        self._edges.append((u, v))
+        return len(self._edges) - 1
+
+    def add_edges(self, edges: Sequence[Edge]) -> None:
+        """Add several edges in order."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_path(self, vertices: Sequence[int]) -> None:
+        """Add edges forming a path through ``vertices`` in order."""
+        for u, v in zip(vertices, vertices[1:]):
+            self.add_edge(u, v)
+
+    def add_cycle(self, vertices: Sequence[int]) -> None:
+        """Add edges forming a cycle through ``vertices`` in order."""
+        if len(vertices) < 1:
+            return
+        self.add_path(vertices)
+        if len(vertices) > 1:
+            self.add_edge(vertices[-1], vertices[0])
+        else:
+            self.add_edge(vertices[0], vertices[0])
+
+    def build(self, name: str = "") -> Graph:
+        """Freeze the accumulated structure into a :class:`Graph`."""
+        return Graph(self._n, self._edges, name=name)

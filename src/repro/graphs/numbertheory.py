@@ -1,0 +1,173 @@
+"""Elementary number theory used by the LPS Ramanujan construction.
+
+Everything here is deterministic and exact for the 64-bit range used by the
+graph generators: Miller–Rabin with the known-deterministic witness set,
+Legendre symbols by Euler's criterion, and Tonelli–Shanks square roots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import GenerationError
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "primes_in_range",
+    "legendre_symbol",
+    "sqrt_mod_prime",
+    "mod_inverse",
+    "four_square_representations",
+]
+
+# Deterministic Miller-Rabin witnesses for n < 3,317,044,064,679,887,385,961,981
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin primality test (exact for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def primes_in_range(lo: int, hi: int) -> List[int]:
+    """All primes ``p`` with ``lo <= p < hi``."""
+    return [p for p in range(max(lo, 2), hi) if is_prime(p)]
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Legendre symbol ``(a|p)`` for odd prime ``p``: one of -1, 0, +1."""
+    if p <= 2 or not is_prime(p):
+        raise GenerationError(f"legendre_symbol needs an odd prime, got p={p}")
+    a %= p
+    if a == 0:
+        return 0
+    result = pow(a, (p - 1) // 2, p)
+    return 1 if result == 1 else -1
+
+
+def sqrt_mod_prime(a: int, p: int) -> int:
+    """A square root of ``a`` modulo odd prime ``p`` (Tonelli–Shanks).
+
+    Returns ``x`` with ``x*x ≡ a (mod p)`` and ``0 <= x < p``.
+
+    Raises
+    ------
+    GenerationError
+        If ``a`` is a non-residue mod ``p``.
+    """
+    if p == 2:
+        return a % 2
+    a %= p
+    if a == 0:
+        return 0
+    if legendre_symbol(a, p) != 1:
+        raise GenerationError(f"{a} is not a quadratic residue mod {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks for p ≡ 1 (mod 4).
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    result = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # find least i with t^(2^i) == 1
+        i = 0
+        t2i = t
+        while t2i != 1:
+            t2i = (t2i * t2i) % p
+            i += 1
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = (b * b) % p
+        t = (t * c) % p
+        result = (result * b) % p
+    return result
+
+
+def mod_inverse(a: int, p: int) -> int:
+    """Multiplicative inverse of ``a`` modulo prime ``p``."""
+    a %= p
+    if a == 0:
+        raise GenerationError(f"0 has no inverse mod {p}")
+    return pow(a, p - 2, p)
+
+
+def four_square_representations(p: int) -> List[Tuple[int, int, int, int]]:
+    """All ``(a0, a1, a2, a3)`` with ``a0²+a1²+a2²+a3² = p``, a0 odd positive.
+
+    For a prime ``p ≡ 1 (mod 4)`` there are exactly ``p + 1`` such solutions
+    with ``a0 > 0`` odd and ``a1, a2, a3`` even (Jacobi's theorem, as used by
+    Lubotzky–Phillips–Sarnak); they index the generators of ``X^{p,q}``.
+    Signed values are enumerated (``a1, a2, a3`` range over negative values
+    too).
+    """
+    if p % 4 != 1 or not is_prime(p):
+        raise GenerationError(f"need a prime p ≡ 1 (mod 4), got {p}")
+    solutions: List[Tuple[int, int, int, int]] = []
+    bound = int(p**0.5) + 1
+    even_bound = bound - (bound % 2)
+    even_values = range(-even_bound, even_bound + 1, 2)
+    for a0 in range(1, bound + 1, 2):  # odd positive
+        r0 = p - a0 * a0
+        if r0 < 0:
+            break
+        for a1 in even_values:  # even, signed
+            r1 = r0 - a1 * a1
+            if r1 < 0:
+                continue
+            for a2 in even_values:
+                r2 = r1 - a2 * a2
+                if r2 < 0:
+                    continue
+                a3sq = r2
+                a3 = int(round(a3sq**0.5))
+                # a3 must be even and signed; check both signs
+                for cand in {a3, -a3}:
+                    if cand % 2 == 0 and cand * cand == a3sq:
+                        solutions.append((a0, a1, a2, cand))
+    expected = p + 1
+    if len(solutions) != expected:
+        raise GenerationError(
+            f"four-square enumeration for p={p} found {len(solutions)} "
+            f"solutions, expected {expected}"
+        )
+    return solutions

@@ -1,0 +1,214 @@
+"""Lubotzky–Phillips–Sarnak (LPS) Ramanujan graphs ``X^{p,q}``.
+
+These are the paper's reference construction for "high girth expanders"
+(citation [11]): (p+1)-regular Cayley graphs of ``PSL(2, Z_q)`` or
+``PGL(2, Z_q)`` with second adjacency eigenvalue at most ``2√p`` and girth
+``Ω(log n)``.  For odd ``p`` the degree ``p + 1`` is even, so ``X^{p,q}``
+sits squarely inside the even-degree graph class of Theorem 1 — e.g.
+``X^{5,q}`` is a 6-regular high-girth expander family.
+
+Construction (standard):
+
+* ``p, q`` distinct primes ≡ 1 (mod 4), ``q > 2√p``.
+* ``i`` is a square root of −1 mod ``q``.
+* Each of the ``p + 1`` integer solutions of ``a0²+a1²+a2²+a3² = p`` with
+  ``a0`` odd positive and ``a1,a2,a3`` even yields the generator matrix
+  ``[[a0 + i·a1, a2 + i·a3], [−a2 + i·a3, a0 − i·a1]]`` over ``Z_q``.
+* If the Legendre symbol ``(p|q) = 1`` the generators lie in ``PSL(2,q)``
+  (after rescaling to determinant 1): the graph is non-bipartite with
+  ``n = q(q²−1)/2``.  Otherwise the Cayley graph is on ``PGL(2,q)``:
+  bipartite with ``n = q(q²−1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.errors import GenerationError
+from repro.graphs.graph import Graph
+from repro.graphs.numbertheory import (
+    four_square_representations,
+    is_prime,
+    legendre_symbol,
+    mod_inverse,
+    sqrt_mod_prime,
+)
+
+__all__ = [
+    "lps_graph",
+    "lps_vertex_count",
+    "lps_is_bipartite",
+    "lps_girth_lower_bound",
+    "valid_lps_q_values",
+]
+
+Matrix = Tuple[int, int, int, int]  # row-major 2x2 over Z_q
+
+
+def _mat_mul(x: Matrix, y: Matrix, q: int) -> Matrix:
+    a, b, c, d = x
+    e, f, g, h = y
+    return (
+        (a * e + b * g) % q,
+        (a * f + b * h) % q,
+        (c * e + d * g) % q,
+        (c * f + d * h) % q,
+    )
+
+
+def _canon_psl(mat: Matrix, q: int) -> Matrix:
+    """Canonical representative in PSL(2,q): the lexicographically smaller of
+    ``M`` and ``−M`` (the matrix must already have determinant 1)."""
+    neg = tuple((-x) % q for x in mat)
+    return mat if mat <= neg else neg  # type: ignore[return-value]
+
+
+def _canon_pgl(mat: Matrix, q: int) -> Matrix:
+    """Canonical representative in PGL(2,q): scale so the first nonzero entry
+    is 1 (unique representative of the projective class)."""
+    for entry in mat:
+        if entry % q != 0:
+            inv = mod_inverse(entry, q)
+            return tuple((x * inv) % q for x in mat)  # type: ignore[return-value]
+    raise GenerationError("zero matrix cannot be normalized")
+
+
+def _validate_parameters(p: int, q: int) -> None:
+    if not (is_prime(p) and is_prime(q)):
+        raise GenerationError(f"p and q must be prime, got p={p}, q={q}")
+    if p == q:
+        raise GenerationError("p and q must be distinct")
+    if p % 4 != 1 or q % 4 != 1:
+        raise GenerationError(
+            f"p and q must both be ≡ 1 (mod 4), got p={p}, q={q}"
+        )
+    if q <= 2 * math.isqrt(p) + 1:
+        raise GenerationError(
+            f"need q > 2*sqrt(p) for the Ramanujan construction "
+            f"(got p={p}, q={q})"
+        )
+
+
+def lps_is_bipartite(p: int, q: int) -> bool:
+    """Whether ``X^{p,q}`` is the bipartite (PGL) variant: ``(p|q) = -1``."""
+    _validate_parameters(p, q)
+    return legendre_symbol(p, q) == -1
+
+
+def lps_vertex_count(p: int, q: int) -> int:
+    """Order of ``X^{p,q}``: ``q(q²−1)/2`` (PSL case) or ``q(q²−1)`` (PGL)."""
+    base = q * (q * q - 1)
+    return base if lps_is_bipartite(p, q) else base // 2
+
+
+def lps_girth_lower_bound(p: int, q: int) -> float:
+    """The classical LPS girth guarantees.
+
+    Non-bipartite (PSL) case: ``girth >= 2 log_p q``.
+    Bipartite (PGL) case:     ``girth >= 4 log_p q − log_p 4``.
+    """
+    log_p_q = math.log(q) / math.log(p)
+    if lps_is_bipartite(p, q):
+        return 4 * log_p_q - math.log(4) / math.log(p)
+    return 2 * log_p_q
+
+
+def valid_lps_q_values(p: int, q_max: int) -> List[int]:
+    """All valid second parameters ``q < q_max`` for a given ``p``."""
+    out = []
+    for q in range(5, q_max):
+        if q == p or not is_prime(q) or q % 4 != 1:
+            continue
+        if q <= 2 * math.isqrt(p) + 1:
+            continue
+        out.append(q)
+    return out
+
+
+def _generator_matrices(p: int, q: int) -> List[Matrix]:
+    """The ``p + 1`` generator matrices over ``Z_q`` (before normalization)."""
+    i = sqrt_mod_prime(q - 1, q)  # i² ≡ −1 (mod q)
+    gens: List[Matrix] = []
+    for a0, a1, a2, a3 in four_square_representations(p):
+        gens.append(
+            (
+                (a0 + i * a1) % q,
+                (a2 + i * a3) % q,
+                (-a2 + i * a3) % q,
+                (a0 - i * a1) % q,
+            )
+        )
+    return gens
+
+
+def lps_graph(p: int, q: int, name: str = "") -> Graph:
+    """Build the LPS Ramanujan graph ``X^{p,q}``.
+
+    Returns a simple ``(p+1)``-regular graph on ``lps_vertex_count(p, q)``
+    vertices.  Vertex 0 is the group identity.
+
+    Raises
+    ------
+    GenerationError
+        If the parameters are invalid or the Cayley closure does not match
+        the theoretical group order (which would indicate a construction
+        bug — this is checked, not assumed).
+    """
+    _validate_parameters(p, q)
+    bipartite = lps_is_bipartite(p, q)
+    gens = _generator_matrices(p, q)
+
+    if bipartite:
+        canon = lambda mat: _canon_pgl(mat, q)  # noqa: E731
+        norm_gens = [canon(g) for g in gens]
+    else:
+        # Scale generators to determinant 1, then reduce mod ±I.
+        w = mod_inverse(sqrt_mod_prime(p, q), q)
+        scaled = [tuple((x * w) % q for x in g) for g in gens]
+        canon = lambda mat: _canon_psl(mat, q)  # noqa: E731
+        norm_gens = [canon(m) for m in scaled]  # type: ignore[arg-type]
+
+    identity: Matrix = (1, 0, 0, 1)
+    start = canon(identity)
+    index: Dict[Matrix, int] = {start: 0}
+    elements: List[Matrix] = [start]
+    queue = deque([start])
+    expected_n = lps_vertex_count(p, q)
+    while queue:
+        g = queue.popleft()
+        for s in norm_gens:
+            h = canon(_mat_mul(g, s, q))
+            if h not in index:
+                if len(elements) >= expected_n:
+                    raise GenerationError(
+                        f"Cayley closure exceeded the group order {expected_n}; "
+                        "canonicalization bug"
+                    )
+                index[h] = len(elements)
+                elements.append(h)
+                queue.append(h)
+    if len(elements) != expected_n:
+        raise GenerationError(
+            f"generators produced a subgroup of order {len(elements)}, "
+            f"expected {expected_n} (p={p}, q={q})"
+        )
+
+    edges: List[Tuple[int, int]] = []
+    for gi, g in enumerate(elements):
+        for s in norm_gens:
+            hi = index[canon(_mat_mul(g, s, q))]
+            if gi < hi:
+                edges.append((gi, hi))
+            elif gi == hi:
+                raise GenerationError(
+                    "generator fixed a group element (loop in Cayley graph); "
+                    "construction bug"
+                )
+    graph = Graph(expected_n, edges, name=name or f"X^{{{p},{q}}}")
+    if not graph.is_regular() or graph.regularity() != p + 1:
+        raise GenerationError(
+            f"X^{{{p},{q}}} is not ({p + 1})-regular; construction bug"
+        )
+    return graph

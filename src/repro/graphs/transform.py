@@ -1,0 +1,193 @@
+"""Graph transforms used by the paper's proofs.
+
+* :func:`contract` — collapse a vertex set ``S`` to a single vertex ``γ``,
+  *retaining multiple edges and loops* so that ``d(γ) = d(S)`` and
+  ``|E(Γ)| = |E(G)|`` (Section 2.2, "Visits to Vertex Sets", and Lemma 13).
+* :func:`subdivide` — insert a degree-2 vertex into chosen edges
+  (Lemma 16's path construction).
+* :func:`induced_subgraph` — vertex-induced subgraph with id maps.
+* :func:`disjoint_union` — side-by-side union (test plumbing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "ContractionResult",
+    "contract",
+    "SubdivisionResult",
+    "subdivide",
+    "SubgraphResult",
+    "induced_subgraph",
+    "disjoint_union",
+    "double_edges",
+]
+
+
+@dataclass(frozen=True)
+class ContractionResult:
+    """Outcome of :func:`contract`.
+
+    Attributes
+    ----------
+    graph:
+        The contracted multigraph Γ = Γ_S.
+    gamma:
+        Id of the contracted super-vertex γ in ``graph``.
+    vertex_map:
+        ``vertex_map[v]`` is the id in Γ of original vertex ``v`` (members of
+        ``S`` all map to ``gamma``).  Edge ids are preserved: edge ``e`` of G
+        is edge ``e`` of Γ.
+    """
+
+    graph: Graph
+    gamma: int
+    vertex_map: Tuple[int, ...]
+
+
+def contract(graph: Graph, vertex_set: Iterable[int], name: str = "") -> ContractionResult:
+    """Contract ``vertex_set`` to a single vertex, keeping loops/multi-edges.
+
+    Invariants guaranteed (and relied on by the hitting-time lemmas):
+    ``Γ.m == G.m``; ``d_Γ(γ) == d_G(S)``; degrees of untouched vertices are
+    unchanged; edges inside ``S`` become loops at γ.
+    """
+    members = sorted(set(vertex_set))
+    if not members:
+        raise GraphError("cannot contract the empty set")
+    for v in members:
+        if not (0 <= v < graph.n):
+            raise GraphError(f"vertex {v} out of range 0..{graph.n - 1}")
+    in_set = [False] * graph.n
+    for v in members:
+        in_set[v] = True
+
+    # γ gets id 0; remaining vertices keep their relative order at ids 1..
+    vertex_map = [0] * graph.n
+    next_id = 1
+    for v in range(graph.n):
+        if in_set[v]:
+            vertex_map[v] = 0
+        else:
+            vertex_map[v] = next_id
+            next_id += 1
+    edges = [(vertex_map[u], vertex_map[v]) for (u, v) in graph.edges()]
+    label = name or (f"{graph.name}/S" if graph.name else "contraction")
+    contracted = Graph(next_id, edges, name=label)
+    return ContractionResult(graph=contracted, gamma=0, vertex_map=tuple(vertex_map))
+
+
+@dataclass(frozen=True)
+class SubdivisionResult:
+    """Outcome of :func:`subdivide`.
+
+    Attributes
+    ----------
+    graph:
+        The subdivided graph G′.
+    midpoints:
+        ``midpoints[e]`` is the new degree-2 vertex inserted into original
+        edge ``e`` (only for subdivided edges).
+    """
+
+    graph: Graph
+    midpoints: Dict[int, int]
+
+
+def subdivide(graph: Graph, edge_ids: Iterable[int], name: str = "") -> SubdivisionResult:
+    """Insert one new degree-2 vertex into each edge in ``edge_ids``.
+
+    Original vertices keep their ids; new vertices get ids ``n, n+1, ...`` in
+    ascending order of subdivided edge id.  Each subdivided edge (u, v)
+    becomes the two edges (u, z) and (z, v).  Loops subdivide into a
+    2-cycle (two parallel edges between the loop vertex and the midpoint),
+    preserving even degree everywhere.
+    """
+    ids = sorted(set(edge_ids))
+    for eid in ids:
+        if not (0 <= eid < graph.m):
+            raise GraphError(f"edge id {eid} out of range 0..{graph.m - 1}")
+    chosen = set(ids)
+    midpoints: Dict[int, int] = {}
+    next_vertex = graph.n
+    edges: List[Tuple[int, int]] = []
+    for eid, (u, v) in enumerate(graph.edges()):
+        if eid in chosen:
+            z = next_vertex
+            next_vertex += 1
+            midpoints[eid] = z
+            edges.append((u, z))
+            edges.append((z, v))
+        else:
+            edges.append((u, v))
+    label = name or (f"{graph.name}'" if graph.name else "subdivision")
+    return SubdivisionResult(graph=Graph(next_vertex, edges, name=label), midpoints=midpoints)
+
+
+@dataclass(frozen=True)
+class SubgraphResult:
+    """Outcome of :func:`induced_subgraph`.
+
+    Attributes
+    ----------
+    graph:
+        The induced subgraph with vertices renumbered ``0..k-1``.
+    vertex_map:
+        ``vertex_map[i]`` is the original id of new vertex ``i``.
+    edge_map:
+        ``edge_map[j]`` is the original id of new edge ``j``.
+    """
+
+    graph: Graph
+    vertex_map: Tuple[int, ...]
+    edge_map: Tuple[int, ...]
+
+
+def induced_subgraph(graph: Graph, vertices: Iterable[int], name: str = "") -> SubgraphResult:
+    """Vertex-induced subgraph (keeps every edge with both ends inside)."""
+    members = sorted(set(vertices))
+    for v in members:
+        if not (0 <= v < graph.n):
+            raise GraphError(f"vertex {v} out of range 0..{graph.n - 1}")
+    new_id = {v: i for i, v in enumerate(members)}
+    edges: List[Tuple[int, int]] = []
+    edge_map: List[int] = []
+    for eid, (u, v) in enumerate(graph.edges()):
+        if u in new_id and v in new_id:
+            edges.append((new_id[u], new_id[v]))
+            edge_map.append(eid)
+    label = name or (f"{graph.name}[S]" if graph.name else "subgraph")
+    return SubgraphResult(
+        graph=Graph(len(members), edges, name=label),
+        vertex_map=tuple(members),
+        edge_map=tuple(edge_map),
+    )
+
+
+def disjoint_union(first: Graph, second: Graph, name: str = "") -> Graph:
+    """Disjoint union; the second graph's vertices are shifted by ``first.n``."""
+    offset = first.n
+    edges = list(first.edges()) + [(u + offset, v + offset) for (u, v) in second.edges()]
+    return Graph(first.n + second.n, edges, name=name or "union")
+
+
+def double_edges(graph: Graph, name: str = "") -> Graph:
+    """Replace every edge by a parallel pair — the Eulerian doubling.
+
+    Any graph becomes even-degree this way (the rotor-router's digraph
+    trick), which makes it the sharpest ablation of Theorem 1's hypotheses:
+    the doubled graph satisfies the *parity* hypothesis but its ℓ-goodness
+    collapses to a constant (a vertex's doubled star is an even subgraph on
+    ``d(v)/2 + 1`` vertices), and measured cover times stay Θ(n log n) —
+    parity alone does not buy linear cover; ``ℓ = Ω(log n)`` does.
+
+    Edge ids: original edge ``e`` keeps id ``e``; its twin gets ``m + e``.
+    """
+    edges = list(graph.edges()) + list(graph.edges())
+    label = name or (f"2x{graph.name}" if graph.name else "doubled")
+    return Graph(graph.n, edges, name=label)

@@ -1,0 +1,98 @@
+"""Blanket-time style measurements (eq. (4) machinery).
+
+The paper bounds the E-process's edge cover via the Ding–Lee–Peres blanket
+time [7]: once the SRW has visited every vertex ``v`` at least ``d(v)``
+times, every edge is explored.  Two measurements are provided:
+
+* :func:`time_to_visit_counts` — first step at which every vertex ``v`` has
+  been visited at least ``threshold(v)`` times (the paper uses
+  ``threshold = d(v)``, or a constant ``r`` on regular graphs);
+* :func:`blanket_time` — the actual τ_bl(δ) of [7]: first step ``t`` at
+  which every vertex's visit count is at least ``δ π_v t``.
+
+Both drive a live walk and return the step count (or raise
+:class:`~repro.errors.CoverTimeout`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import CoverTimeout, ReproError
+from repro.spectral.matrices import stationary_distribution
+from repro.walks.base import WalkProcess, default_step_budget
+
+__all__ = ["time_to_visit_counts", "blanket_time"]
+
+
+def time_to_visit_counts(
+    walk: WalkProcess,
+    threshold: Callable[[int], int],
+    max_steps: Optional[int] = None,
+) -> int:
+    """Steps until every vertex ``v`` has ≥ ``threshold(v)`` visits.
+
+    The walk must be fresh (``t = 0``); the time-0 position counts as one
+    visit.  ``threshold`` must be ≥ 1 everywhere (otherwise the question is
+    trivial / ill-posed for never-visited vertices).
+    """
+    if walk.steps != 0:
+        raise ReproError("time_to_visit_counts needs a fresh walk (t = 0)")
+    graph = walk.graph
+    targets: List[int] = [threshold(v) for v in range(graph.n)]
+    if any(t < 1 for t in targets):
+        raise ReproError("thresholds must be >= 1 for every vertex")
+    counts = [0] * graph.n
+    counts[walk.start] = 1
+    satisfied = sum(1 for v in range(graph.n) if counts[v] >= targets[v])
+    budget = max_steps if max_steps is not None else 10 * default_step_budget(graph)
+    while satisfied < graph.n:
+        if walk.steps >= budget:
+            raise CoverTimeout(
+                f"visit-count target not reached within {budget} steps",
+                steps=walk.steps,
+                remaining=graph.n - satisfied,
+            )
+        v = walk.step()
+        counts[v] += 1
+        if counts[v] == targets[v]:
+            satisfied += 1
+    return walk.steps
+
+
+def blanket_time(
+    walk: WalkProcess,
+    delta: float = 0.5,
+    max_steps: Optional[int] = None,
+) -> int:
+    """τ_bl(δ): first ``t`` with ``N_v(t) ≥ δ π_v t`` for every vertex.
+
+    ``N_v(t)`` counts visits in steps ``0..t``.  Checked incrementally: a
+    vertex leaves the deficit set when its count reaches the (growing)
+    requirement; the requirement is re-checked lazily because ``δ π_v t``
+    only grows — we verify the full condition whenever the deficit set
+    empties.  δ must lie in (0, 1) as in [7].
+    """
+    if not (0.0 < delta < 1.0):
+        raise ReproError(f"delta must lie in (0,1), got {delta}")
+    if walk.steps != 0:
+        raise ReproError("blanket_time needs a fresh walk (t = 0)")
+    graph = walk.graph
+    pi = stationary_distribution(graph)
+    counts = [0] * graph.n
+    counts[walk.start] = 1
+    budget = max_steps if max_steps is not None else 10 * default_step_budget(graph)
+    while walk.steps < budget:
+        v = walk.step()
+        counts[v] += 1
+        t = walk.steps
+        # full check is O(n); amortize by only checking when t doubles or the
+        # walk has at least visited every vertex once
+        if t & (t - 1) == 0 or t % graph.n == 0:
+            if all(counts[u] >= delta * pi[u] * t for u in range(graph.n)):
+                return t
+    raise CoverTimeout(
+        f"blanket condition not reached within {budget} steps",
+        steps=walk.steps,
+        remaining=-1,
+    )

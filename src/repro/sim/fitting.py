@@ -1,0 +1,138 @@
+"""Growth-curve fitting: is a cover time Θ(n) or Θ(n log n)?
+
+Figure 1 of the paper plots the *normalized* cover time ``C_V / n`` against
+``n``: linear growth appears flat, ``c·n ln n`` appears as a logarithm, and
+the fitted constants (0.93 for d=3, 0.41 for d=5, 0.38 for d=7) come from
+matching ``c n ln n`` curves to the data.  This module provides:
+
+* one-parameter least squares through the origin for ``y = c·n`` and
+  ``y = c·n ln n`` (recovering the paper's constants);
+* a normalized-profile regression ``y/n = a + b ln n`` whose slope ``b``
+  cleanly separates the two regimes (``b ≈ 0`` ⇒ linear; ``b`` ≈ the
+  ``c`` of ``c n ln n`` otherwise);
+* a model-selection verdict based on residual comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "FitResult",
+    "fit_through_origin",
+    "fit_linear",
+    "fit_nlogn",
+    "NormalizedProfile",
+    "fit_normalized_profile",
+    "select_growth_model",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """One-parameter fit ``y = c · basis(x)``."""
+
+    model: str
+    constant: float
+    r_squared: float
+    residual_sum: float
+
+
+def _check_inputs(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ReproError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ReproError("need at least two points to fit")
+    if any(x <= 0 for x in xs):
+        raise ReproError("x values must be positive")
+
+
+def _r_squared(ys: Sequence[float], predictions: Sequence[float]) -> float:
+    mean = sum(ys) / len(ys)
+    ss_tot = sum((y - mean) ** 2 for y in ys)
+    ss_res = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_through_origin(basis: Sequence[float], ys: Sequence[float], model: str) -> FitResult:
+    """Least squares ``y = c·basis`` (no intercept)."""
+    _check_inputs(basis, ys)
+    denom = sum(b * b for b in basis)
+    if denom == 0:
+        raise ReproError("degenerate basis (all zeros)")
+    constant = sum(b * y for b, y in zip(basis, ys)) / denom
+    predictions = [constant * b for b in basis]
+    residual = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    return FitResult(
+        model=model,
+        constant=constant,
+        r_squared=_r_squared(ys, predictions),
+        residual_sum=residual,
+    )
+
+
+def fit_linear(ns: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y = c·n``."""
+    return fit_through_origin(list(ns), ys, model="c*n")
+
+
+def fit_nlogn(ns: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y = c·n·ln n`` (the paper's ``[c n ln(n)]`` curves)."""
+    _check_inputs(ns, ys)
+    basis = [n * math.log(n) for n in ns]
+    return fit_through_origin(basis, ys, model="c*n*ln(n)")
+
+
+@dataclass(frozen=True)
+class NormalizedProfile:
+    """Regression of the normalized cover time: ``y/n = a + b·ln n``.
+
+    ``slope`` ≈ 0 means the raw quantity grows linearly; a positive slope is
+    the coefficient of an ``n ln n`` term (Figure 1's fitted ``c``).
+    """
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+
+def fit_normalized_profile(ns: Sequence[float], ys: Sequence[float]) -> NormalizedProfile:
+    """Fit ``y/n = a + b ln n`` by ordinary least squares."""
+    _check_inputs(ns, ys)
+    us = [math.log(n) for n in ns]
+    vs = [y / n for y, n in zip(ys, ns)]
+    k = len(us)
+    u_mean = sum(us) / k
+    v_mean = sum(vs) / k
+    s_uu = sum((u - u_mean) ** 2 for u in us)
+    if s_uu == 0:
+        raise ReproError("all n values identical; cannot fit a profile")
+    s_uv = sum((u - u_mean) * (v - v_mean) for u, v in zip(us, vs))
+    slope = s_uv / s_uu
+    intercept = v_mean - slope * u_mean
+    predictions = [intercept + slope * u for u in us]
+    return NormalizedProfile(
+        intercept=intercept,
+        slope=slope,
+        r_squared=_r_squared(vs, predictions),
+    )
+
+
+def select_growth_model(ns: Sequence[float], ys: Sequence[float]) -> Tuple[str, FitResult, FitResult]:
+    """Decide between Θ(n) and Θ(n log n) growth.
+
+    Fits both one-parameter models and returns
+    ``(winner, linear_fit, nlogn_fit)`` where ``winner`` is the model with
+    the smaller residual sum — the same comparison a reader makes of
+    Figure 1's flat-vs-logarithmic curves.
+    """
+    linear = fit_linear(ns, ys)
+    nlogn = fit_nlogn(ns, ys)
+    winner = "linear" if linear.residual_sum <= nlogn.residual_sum else "nlogn"
+    return winner, linear, nlogn

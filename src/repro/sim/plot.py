@@ -1,0 +1,97 @@
+"""Minimal ASCII plotting for terminal-rendered figures.
+
+The examples mimic the paper's Figure 1 (normalized cover time vs n) in
+plain text; this module renders labelled scatter/line series onto a
+character canvas.  No external plotting dependency, deterministic output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_ticks(lo: float, hi: float, count: int) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render ``(label, xs, ys)`` series as an ASCII scatter plot.
+
+    Each series gets a marker character; a legend maps markers to labels.
+    ``log_x=True`` spaces the x-axis logarithmically (natural for n-sweeps
+    over doubling grids).
+    """
+    if not series:
+        raise ReproError("nothing to plot")
+    for label, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ReproError(f"series {label!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ReproError(f"series {label!r} is empty")
+        if log_x and any(x <= 0 for x in xs):
+            raise ReproError(f"series {label!r}: log_x needs positive x values")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series supported")
+
+    def tx(x: float) -> float:
+        return math.log(x) if log_x else x
+
+    all_x = [tx(x) for _l, xs, _y in series for x in xs]
+    all_y = [y for _l, _x, ys in series for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, xs, ys), marker in zip(series, _MARKERS):
+        for x, y in zip(xs, ys):
+            col = round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    y_ticks = _nice_ticks(y_lo, y_hi, 5)
+    tick_rows = {0, height // 4, height // 2, 3 * height // 4, height - 1}
+    tick_iter = iter(reversed(y_ticks))
+    margin = 10
+    for r in range(height):
+        if r in tick_rows:
+            tick = next(tick_iter)
+            prefix = f"{tick:>{margin - 2}.2f} |"
+        else:
+            prefix = " " * (margin - 1) + "|"
+        lines.append(prefix + "".join(grid[r]))
+    lines.append(" " * (margin - 1) + "+" + "-" * width)
+    x_ticks = _nice_ticks(x_lo, x_hi, 4)
+    if log_x:
+        x_ticks = [math.exp(v) for v in x_ticks]
+    tick_text = "  ".join(f"{v:.5g}" for v in x_ticks)
+    lines.append(" " * margin + f"{x_label}: {tick_text}")
+    legend = "   ".join(
+        f"{marker} {label}" for (label, _x, _y), marker in zip(series, _MARKERS)
+    )
+    lines.append(" " * margin + f"{y_label}   [{legend}]")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Trial results, aggregation, and serialization.
+
+Every benchmark reduces to lists of per-trial scalars (cover times, census
+counts, ratios).  :class:`Aggregate` carries the summary statistics the
+tables print — mean, sample standard deviation, and a normal-approximation
+95% confidence interval — and sweep results serialize to plain JSON so runs
+can be archived next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["Aggregate", "aggregate", "SweepPoint", "Series", "series_to_json", "series_from_json"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of a sample.
+
+    ``ci95`` is the half-width of the normal-approximation 95% interval
+    (``1.96 · sem``); with fewer than 2 samples it is 0.
+    """
+
+    count: int
+    mean: float
+    std: float
+    sem: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "Aggregate":
+        """The aggregate of the sample multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ReproError(f"scale factor must be positive, got {factor}")
+        return Aggregate(
+            count=self.count,
+            mean=self.mean * factor,
+            std=self.std * factor,
+            sem=self.sem * factor,
+            ci95=self.ci95 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Summarize a non-empty sample."""
+    if not values:
+        raise ReproError("cannot aggregate an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        var = sum((x - mean) ** 2 for x in values) / (count - 1)
+        std = math.sqrt(var)
+        sem = std / math.sqrt(count)
+    else:
+        std = 0.0
+        sem = 0.0
+    return Aggregate(
+        count=count,
+        mean=mean,
+        std=std,
+        sem=sem,
+        ci95=1.96 * sem,
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-value of a parameter sweep with its aggregated measurement."""
+
+    x: float
+    stats: Aggregate
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Series:
+    """A labelled sweep — one curve of a figure."""
+
+    label: str
+    points: List[SweepPoint]
+
+    def xs(self) -> List[float]:
+        """Sweep x-values in order."""
+        return [p.x for p in self.points]
+
+    def means(self) -> List[float]:
+        """Mean measurement at each x."""
+        return [p.stats.mean for p in self.points]
+
+
+def series_to_json(series_list: Sequence[Series]) -> str:
+    """Serialize sweeps to a JSON string (for archiving benchmark output)."""
+    return json.dumps([asdict(s) for s in series_list], indent=2, sort_keys=True)
+
+
+def series_from_json(payload: str) -> List[Series]:
+    """Inverse of :func:`series_to_json`."""
+    raw = json.loads(payload)
+    out: List[Series] = []
+    for entry in raw:
+        points = [
+            SweepPoint(
+                x=p["x"],
+                stats=Aggregate(**p["stats"]),
+                extras=dict(p.get("extras", {})),
+            )
+            for p in entry["points"]
+        ]
+        out.append(Series(label=entry["label"], points=points))
+    return out

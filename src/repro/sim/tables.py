@@ -1,0 +1,111 @@
+"""Plain-text tables and series renderers for benchmark output.
+
+The benchmark harness prints the same rows/curves the paper reports;
+everything funnels through :func:`format_table` so output stays aligned and
+diff-able (EXPERIMENTS.md embeds these tables verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.sim.results import Series
+
+__all__ = ["format_table", "format_series_table", "format_kv_block"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell, float_digits: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned; text is left-aligned.  Floats use
+    ``float_digits`` decimals.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    rendered = [[_render(c, float_digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    numeric = [
+        all(isinstance(row[j], (int, float)) for row in rows) if rows else False
+        for j in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for row in rendered:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series_list: Sequence[Series],
+    x_header: str = "n",
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render several series sharing an x-grid as one table.
+
+    Each series contributes a ``mean`` column (labelled by the series); the
+    x-grids must agree.
+    """
+    if not series_list:
+        raise ReproError("need at least one series")
+    xs = series_list[0].xs()
+    for s in series_list[1:]:
+        if s.xs() != xs:
+            raise ReproError(
+                f"series {s.label!r} has a different x-grid than "
+                f"{series_list[0].label!r}"
+            )
+    headers = [x_header] + [s.label for s in series_list]
+    rows: List[List[Cell]] = []
+    for i, x in enumerate(xs):
+        row: List[Cell] = [int(x) if float(x).is_integer() else x]
+        for s in series_list:
+            row.append(s.points[i].stats.mean)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_digits=float_digits)
+
+
+def format_kv_block(title: str, pairs: Sequence[Sequence[Cell]], float_digits: int = 3) -> str:
+    """Render ``key: value`` lines under a title (for summary footers)."""
+    lines = [title, "-" * len(title)]
+    width = max((len(str(k)) for k, _v in pairs), default=0)
+    for key, value in pairs:
+        lines.append(f"{str(key).ljust(width)} : {_render(value, float_digits)}")
+    return "\n".join(lines)

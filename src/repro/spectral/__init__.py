@@ -1,0 +1,115 @@
+"""Spectral substrate: matrices, eigenvalue gaps, hitting times, mixing."""
+
+from repro.spectral.conductance import (
+    EXACT_LIMIT,
+    cheeger_lower,
+    cheeger_upper,
+    conductance_exact,
+    conductance_interval_from_gap,
+    edge_boundary,
+    set_conductance,
+)
+from repro.spectral.expanders import (
+    adjacency_lambda2,
+    alon_boppana_bound,
+    expander_gap_estimate,
+    is_ramanujan,
+    satisfies_p1,
+)
+from repro.spectral.eigen import (
+    DENSE_THRESHOLD,
+    extreme_eigenvalues,
+    lambda_2,
+    lambda_max,
+    lambda_n,
+    spectral_gap,
+    transition_spectrum,
+)
+from repro.spectral.hitting import (
+    DENSE_HITTING_LIMIT,
+    best_kklv_lower_bound,
+    commute_time,
+    expected_return_time,
+    fundamental_matrix,
+    hitting_time,
+    hitting_time_matrix,
+    hitting_time_to_set,
+    kklv_lower_bound,
+    matthews_upper_bound,
+)
+from repro.spectral.matrices import (
+    adjacency_matrix,
+    degree_vector,
+    laplacian_matrix,
+    normalized_adjacency,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.spectral.mixing import (
+    convergence_profile,
+    epi_hitting_bound,
+    epi_hitting_exact,
+    epi_hitting_set_exact,
+    lemma13_min_time,
+    lemma13_tail_bound,
+    mixing_time_bound,
+    no_visit_tail_bound,
+    pointwise_convergence_bound,
+    set_hitting_bound,
+    zvv_exact,
+)
+
+__all__ = [
+    # matrices
+    "adjacency_matrix",
+    "degree_vector",
+    "laplacian_matrix",
+    "normalized_adjacency",
+    "stationary_distribution",
+    "transition_matrix",
+    # expanders
+    "adjacency_lambda2",
+    "alon_boppana_bound",
+    "expander_gap_estimate",
+    "is_ramanujan",
+    "satisfies_p1",
+    # eigen
+    "DENSE_THRESHOLD",
+    "extreme_eigenvalues",
+    "lambda_2",
+    "lambda_max",
+    "lambda_n",
+    "spectral_gap",
+    "transition_spectrum",
+    # conductance
+    "EXACT_LIMIT",
+    "cheeger_lower",
+    "cheeger_upper",
+    "conductance_exact",
+    "conductance_interval_from_gap",
+    "edge_boundary",
+    "set_conductance",
+    # hitting
+    "DENSE_HITTING_LIMIT",
+    "best_kklv_lower_bound",
+    "commute_time",
+    "expected_return_time",
+    "fundamental_matrix",
+    "hitting_time",
+    "hitting_time_matrix",
+    "hitting_time_to_set",
+    "kklv_lower_bound",
+    "matthews_upper_bound",
+    # mixing
+    "convergence_profile",
+    "epi_hitting_bound",
+    "epi_hitting_exact",
+    "epi_hitting_set_exact",
+    "lemma13_min_time",
+    "lemma13_tail_bound",
+    "mixing_time_bound",
+    "no_visit_tail_bound",
+    "pointwise_convergence_bound",
+    "set_hitting_bound",
+    "zvv_exact",
+]

@@ -1,0 +1,105 @@
+"""Conductance Φ(G) and the Cheeger-type inequalities of eq. (19).
+
+The paper defines ``Φ(G) = min_{X: d(X) ≤ m} e(X : X̄) / d(X)`` and uses
+
+    1 − 2Φ ≤ λ_2 ≤ 1 − Φ²/2                                  (19)
+
+to convert girth-based edge-cover bounds between the gap of a graph and the
+gap of its subdivided/contracted variants (Lemma 16).  Exact conductance is
+NP-hard in general; we provide an exact exponential search for small graphs
+and the spectral sandwich for everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Set, Tuple
+
+from repro.errors import SpectralError
+from repro.graphs.graph import Graph
+from repro.spectral.eigen import lambda_2
+
+__all__ = [
+    "edge_boundary",
+    "set_conductance",
+    "conductance_exact",
+    "conductance_interval_from_gap",
+    "cheeger_upper",
+    "cheeger_lower",
+    "EXACT_LIMIT",
+]
+
+EXACT_LIMIT = 18
+
+
+def edge_boundary(graph: Graph, vertex_set: Iterable[int]) -> int:
+    """Number of edges with exactly one endpoint in ``vertex_set``.
+
+    Loops never cross a cut.
+    """
+    inside: Set[int] = set(vertex_set)
+    count = 0
+    for u, v in graph.edges():
+        if (u in inside) != (v in inside):
+            count += 1
+    return count
+
+
+def set_conductance(graph: Graph, vertex_set: Iterable[int]) -> float:
+    """``e(X : X̄) / d(X)`` for the given set (paper's per-set quantity)."""
+    inside = set(vertex_set)
+    if not inside or len(inside) >= graph.n:
+        raise SpectralError("conductance needs a proper nonempty vertex set")
+    volume = sum(graph.degree(v) for v in inside)
+    if volume == 0:
+        raise SpectralError("vertex set has zero volume")
+    return edge_boundary(graph, inside) / volume
+
+
+def conductance_exact(graph: Graph) -> Tuple[float, Set[int]]:
+    """Exact conductance by exhausting subsets (only for n ≤ EXACT_LIMIT).
+
+    Returns ``(Φ, argmin set)`` where the minimum ranges over nonempty sets
+    with ``d(X) ≤ m`` as in the paper's definition.
+    """
+    n = graph.n
+    if n > EXACT_LIMIT:
+        raise SpectralError(
+            f"exact conductance is exponential; n={n} exceeds limit {EXACT_LIMIT}"
+        )
+    if graph.m == 0:
+        raise SpectralError("conductance undefined on an edgeless graph")
+    best = math.inf
+    best_set: Set[int] = set()
+    total = graph.m
+    degrees = graph.degrees()
+    for mask in range(1, (1 << n) - 1):
+        members = {v for v in range(n) if mask >> v & 1}
+        volume = sum(degrees[v] for v in members)
+        if volume == 0 or volume > total:
+            continue
+        phi = edge_boundary(graph, members) / volume
+        if phi < best:
+            best = phi
+            best_set = members
+    if best is math.inf:
+        raise SpectralError("no admissible set found (degenerate graph)")
+    return best, best_set
+
+
+def conductance_interval_from_gap(graph: Graph) -> Tuple[float, float]:
+    """Conductance interval implied by eq. (19): ``[(1−λ₂)/2, √(2(1−λ₂))]``."""
+    gap2 = 1.0 - lambda_2(graph)
+    lower = gap2 / 2.0
+    upper = math.sqrt(max(0.0, 2.0 * gap2))
+    return lower, upper
+
+
+def cheeger_upper(phi: float) -> float:
+    """Upper bound on λ₂ from conductance: ``λ₂ ≤ 1 − Φ²/2`` (eq. 19)."""
+    return 1.0 - phi * phi / 2.0
+
+
+def cheeger_lower(phi: float) -> float:
+    """Lower bound on λ₂ from conductance: ``λ₂ ≥ 1 − 2Φ`` (eq. 19)."""
+    return 1.0 - 2.0 * phi

@@ -1,0 +1,165 @@
+"""Exact hitting, return, and commute times via linear algebra.
+
+These are the ground truth against which the paper's spectral *bounds*
+(Lemmas 6–8, Corollary 9) are tested, and the machinery behind Theorem 5's
+``Ω(n log n)`` lower bound for reversible walks:
+
+* ``E_u T⁺_u = 1/π_u``                       (return time identity)
+* ``K(u,v) = E_u T_v + E_v T_u``             (commute time)
+* ``C_V ≥ max_A K_A log|A| / 2``             (Kahn–Kim–Lovász–Vu, used in Thm 5)
+* ``C_V ≤ (1+o(1)) max_{u,v} E_u T_v H_n``   (Matthews bound)
+
+Dense solves — intended for graphs up to a few thousand vertices.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import SpectralError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_connected
+from repro.spectral.matrices import stationary_distribution, transition_matrix
+
+__all__ = [
+    "DENSE_HITTING_LIMIT",
+    "fundamental_matrix",
+    "hitting_time_matrix",
+    "hitting_time",
+    "hitting_time_to_set",
+    "expected_return_time",
+    "commute_time",
+    "matthews_upper_bound",
+    "kklv_lower_bound",
+    "best_kklv_lower_bound",
+]
+
+DENSE_HITTING_LIMIT = 3000
+
+
+def _require_tractable(graph: Graph, what: str) -> None:
+    if graph.n > DENSE_HITTING_LIMIT:
+        raise SpectralError(
+            f"{what} uses dense linear algebra; n={graph.n} exceeds "
+            f"{DENSE_HITTING_LIMIT}"
+        )
+    if graph.n == 0:
+        raise SpectralError(f"{what} undefined on the empty graph")
+    if not is_connected(graph):
+        raise SpectralError(f"{what} undefined: graph is not connected")
+
+
+def fundamental_matrix(graph: Graph) -> np.ndarray:
+    """``Z = (I − P + 1π)⁻¹`` — the fundamental matrix of the SRW.
+
+    Satisfies ``Z = I + Σ_{t≥1} (Pᵗ − 1π)``, so
+    ``Σ_{t≥0} (Pᵗ(v,v) − π_v) = Z[v,v] − π_v`` (the paper's ``Z_vv``, eq. 7).
+    """
+    _require_tractable(graph, "fundamental matrix")
+    stationary = stationary_distribution(graph)
+    walk = transition_matrix(graph, sparse=False)
+    n = graph.n
+    one_pi = np.outer(np.ones(n), stationary)
+    return np.linalg.inv(np.eye(n) - walk + one_pi)
+
+
+def hitting_time_matrix(graph: Graph) -> np.ndarray:
+    """Matrix ``H`` with ``H[u, v] = E_u T_v`` (zero diagonal).
+
+    Standard identity ``H[u, v] = (Z[v, v] − Z[u, v]) / π_v``.
+    """
+    fundamental = fundamental_matrix(graph)
+    stationary = stationary_distribution(graph)
+    diag = np.diag(fundamental)
+    hitting = (diag[np.newaxis, :] - fundamental) / stationary[np.newaxis, :]
+    np.fill_diagonal(hitting, 0.0)
+    return hitting
+
+
+def hitting_time(graph: Graph, source: int, target: int) -> float:
+    """``E_source T_target`` by solving the absorbing system directly.
+
+    Cheaper than the full matrix when only one target matters; also the
+    independent cross-check for :func:`hitting_time_matrix` in the tests.
+    """
+    _require_tractable(graph, "hitting time")
+    return hitting_time_to_set(graph, source, {target})
+
+
+def hitting_time_to_set(graph: Graph, source: int, targets: Iterable[int]) -> float:
+    """``E_source H_S``: expected steps for the SRW to reach the set ``S``.
+
+    Solves ``(I − Q) h = 1`` over the non-target states, where ``Q`` is the
+    transition matrix restricted away from ``S``.
+    """
+    _require_tractable(graph, "set hitting time")
+    target_set = set(targets)
+    if not target_set:
+        raise SpectralError("target set must be nonempty")
+    if source in target_set:
+        return 0.0
+    others = [v for v in range(graph.n) if v not in target_set]
+    index = {v: i for i, v in enumerate(others)}
+    walk = transition_matrix(graph, sparse=False)
+    restricted = np.array([[walk[u, v] for v in others] for u in others])
+    ones = np.ones(len(others))
+    solution = np.linalg.solve(np.eye(len(others)) - restricted, ones)
+    return float(solution[index[source]])
+
+
+def expected_return_time(graph: Graph, vertex: int) -> float:
+    """``E_v T⁺_v = 1/π_v = 2m / d(v)`` (Aldous–Fill Ch.2 Lemma 5)."""
+    stationary = stationary_distribution(graph)
+    if stationary[vertex] == 0:
+        raise SpectralError(f"vertex {vertex} is isolated")
+    return float(1.0 / stationary[vertex])
+
+
+def commute_time(graph: Graph, u: int, v: int, hitting: Optional[np.ndarray] = None) -> float:
+    """``K(u, v) = E_u T_v + E_v T_u``."""
+    if hitting is None:
+        hitting = hitting_time_matrix(graph)
+    return float(hitting[u, v] + hitting[v, u])
+
+
+def matthews_upper_bound(graph: Graph) -> float:
+    """Matthews bound: ``C_V ≤ max_{u≠v} E_u T_v · H_n`` (harmonic number)."""
+    hitting = hitting_time_matrix(graph)
+    worst = float(np.max(hitting))
+    harmonic = sum(1.0 / k for k in range(1, graph.n + 1))
+    return worst * harmonic
+
+
+def kklv_lower_bound(graph: Graph, subset: Iterable[int], hitting: Optional[np.ndarray] = None) -> float:
+    """``K_A log|A| / 2`` for one set ``A`` (Kahn–Kim–Lovász–Vu, [10]).
+
+    ``K_A = min_{i≠j ∈ A} K(i, j)``.  Any such value lower-bounds the cover
+    time; Theorem 5 instantiates ``A = {u : π_u ≤ 2/n}``.
+    """
+    members = sorted(set(subset))
+    if len(members) < 2:
+        raise SpectralError("KKLV bound needs |A| >= 2")
+    if hitting is None:
+        hitting = hitting_time_matrix(graph)
+    k_min = min(
+        hitting[i, j] + hitting[j, i] for i, j in combinations(members, 2)
+    )
+    return float(k_min) * math.log(len(members)) / 2.0
+
+
+def best_kklv_lower_bound(graph: Graph) -> float:
+    """Theorem 5's instantiation: ``A = {u : π_u ≤ 2/n}`` (|A| ≥ n/2).
+
+    Returns ``K_A log|A| / 2`` with exact commute times — for a regular
+    graph every vertex qualifies, giving the strongest easy version of the
+    ``Ω(n log n)`` lower bound.
+    """
+    stationary = stationary_distribution(graph)
+    members = [v for v in range(graph.n) if stationary[v] <= 2.0 / graph.n]
+    if len(members) < 2:
+        raise SpectralError("low-stationary set too small for the KKLV bound")
+    return kklv_lower_bound(graph, members)

@@ -1,0 +1,156 @@
+"""Mixing-time machinery: Section 2 of the paper, as executable formulas.
+
+Implements, with the paper's exact constants:
+
+* eq. (5):  ``|Pᵗ_u(x) − π_x| ≤ √(π_x/π_u) · λmaxᵗ``
+* eq. (6)/(7): ``Eπ(H_v) = Z_vv / π_v`` with ``Z_vv = Σ_t (Pᵗ(v,v) − π_v)``
+* Lemma 6:  ``Eπ(H_v) ≤ 1 / ((1 − λmax) π_v)``
+* Lemma 7:  ``T = K log n / (1 − λmax)`` is a mixing time with
+            ``max_{u,x} |Pᵗ_u(x) − π_x| ≤ n⁻³`` for ``t ≥ T`` (K ≥ 6)
+* Lemma 8:  ``Pr(A_{t,u}(v)) ≤ exp(−⌊t / (T + 3 Eπ(H_v))⌋)``
+* Corollary 9: ``Eπ(H_S) ≤ 2m / (d(S) (1 − λmax))``
+* Lemma 13: the exponential tail for sets,
+            ``Pr(S unvisited at t) ≤ exp(−t d(S)(1−λmax) / 14m)``
+
+Exact quantities (for validation) come from the dense fundamental matrix;
+the bounds themselves are pure arithmetic, usable at any scale given a gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import SpectralError
+from repro.graphs.graph import Graph
+from repro.spectral.hitting import fundamental_matrix, hitting_time_to_set
+from repro.spectral.matrices import stationary_distribution, transition_matrix
+
+__all__ = [
+    "pointwise_convergence_bound",
+    "zvv_exact",
+    "epi_hitting_exact",
+    "epi_hitting_bound",
+    "mixing_time_bound",
+    "convergence_profile",
+    "no_visit_tail_bound",
+    "set_hitting_bound",
+    "lemma13_tail_bound",
+    "lemma13_min_time",
+]
+
+
+def pointwise_convergence_bound(
+    pi_x: float, pi_u: float, lam: float, t: int
+) -> float:
+    """eq. (5): ``√(π_x/π_u) λmaxᵗ`` — reversible-chain convergence rate."""
+    if not (0 < pi_x <= 1 and 0 < pi_u <= 1):
+        raise SpectralError("stationary probabilities must lie in (0, 1]")
+    return math.sqrt(pi_x / pi_u) * (lam**t)
+
+
+def zvv_exact(graph: Graph, vertex: int) -> float:
+    """``Z_vv = Σ_{t≥0} (Pᵗ(v,v) − π_v)`` via the fundamental matrix (eq. 7)."""
+    fundamental = fundamental_matrix(graph)
+    stationary = stationary_distribution(graph)
+    return float(fundamental[vertex, vertex] - stationary[vertex])
+
+
+def epi_hitting_exact(graph: Graph, vertex: int) -> float:
+    """``Eπ(H_v) = Z_vv / π_v`` exactly (eq. 6)."""
+    stationary = stationary_distribution(graph)
+    return zvv_exact(graph, vertex) / float(stationary[vertex])
+
+
+def epi_hitting_bound(pi_v: float, gap: float) -> float:
+    """Lemma 6: ``Eπ(H_v) ≤ 1 / ((1 − λmax) π_v)``."""
+    if gap <= 0:
+        raise SpectralError("Lemma 6 needs a positive eigenvalue gap")
+    if not (0 < pi_v <= 1):
+        raise SpectralError("π_v must lie in (0, 1]")
+    return 1.0 / (gap * pi_v)
+
+
+def mixing_time_bound(n: int, gap: float, big_k: float = 6.0) -> float:
+    """Lemma 7: ``T = K log n / (1 − λmax)`` with ``K ≥ 6``.
+
+    For ``t ≥ T`` the chain is within ``n⁻³`` of stationarity pointwise
+    (given Δ ≤ n², which holds for every multigraph we build).
+    """
+    if big_k < 6.0:
+        raise SpectralError(f"Lemma 7 requires K >= 6, got {big_k}")
+    if gap <= 0:
+        raise SpectralError("Lemma 7 needs a positive eigenvalue gap")
+    if n < 2:
+        raise SpectralError("Lemma 7 needs n >= 2")
+    return big_k * math.log(n) / gap
+
+
+def convergence_profile(graph: Graph, t: int, lazy: bool = False) -> float:
+    """Exact ``max_{u,x} |Pᵗ(u,x) − π_x|`` by dense matrix powering.
+
+    Validation tool for Lemma 7 on small graphs.
+    """
+    if graph.n > 1500:
+        raise SpectralError("convergence profile is dense-only (n too large)")
+    walk = transition_matrix(graph, lazy=lazy, sparse=False)
+    stationary = stationary_distribution(graph)
+    power = np.linalg.matrix_power(walk, t)
+    return float(np.max(np.abs(power - stationary[np.newaxis, :])))
+
+
+def no_visit_tail_bound(t: float, mixing_time: float, epi_hv: float) -> float:
+    """Lemma 8: ``Pr(v unvisited in t steps) ≤ exp(−⌊t/(T + 3Eπ(H_v))⌋)``."""
+    if mixing_time <= 0 or epi_hv < 0:
+        raise SpectralError("need positive mixing time and nonnegative Eπ(H_v)")
+    tau = mixing_time + 3.0 * epi_hv
+    return math.exp(-math.floor(t / tau))
+
+
+def set_hitting_bound(m: int, d_s: float, gap: float) -> float:
+    """Corollary 9: ``Eπ(H_S) ≤ 2m / (d(S)(1 − λmax))``."""
+    if d_s <= 0 or gap <= 0:
+        raise SpectralError("Corollary 9 needs positive set degree and gap")
+    return 2.0 * m / (d_s * gap)
+
+
+def lemma13_min_time(m: int, d_s: float, gap: float) -> float:
+    """Lemma 13's applicability threshold: ``t ≥ 7m / (d(S)(1 − λmax))``."""
+    if d_s <= 0 or gap <= 0:
+        raise SpectralError("Lemma 13 needs positive set degree and gap")
+    return 7.0 * m / (d_s * gap)
+
+
+def lemma13_tail_bound(t: float, m: int, d_s: float, gap: float, n: int) -> float:
+    """Lemma 13: ``Pr(S unvisited at t) ≤ exp(−t d(S)(1−λmax)/14m)``.
+
+    Preconditions from the paper are enforced: ``d(S) ≤ m / (6 log n)`` and
+    ``t ≥ 7m / (d(S)(1−λmax))``.
+    """
+    if n < 3:
+        raise SpectralError("Lemma 13 needs n >= 3")
+    if d_s > m / (6.0 * math.log(n)):
+        raise SpectralError(
+            f"Lemma 13 precondition violated: d(S)={d_s} exceeds "
+            f"m/(6 log n)={m / (6.0 * math.log(n)):.3f}"
+        )
+    if t < lemma13_min_time(m, d_s, gap):
+        raise SpectralError(
+            f"Lemma 13 precondition violated: t={t} below threshold "
+            f"{lemma13_min_time(m, d_s, gap):.1f}"
+        )
+    return math.exp(-t * d_s * gap / (14.0 * m))
+
+
+def epi_hitting_set_exact(graph: Graph, targets: Iterable[int]) -> float:
+    """Exact ``Eπ(H_S) = Σ_u π_u E_u(H_S)`` (dense; validation tool)."""
+    stationary = stationary_distribution(graph)
+    target_set = set(targets)
+    total = 0.0
+    for u in range(graph.n):
+        if u in target_set:
+            continue
+        total += float(stationary[u]) * hitting_time_to_set(graph, u, target_set)
+    return total

@@ -1,0 +1,99 @@
+"""Choice-based walks: RWC(d) of Avin–Krishnamachari [3] and the V-process.
+
+The paper's introduction situates the E-process among processes that bias
+toward the unexplored:
+
+* ``RWC(d)`` samples ``d`` neighbours uniformly at random each step and
+  moves to the *least visited* of them (ties broken uniformly) — the
+  empirical process of [3].
+* The "unvisited-vertex" walk (here: :class:`UnvisitedVertexWalk`, the
+  V-process) moves to a uniformly random *unvisited* neighbour when one
+  exists and takes an SRW step otherwise — the vertex-analogue of the
+  E-process that "often arises in discussion".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.walks.base import WalkProcess
+
+__all__ = ["RandomWalkWithChoice", "UnvisitedVertexWalk"]
+
+
+class RandomWalkWithChoice(WalkProcess):
+    """RWC(d): sample ``d`` random incident edges, move to least-visited end.
+
+    ``d = 1`` degenerates to the SRW.  Visit counts include the time-0 visit
+    to the start vertex.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        start: int,
+        d: int = 2,
+        rng: Optional[random.Random] = None,
+        track_edges: bool = False,
+    ):
+        if d < 1:
+            raise GraphError(f"RWC needs d >= 1, got {d}")
+        super().__init__(graph, start, rng=rng, track_edges=track_edges)
+        self.d = d
+        self.visit_counts: List[int] = [0] * graph.n
+        self.visit_counts[start] = 1
+
+    def step(self) -> int:
+        nxt = super().step()
+        self.visit_counts[nxt] += 1
+        return nxt
+
+    def _transition(self) -> int:
+        incident = self._incidence[self.current]
+        best_edge = -1
+        best_next = -1
+        best_count = None
+        ties = 0
+        for _ in range(self.d):
+            edge_id, candidate = incident[self.rng.randrange(len(incident))]
+            count = self.visit_counts[candidate]
+            if best_count is None or count < best_count:
+                best_count = count
+                best_edge, best_next = edge_id, candidate
+                ties = 1
+            elif count == best_count:
+                # Reservoir-style uniform tie-breaking among equal counts.
+                ties += 1
+                if self.rng.random() < 1.0 / ties:
+                    best_edge, best_next = edge_id, candidate
+        self._record_edge_visit(best_edge)
+        return best_next
+
+
+class UnvisitedVertexWalk(WalkProcess):
+    """The V-process: prefer a uniformly random *unvisited* neighbour.
+
+    When all neighbours are visited it takes a plain SRW step.  Distinct
+    neighbours are enumerated once each (multiplicity does not bias the
+    unvisited choice), mirroring how the E-process treats unvisited edges as
+    a set.
+    """
+
+    def _transition(self) -> int:
+        incident = self._incidence[self.current]
+        visited = self.visited_vertices
+        unvisited = []
+        seen = set()
+        for edge_id, w in incident:
+            if not visited[w] and w not in seen:
+                seen.add(w)
+                unvisited.append((edge_id, w))
+        if unvisited:
+            edge_id, nxt = unvisited[self.rng.randrange(len(unvisited))]
+        else:
+            edge_id, nxt = incident[self.rng.randrange(len(incident))]
+        self._record_edge_visit(edge_id)
+        return nxt

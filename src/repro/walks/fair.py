@@ -1,0 +1,88 @@
+"""Locally fair exploration strategies of Cooper–Ilcinkas–Klasing–Kosowski [5].
+
+Two deterministic edge-choice disciplines evaluated at the current vertex:
+
+* **Least-Used-First** — traverse the incident edge used *fewest* times so
+  far.  [5] shows it covers all vertices in ``O(mD)`` and equalizes edge
+  frequencies in the long run.
+* **Oldest-First** — traverse the incident edge whose last traversal is
+  longest ago (never-traversed edges first).  [5] shows this can be
+  *exponentially* slow on some graphs — a useful cautionary baseline next to
+  the E-process, which also prioritizes unvisited edges but falls back on
+  randomness.
+
+Ties are broken by a per-vertex rotor so both walks are fully deterministic
+given the graph and start vertex.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.walks.base import WalkProcess
+
+__all__ = ["LeastUsedFirstWalk", "OldestFirstWalk"]
+
+_NEVER = -1
+
+
+class _FairWalkBase(WalkProcess):
+    """Shared per-edge usage bookkeeping for the locally fair walks."""
+
+    def __init__(self, graph, start, rng=None, track_edges: bool = False):
+        super().__init__(graph, start, rng=rng, track_edges=track_edges)
+        self.traversal_counts: List[int] = [0] * graph.m
+        self.last_traversal: List[int] = [_NEVER] * graph.m
+        self._rotor: List[int] = [0] * graph.n
+
+    def _take(self, position: int) -> int:
+        v = self.current
+        incident = self._incidence[v]
+        edge_id, nxt = incident[position]
+        self._rotor[v] = (position + 1) % len(incident)
+        self.traversal_counts[edge_id] += 1
+        self.last_traversal[edge_id] = self.steps  # traversal leaving at time `steps`
+        self._record_edge_visit(edge_id)
+        return nxt
+
+
+class LeastUsedFirstWalk(_FairWalkBase):
+    """Traverse the incident edge with the fewest traversals so far."""
+
+    def _transition(self) -> int:
+        v = self.current
+        incident = self._incidence[v]
+        deg = len(incident)
+        offset = self._rotor[v]
+        best_pos = -1
+        best_count = None
+        for k in range(deg):
+            pos = (offset + k) % deg
+            count = self.traversal_counts[incident[pos][0]]
+            if best_count is None or count < best_count:
+                best_count = count
+                best_pos = pos
+                if count == 0:
+                    break  # cannot do better than unused
+        return self._take(best_pos)
+
+
+class OldestFirstWalk(_FairWalkBase):
+    """Traverse the incident edge whose last traversal is oldest."""
+
+    def _transition(self) -> int:
+        v = self.current
+        incident = self._incidence[v]
+        deg = len(incident)
+        offset = self._rotor[v]
+        best_pos = -1
+        best_age = None
+        for k in range(deg):
+            pos = (offset + k) % deg
+            age = self.last_traversal[incident[pos][0]]
+            if best_age is None or age < best_age:
+                best_age = age
+                best_pos = pos
+                if age == _NEVER:
+                    break  # never traversed: maximally old
+        return self._take(best_pos)

@@ -1,0 +1,54 @@
+"""Greedy Random Walk (GRW) of Orenshtein–Shinkar [13].
+
+The GRW is exactly the E-process whose rule A picks an unvisited edge
+uniformly at random; [13] analysed its *edge* cover time on r-regular
+graphs, eq. (2) of the paper:
+
+    ``C_E(GRW) = m + O(n log n / (1 − λmax))``       (any r, odd or even).
+
+We expose it as a thin factory around :class:`~repro.core.eprocess.EdgeProcess`
+so benchmark code can speak the literature's name while sharing the E-process
+engine (and all of its invariant checkers).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.eprocess import EdgeProcess
+from repro.core.rules import UniformEdgeRule
+from repro.graphs.graph import Graph
+
+__all__ = ["GreedyRandomWalk", "greedy_random_walk"]
+
+
+class GreedyRandomWalk(EdgeProcess):
+    """E-process with the u.a.r. unvisited-edge rule, on any graph.
+
+    Identical dynamics to ``EdgeProcess(rule=UniformEdgeRule())``; kept as a
+    distinct class so experiment reports can name the baseline faithfully.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        start: int,
+        rng: Optional[random.Random] = None,
+        record_phases: bool = True,
+    ):
+        super().__init__(
+            graph,
+            start,
+            rng=rng,
+            rule=UniformEdgeRule(),
+            require_even_degrees=False,
+            record_phases=record_phases,
+        )
+
+
+def greedy_random_walk(
+    graph: Graph, start: int, rng: Optional[random.Random] = None
+) -> GreedyRandomWalk:
+    """Convenience constructor matching the factory style of the runner."""
+    return GreedyRandomWalk(graph, start, rng=rng)

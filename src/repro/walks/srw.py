@@ -1,0 +1,96 @@
+"""Simple, lazy, and weighted random walks.
+
+The simple random walk (SRW) is the paper's baseline: it moves to a
+neighbour chosen uniformly at random, which on multigraphs means a uniform
+choice over *incident edge endpoints* (parallel edges weight the transition,
+a loop — present twice in the incidence list — keeps the chain reversible
+with ``π_v ∝ d(v)``).
+
+The weighted walk generalizes transition probabilities to
+``p(x,y) = w(x,y) / Σ_z w(x,z)`` (Section 2.2); Theorem 5's ``Ω(n log n)``
+lower bound applies to *every* such walk, making it the right subject for
+the lower-bound benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from itertools import accumulate
+from typing import List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.walks.base import WalkProcess
+
+__all__ = ["SimpleRandomWalk", "LazyRandomWalk", "WeightedRandomWalk"]
+
+
+class SimpleRandomWalk(WalkProcess):
+    """The classical SRW.  Enable ``track_edges`` for edge cover times."""
+
+    def _transition(self) -> int:
+        incident = self._incidence[self.current]
+        edge_id, nxt = incident[self.rng.randrange(len(incident))]
+        self._record_edge_visit(edge_id)
+        return nxt
+
+
+class LazyRandomWalk(WalkProcess):
+    """Lazy SRW: stay put with probability 1/2, else take an SRW step.
+
+    The paper's standard fix for bipartite graphs (``λ_n = −1``): the lazy
+    chain's spectrum is ``(1 + λ)/2 ≥ 0``, at most doubling the cover time.
+    Staying put counts as a step (time advances).
+    """
+
+    def _transition(self) -> int:
+        if self.rng.random() < 0.5:
+            return self.current
+        incident = self._incidence[self.current]
+        edge_id, nxt = incident[self.rng.randrange(len(incident))]
+        self._record_edge_visit(edge_id)
+        return nxt
+
+
+class WeightedRandomWalk(WalkProcess):
+    """Reversible weighted random walk with per-edge weights ``w(e) > 0``.
+
+    Transition probability from ``x`` to ``y`` is proportional to the total
+    weight of edges joining them; loops (counted twice in the incidence) get
+    double weight, preserving reversibility.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        start: int,
+        weights: Sequence[float],
+        rng: Optional[random.Random] = None,
+        track_edges: bool = False,
+    ):
+        if len(weights) != graph.m:
+            raise GraphError(
+                f"need one weight per edge: got {len(weights)} for m={graph.m}"
+            )
+        if any(w <= 0 for w in weights):
+            raise GraphError("edge weights must be positive")
+        super().__init__(graph, start, rng=rng, track_edges=track_edges)
+        self.weights = list(weights)
+        # Per-vertex cumulative weights over the incidence list.
+        self._cumulative: List[List[float]] = []
+        for v in range(graph.n):
+            acc = list(accumulate(self.weights[eid] for (eid, _w) in self._incidence[v]))
+            self._cumulative.append(acc)
+
+    def _transition(self) -> int:
+        v = self.current
+        cumulative = self._cumulative[v]
+        total = cumulative[-1]
+        pick = self.rng.random() * total
+        idx = bisect_right(cumulative, pick)
+        if idx >= len(cumulative):  # guard against float edge cases
+            idx = len(cumulative) - 1
+        edge_id, nxt = self._incidence[v][idx]
+        self._record_edge_visit(edge_id)
+        return nxt

@@ -1,0 +1,1 @@
+"""Test package (package form so `tests.strategies` imports resolve)."""

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    bowtie_graph,
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    petersen_graph,
+    random_connected_regular_graph,
+    torus_grid,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded Mersenne Twister."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory of independent deterministic generators: ``rng_factory(i)``."""
+
+    def make(seed: int = 0) -> random.Random:
+        return random.Random(1_000_003 * (seed + 1))
+
+    return make
+
+
+@pytest.fixture
+def c8():
+    """Cycle on 8 vertices (2-regular, even, girth 8)."""
+    return cycle_graph(8)
+
+
+@pytest.fixture
+def k4():
+    """Complete graph on 4 vertices (3-regular, odd degrees)."""
+    return complete_graph(4)
+
+
+@pytest.fixture
+def k5():
+    """Complete graph on 5 vertices (4-regular, even degrees)."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def petersen():
+    """Petersen graph (3-regular, girth 5)."""
+    return petersen_graph()
+
+
+@pytest.fixture
+def bowtie():
+    """Two triangles sharing a vertex (even degrees, ℓ-goodness fixture)."""
+    return bowtie_graph()
+
+
+@pytest.fixture
+def torus5():
+    """5x5 toroidal grid (4-regular, even degrees)."""
+    return torus_grid(5, 5)
+
+
+@pytest.fixture
+def hypercube4():
+    """H_4: 16 vertices, 4-regular, even degrees, bipartite."""
+    return hypercube_graph(4)
+
+
+@pytest.fixture
+def small_regular(rng_factory):
+    """A connected random 4-regular graph on 60 vertices."""
+    return random_connected_regular_graph(60, 4, rng_factory(42))

@@ -1,0 +1,62 @@
+"""Hypothesis strategies for graphs and walk inputs.
+
+The central strategy, :func:`connected_even_multigraphs`, builds exactly the
+paper's graph class: connected multigraphs in which every vertex has even
+degree.  Construction: one Hamiltonian cycle over a random vertex
+permutation (connectivity + even degrees), plus extra random closed walks
+and loops (each preserves parity, may create parallel edges — the paper's
+class includes multigraphs via its contraction arguments).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+
+__all__ = ["connected_even_multigraphs", "simple_connected_graphs"]
+
+
+@st.composite
+def connected_even_multigraphs(draw, min_vertices: int = 3, max_vertices: int = 20):
+    """A connected even-degree multigraph (optionally with loops/parallels)."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    base = draw(st.permutations(list(range(n))))
+    edges = [(base[i], base[(i + 1) % n]) for i in range(n)]
+    extra_cycles = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(extra_cycles):
+        length = draw(st.integers(min_value=3, max_value=min(n, 8)))
+        cycle = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=length,
+                max_size=length,
+                unique=True,
+            )
+        )
+        for i in range(length):
+            edges.append((cycle[i], cycle[(i + 1) % length]))
+    num_loops = draw(st.integers(min_value=0, max_value=2))
+    for _ in range(num_loops):
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        edges.append((v, v))
+    return Graph(n, edges, name=f"hyp-even-{n}")
+
+
+@st.composite
+def simple_connected_graphs(draw, min_vertices: int = 2, max_vertices: int = 16):
+    """A simple connected graph: random spanning tree plus extra edges."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    order = draw(st.permutations(list(range(n))))
+    edges = set()
+    for i in range(1, n):
+        parent_pos = draw(st.integers(min_value=0, max_value=i - 1))
+        u, v = order[parent_pos], order[i]
+        edges.add((min(u, v), max(u, v)))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=f"hyp-simple-{n}")

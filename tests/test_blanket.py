@@ -1,0 +1,88 @@
+"""Tests for blanket-time measurements (eq. (4) machinery)."""
+
+import pytest
+
+from repro.errors import CoverTimeout, ReproError
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.blanket import blanket_time, time_to_visit_counts
+from repro.walks.srw import SimpleRandomWalk
+
+
+class TestTimeToVisitCounts:
+    def test_threshold_one_equals_vertex_cover(self, rng_factory):
+        g = cycle_graph(12)
+        a = SimpleRandomWalk(g, 0, rng=rng_factory(1))
+        b = SimpleRandomWalk(g, 0, rng=rng_factory(1))
+        t_counts = time_to_visit_counts(a, threshold=lambda v: 1)
+        t_cover = b.run_until_vertex_cover()
+        assert t_counts == t_cover
+
+    def test_higher_threshold_takes_longer(self, rng_factory):
+        g = complete_graph(6)
+        a = SimpleRandomWalk(g, 0, rng=rng_factory(2))
+        b = SimpleRandomWalk(g, 0, rng=rng_factory(2))
+        t1 = time_to_visit_counts(a, threshold=lambda v: 1)
+        t3 = time_to_visit_counts(b, threshold=lambda v: 3)
+        assert t3 > t1
+
+    def test_degree_threshold_dominates_eprocess_edge_need(self, rng_factory):
+        # the eq.(4) route: once every v is visited d(v) times by the SRW,
+        # the embedded E-process red walk must have exhausted every edge.
+        g = random_connected_regular_graph(40, 4, rng_factory(3))
+        walk = SimpleRandomWalk(g, 0, rng=rng_factory(4))
+        t = time_to_visit_counts(walk, threshold=lambda v: g.degree(v))
+        assert t >= g.n  # needs at least ~n*r visits total
+
+    def test_fresh_walk_required(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(5), 0, rng=rng)
+        walk.step()
+        with pytest.raises(ReproError):
+            time_to_visit_counts(walk, threshold=lambda v: 1)
+
+    def test_threshold_below_one_rejected(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(5), 0, rng=rng)
+        with pytest.raises(ReproError):
+            time_to_visit_counts(walk, threshold=lambda v: 0)
+
+    def test_budget_timeout(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(30), 0, rng=rng)
+        with pytest.raises(CoverTimeout):
+            time_to_visit_counts(walk, threshold=lambda v: 5, max_steps=10)
+
+
+class TestBlanketTime:
+    def test_reached_on_small_graph(self, rng):
+        walk = SimpleRandomWalk(complete_graph(5), 0, rng=rng)
+        t = blanket_time(walk, delta=0.3)
+        assert t >= 1
+
+    def test_smaller_delta_not_harder(self, rng_factory):
+        g = cycle_graph(10)
+        a = SimpleRandomWalk(g, 0, rng=rng_factory(5))
+        b = SimpleRandomWalk(g, 0, rng=rng_factory(5))
+        t_easy = blanket_time(a, delta=0.1)
+        t_hard = blanket_time(b, delta=0.9)
+        assert t_easy <= t_hard
+
+    def test_delta_validation(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(5), 0, rng=rng)
+        with pytest.raises(ReproError):
+            blanket_time(walk, delta=0.0)
+        with pytest.raises(ReproError):
+            blanket_time(walk, delta=1.0)
+
+    def test_fresh_walk_required(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(5), 0, rng=rng)
+        walk.step()
+        with pytest.raises(ReproError):
+            blanket_time(walk)
+
+    def test_blanket_dominates_cover(self, rng_factory):
+        # tau_bl(delta) >= C_V by definition (every vertex needs visits)
+        g = random_connected_regular_graph(30, 4, rng_factory(6))
+        a = SimpleRandomWalk(g, 0, rng=rng_factory(7))
+        b = SimpleRandomWalk(g, 0, rng=rng_factory(7))
+        t_blanket = blanket_time(a, delta=0.5)
+        t_cover = b.run_until_vertex_cover()
+        assert t_blanket >= t_cover

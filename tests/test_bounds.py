@@ -1,0 +1,120 @@
+"""Tests for the paper's bound formulas (algebraic properties, constants)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    edge_cover_sandwich,
+    eprocess_speedup,
+    eq1_expander_vertex_cover_bound,
+    eq4_blanket_edge_cover_bound,
+    feige_lower_bound,
+    grw_edge_cover_bound,
+    lemma14_subgraph_count_bound,
+    lemma15_tau_star,
+    radzik_lower_bound,
+    rotor_router_cover_bound,
+    theorem1_vertex_cover_bound,
+    theorem3_edge_cover_bound,
+)
+from repro.errors import ReproError
+
+
+class TestLowerBounds:
+    def test_radzik_value(self):
+        n = 1000
+        assert radzik_lower_bound(n) == pytest.approx((n / 4) * math.log(n / 2))
+
+    def test_radzik_below_feige(self):
+        # (n/4) ln(n/2) < n ln n for all n: Theorem 5 is the weaker constant.
+        for n in (10, 100, 10_000):
+            assert radzik_lower_bound(n) < feige_lower_bound(n)
+
+    def test_degenerate_small_n(self):
+        assert radzik_lower_bound(2) == 0.0
+        assert feige_lower_bound(1) == 0.0
+
+    def test_positive_input_required(self):
+        with pytest.raises(ReproError):
+            radzik_lower_bound(0)
+
+
+class TestTheorem1:
+    def test_reduces_to_eq1_at_unit_gap(self):
+        n, ell = 5000, 8.0
+        assert theorem1_vertex_cover_bound(n, ell, gap=1.0) == pytest.approx(
+            eq1_expander_vertex_cover_bound(n, ell)
+        )
+
+    def test_monotone_decreasing_in_ell_and_gap(self):
+        n = 5000
+        assert theorem1_vertex_cover_bound(n, 4, 0.3) > theorem1_vertex_cover_bound(n, 8, 0.3)
+        assert theorem1_vertex_cover_bound(n, 4, 0.1) > theorem1_vertex_cover_bound(n, 4, 0.3)
+
+    def test_linear_regime_for_log_ell(self):
+        # ell = log n makes the bound O(n): ratio to n stays bounded.
+        for n in (1_000, 10_000, 100_000):
+            bound = eq1_expander_vertex_cover_bound(n, math.log(n))
+            assert bound <= 2.01 * n
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            theorem1_vertex_cover_bound(100, 0, 0.5)
+        with pytest.raises(ReproError):
+            theorem1_vertex_cover_bound(100, 5, 0)
+
+
+class TestEdgeCoverBounds:
+    def test_sandwich_ordering(self):
+        low, high = edge_cover_sandwich(m=2000, cv_srw=9000.0)
+        assert low == 2000
+        assert high == 11000
+        assert low <= high
+
+    def test_sandwich_validation(self):
+        with pytest.raises(ReproError):
+            edge_cover_sandwich(0, 10.0)
+        with pytest.raises(ReproError):
+            edge_cover_sandwich(10, -1.0)
+
+    def test_grw_bound_exceeds_m(self):
+        assert grw_edge_cover_bound(m=3000, n=1000, gap=0.3) > 3000
+
+    def test_eq4_scales_with_cv(self):
+        assert eq4_blanket_edge_cover_bound(100, 500.0) == 600.0
+
+    def test_theorem3_girth_helps(self):
+        kwargs = dict(m=3000, n=1000, gap=0.3, max_degree=6)
+        high_girth = theorem3_edge_cover_bound(girth_value=20.0, **kwargs)
+        low_girth = theorem3_edge_cover_bound(girth_value=3.0, **kwargs)
+        assert high_girth < low_girth
+
+    def test_theorem3_gap_squared(self):
+        a = theorem3_edge_cover_bound(1000, 500, 0.5, 10.0, 4)
+        b = theorem3_edge_cover_bound(1000, 500, 0.25, 10.0, 4)
+        # halving the gap quadruples the non-m term
+        assert (b - 1000) == pytest.approx(4 * (a - 1000))
+
+
+class TestAuxiliaryBounds:
+    def test_lemma14(self):
+        assert lemma14_subgraph_count_bound(3, 4) == 2.0**12
+        with pytest.raises(ReproError):
+            lemma14_subgraph_count_bound(0, 4)
+
+    def test_lemma15_constant_degree_linear(self):
+        # tau* = B*n*(1 + log n / (min(ell, log n) * gap)); with ell >= log n
+        # and constant gap it is O(n).
+        for n in (1_000, 10_000):
+            m = 2 * n
+            tau = lemma15_tau_star(m, n, 4, 4, ell=math.log(n), gap=0.3)
+            assert tau <= m * (1 + 14 * 8 * (1 / (4 * 0.3)) + 1)
+
+    def test_rotor_bound(self):
+        assert rotor_router_cover_bound(10, 5) == 50.0
+
+    def test_speedup_min_semantics(self):
+        n = 10_000
+        assert eprocess_speedup(n, 4.0) == 4.0
+        assert eprocess_speedup(n, 1e9) == pytest.approx(math.log(n))

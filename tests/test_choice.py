@@ -1,0 +1,71 @@
+"""Tests for RWC(d) and the unvisited-vertex (V-process) walk."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import cycle_graph, petersen_graph, torus_grid
+from repro.walks.choice import RandomWalkWithChoice, UnvisitedVertexWalk
+from repro.walks.srw import SimpleRandomWalk
+
+
+class TestRandomWalkWithChoice:
+    def test_d_validation(self, rng):
+        with pytest.raises(GraphError):
+            RandomWalkWithChoice(cycle_graph(4), 0, d=0, rng=rng)
+
+    def test_visit_counts_maintained(self, rng):
+        walk = RandomWalkWithChoice(petersen_graph(), 0, d=2, rng=rng)
+        walk.run(50)
+        assert walk.visit_counts[0] >= 1
+        assert sum(walk.visit_counts) == 51  # start visit + 50 steps
+
+    def test_covers(self, rng):
+        walk = RandomWalkWithChoice(petersen_graph(), 0, d=2, rng=rng)
+        walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+
+    def test_choice_reduces_cover_time_on_torus(self, rng_factory):
+        # [3] reports RWC(2) < SRW cover time on toroidal grids; check the
+        # ordering of the means with a modest sample.
+        g = torus_grid(6, 6)
+        srw_total, rwc_total = 0, 0
+        trials = 25
+        for i in range(trials):
+            srw = SimpleRandomWalk(g, 0, rng=rng_factory(i))
+            srw_total += srw.run_until_vertex_cover()
+            rwc = RandomWalkWithChoice(g, 0, d=2, rng=rng_factory(1000 + i))
+            rwc_total += rwc.run_until_vertex_cover()
+        assert rwc_total < srw_total
+
+    def test_d_one_behaves_like_srw(self, rng):
+        # RWC(1) is exactly the SRW: single sampled candidate
+        walk = RandomWalkWithChoice(cycle_graph(8), 0, d=1, rng=rng)
+        walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+
+
+class TestUnvisitedVertexWalk:
+    def test_covers_cycle_in_n_minus_one(self, rng):
+        # on a cycle, the V-process always has exactly one unvisited
+        # neighbour until the end: cover in exactly n-1 steps
+        n = 11
+        walk = UnvisitedVertexWalk(cycle_graph(n), 0, rng=rng)
+        assert walk.run_until_vertex_cover() == n - 1
+
+    def test_covers_petersen_quickly(self, rng_factory):
+        covers = []
+        for i in range(30):
+            walk = UnvisitedVertexWalk(petersen_graph(), 0, rng=rng_factory(i))
+            covers.append(walk.run_until_vertex_cover())
+        srw_covers = []
+        for i in range(30):
+            walk = SimpleRandomWalk(petersen_graph(), 0, rng=rng_factory(500 + i))
+            srw_covers.append(walk.run_until_vertex_cover())
+        assert sum(covers) < sum(srw_covers)
+
+    def test_falls_back_to_srw_when_all_visited(self, rng):
+        walk = UnvisitedVertexWalk(cycle_graph(5), 0, rng=rng)
+        walk.run_until_vertex_cover()
+        # keep stepping: must not crash once everything is visited
+        walk.run(10)
+        assert walk.steps >= 14

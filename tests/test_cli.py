@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestFigure1Command:
+    def test_tiny_sweep_prints_table_and_fits(self, capsys):
+        code = main(
+            [
+                "figure1",
+                "--sizes", "150", "300",
+                "--degrees", "3", "4",
+                "--trials", "2",
+                "--seed", "11",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 1" in out
+        assert "E d=3" in out and "E d=4" in out
+        assert "Growth-model fits" in out
+
+
+class TestCoverCommand:
+    def test_eprocess_on_regular(self, capsys):
+        code = main(
+            ["cover", "--family", "regular", "--n", "80", "--degree", "4",
+             "--walk", "eprocess", "--trials", "2", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean steps" in out
+
+    def test_edge_target_on_cycle(self, capsys):
+        code = main(
+            ["cover", "--family", "cycle", "--n", "30", "--walk", "srw",
+             "--target", "edges", "--trials", "2", "--seed", "4"]
+        )
+        assert code == 0
+        assert "edges cover time" in capsys.readouterr().out
+
+    def test_every_walk_runs(self, capsys):
+        for walk in ("srw", "rotor", "rwc2", "vprocess", "least-used", "oldest-first"):
+            code = main(
+                ["cover", "--family", "cycle", "--n", "16", "--walk", walk,
+                 "--trials", "1", "--seed", "5"]
+            )
+            assert code == 0, walk
+
+
+class TestSpectralCommand:
+    def test_profile_printed(self, capsys):
+        code = main(["spectral", "--family", "complete", "--n", "8", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lambda_2" in out
+        assert "conductance" in out
+
+
+class TestGoodnessCommand:
+    def test_cycle_ell_equals_n(self, capsys):
+        code = main(["goodness", "--family", "cycle", "--n", "8", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ell" in out
+        assert "8" in out
+
+    def test_limit_enforced(self, capsys):
+        code = main(
+            ["goodness", "--family", "cycle", "--n", "500", "--limit", "64", "--seed", "1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStarsCommand:
+    def test_census_runs(self, capsys):
+        code = main(["stars", "--n", "150", "--r", "3", "--trials", "2", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean stars" in out
+        assert "(r-2)/(r-1)" in out

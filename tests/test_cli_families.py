@@ -1,0 +1,68 @@
+"""CLI coverage across graph families and failure paths."""
+
+from repro.cli import main
+
+
+class TestFamilies:
+    def test_torus_family(self, capsys):
+        code = main(["cover", "--family", "torus", "--n", "36", "--walk", "eprocess",
+                     "--trials", "1", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T_6x6" in out
+
+    def test_hypercube_family(self, capsys):
+        code = main(["cover", "--family", "hypercube", "--n", "64", "--walk", "srw",
+                     "--trials", "1", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "H_6" in out
+
+    def test_lps_family_spectral(self, capsys):
+        code = main(["spectral", "--family", "lps", "--p", "5", "--q", "13", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "X^{5,13}" in out
+
+    def test_complete_family_goodness(self, capsys):
+        code = main(["goodness", "--family", "complete", "--n", "5", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "K_5" in out
+
+
+class TestProfileAndBlanket:
+    def test_profile_curves(self, capsys):
+        code = main(["profile", "--family", "cycle", "--n", "40", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fraction visited" in out
+        assert "E-process" in out and "SRW" in out
+        assert "tail share" in out
+
+    def test_blanket_times(self, capsys):
+        code = main(["blanket", "--family", "regular", "--n", "60", "--degree", "4",
+                     "--trials", "2", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T(d)" in out
+        assert "CV(SRW) mean" in out
+
+
+class TestFailurePaths:
+    def test_lps_invalid_parameters_exit_code(self, capsys):
+        code = main(["spectral", "--family", "lps", "--p", "7", "--q", "13", "--seed", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_goodness_odd_degree_family(self, capsys):
+        # K_4 has odd degrees: exact goodness must fail cleanly
+        code = main(["goodness", "--family", "complete", "--n", "4", "--seed", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stars_even_degree_heuristic_zero(self, capsys):
+        code = main(["stars", "--n", "60", "--r", "4", "--trials", "1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0.000" in out

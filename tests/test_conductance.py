@@ -1,0 +1,103 @@
+"""Tests for conductance and the Cheeger inequalities (eq. 19)."""
+
+import math
+
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.spectral.conductance import (
+    cheeger_lower,
+    cheeger_upper,
+    conductance_exact,
+    conductance_interval_from_gap,
+    edge_boundary,
+    set_conductance,
+)
+from repro.spectral.eigen import lambda_2
+
+
+class TestEdgeBoundary:
+    def test_cycle_cut(self):
+        g = cycle_graph(8)
+        assert edge_boundary(g, {0, 1, 2, 3}) == 2
+
+    def test_loops_do_not_cross(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        assert edge_boundary(g, {0}) == 1
+
+    def test_full_set_no_boundary(self):
+        g = complete_graph(4)
+        assert edge_boundary(g, {0, 1, 2, 3}) == 0
+
+
+class TestSetConductance:
+    def test_cycle_half(self):
+        g = cycle_graph(8)
+        assert set_conductance(g, {0, 1, 2, 3}) == pytest.approx(2 / 8)
+
+    def test_improper_set_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(SpectralError):
+            set_conductance(g, set())
+        with pytest.raises(SpectralError):
+            set_conductance(g, {0, 1, 2, 3})
+
+
+class TestExactConductance:
+    def test_cycle(self):
+        phi, argmin = conductance_exact(cycle_graph(8))
+        assert phi == pytest.approx(0.25)
+        assert len(argmin) == 4
+
+    def test_complete(self):
+        phi, _ = conductance_exact(complete_graph(4))
+        assert phi == pytest.approx(2 / 3)
+
+    def test_barbell_bottleneck(self):
+        g = barbell_graph(4, 1)
+        phi, argmin = conductance_exact(g)
+        # one clique side: boundary 1, volume 13
+        assert phi == pytest.approx(1 / 13)
+        assert len(argmin) == 4
+
+    def test_star_center_split(self):
+        phi, _ = conductance_exact(star_graph(4))
+        assert phi == pytest.approx(1.0)  # any admissible set has all-boundary edges
+
+    def test_too_large_rejected(self):
+        with pytest.raises(SpectralError):
+            conductance_exact(cycle_graph(25))
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(SpectralError):
+            conductance_exact(Graph(3, []))
+
+
+class TestCheeger:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(7), cycle_graph(10), complete_graph(5), petersen_graph(), barbell_graph(4, 1)],
+    )
+    def test_eq19_sandwich(self, graph):
+        phi, _ = conductance_exact(graph)
+        l2 = lambda_2(graph)
+        assert cheeger_lower(phi) - 1e-9 <= l2 <= cheeger_upper(phi) + 1e-9
+
+    def test_interval_from_gap_contains_truth(self):
+        g = petersen_graph()
+        lo, hi = conductance_interval_from_gap(g)
+        phi, _ = conductance_exact(g)
+        assert lo - 1e-9 <= phi <= hi + 1e-9
+
+    def test_interval_degenerate_graph(self):
+        g = cycle_graph(4)  # bipartite; only lambda_2 matters here
+        lo, hi = conductance_interval_from_gap(g)
+        assert 0 <= lo <= hi <= math.sqrt(2 * (1 - lambda_2(g))) + 1e-12

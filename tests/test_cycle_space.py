@@ -1,0 +1,134 @@
+"""Tests for the GF(2) cycle space and minimum even subgraphs."""
+
+import pytest
+
+from repro.errors import GoodnessError
+from repro.graphs.cycle_space import (
+    contains_all_incident,
+    cycle_space_basis,
+    cycle_space_dimension,
+    edge_mask,
+    is_even_edge_set,
+    mask_edges,
+    minimum_even_subgraph,
+    vertex_support,
+)
+from repro.graphs.generators import (
+    bowtie_graph,
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    theta_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestMaskHelpers:
+    def test_round_trip(self):
+        mask = edge_mask([0, 3, 5])
+        assert mask == 0b101001
+        assert mask_edges(mask) == [0, 3, 5]
+
+    def test_vertex_support(self):
+        g = path_graph(4)
+        assert vertex_support(g, edge_mask([0])) == {0, 1}
+        assert vertex_support(g, edge_mask([0, 2])) == {0, 1, 2, 3}
+
+    def test_is_even_edge_set(self):
+        g = cycle_graph(5)
+        assert is_even_edge_set(g, edge_mask(range(5)))
+        assert not is_even_edge_set(g, edge_mask([0]))
+        assert is_even_edge_set(g, 0)
+
+    def test_loops_never_break_parity(self):
+        g = Graph(2, [(0, 1), (0, 0)])
+        assert is_even_edge_set(g, edge_mask([1]))
+
+
+class TestBasis:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(6), complete_graph(5), petersen_graph(), bowtie_graph(), hypercube_graph(3)],
+    )
+    def test_dimension_formula(self, graph):
+        basis = cycle_space_basis(graph)
+        assert len(basis) == cycle_space_dimension(graph)
+        assert len(basis) == graph.m - graph.n + 1  # connected
+
+    def test_basis_vectors_are_even(self):
+        g = petersen_graph()
+        for vec in cycle_space_basis(g):
+            assert is_even_edge_set(g, vec)
+
+    def test_forest_empty_basis(self):
+        assert cycle_space_basis(path_graph(5)) == []
+
+    def test_loop_is_basis_element(self):
+        g = Graph(2, [(0, 1), (0, 0)])
+        basis = cycle_space_basis(g)
+        assert len(basis) == 1
+        assert mask_edges(basis[0]) == [1]
+
+    def test_parallel_pair_basis(self):
+        g = Graph(2, [(0, 1), (0, 1)])
+        basis = cycle_space_basis(g)
+        assert len(basis) == 1
+        assert mask_edges(basis[0]) == [0, 1]
+
+
+class TestMinimumEvenSubgraph:
+    def test_cycle_needs_whole_cycle(self):
+        g = cycle_graph(7)
+        order, mask = minimum_even_subgraph(g, 0)
+        assert order == 7
+        assert mask == edge_mask(range(7))
+
+    def test_k5_needs_five(self):
+        # At a degree-4 vertex of K5 the minimum is two edge-disjoint
+        # triangles through it: 5 vertices.
+        order, mask = minimum_even_subgraph(complete_graph(5), 0)
+        assert order == 5
+        assert is_even_edge_set(complete_graph(5), mask)
+
+    def test_bowtie_center_vs_arm(self):
+        g = bowtie_graph()
+        order_center, mask = minimum_even_subgraph(g, 0)
+        assert order_center == 5
+        assert contains_all_incident(g, mask, 0)
+        order_arm, _ = minimum_even_subgraph(g, 1)
+        assert order_arm == 3
+
+    def test_hypercube4_vertex(self):
+        # Two coordinate 4-cycles sharing only the root: 7 vertices.
+        g = hypercube_graph(4)
+        order, mask = minimum_even_subgraph(g, 0)
+        assert order == 7
+        assert is_even_edge_set(g, mask)
+        assert contains_all_incident(g, mask, 0)
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(GoodnessError):
+            minimum_even_subgraph(theta_graph(2, 2, 3), 0)
+
+    def test_enumeration_cap_raises(self):
+        g = hypercube_graph(4)
+        with pytest.raises(GoodnessError):
+            minimum_even_subgraph(g, 0, max_enumeration_bits=3)
+
+    def test_result_is_optimal_certificate(self):
+        # the returned mask itself must be even and contain E(v)
+        g = complete_graph(5)
+        for v in range(5):
+            order, mask = minimum_even_subgraph(g, v)
+            assert is_even_edge_set(g, mask)
+            assert contains_all_incident(g, mask, v)
+            assert len(vertex_support(g, mask)) == order
+
+    def test_double_edge_pair(self):
+        # two parallel edges form an even subgraph on 2 vertices
+        g = Graph(2, [(0, 1), (0, 1)])
+        order, mask = minimum_even_subgraph(g, 0)
+        assert order == 2
+        assert mask == edge_mask([0, 1])

@@ -1,0 +1,113 @@
+"""Tests for eigenvalue extraction against closed-form spectra."""
+
+import math
+
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.spectral.eigen import (
+    extreme_eigenvalues,
+    lambda_2,
+    lambda_max,
+    lambda_n,
+    spectral_gap,
+    transition_spectrum,
+)
+
+
+class TestClosedForms:
+    def test_cycle_lambda2(self):
+        n = 10
+        assert lambda_2(cycle_graph(n)) == pytest.approx(math.cos(2 * math.pi / n), abs=1e-9)
+
+    def test_complete_graph_spectrum(self):
+        n = 6
+        values = transition_spectrum(complete_graph(n))
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(-1.0 / (n - 1))
+        assert values[-1] == pytest.approx(-1.0 / (n - 1))
+
+    def test_petersen(self):
+        g = petersen_graph()
+        assert lambda_2(g) == pytest.approx(1.0 / 3.0, abs=1e-9)
+        assert lambda_n(g) == pytest.approx(-2.0 / 3.0, abs=1e-9)
+        assert lambda_max(g) == pytest.approx(2.0 / 3.0, abs=1e-9)
+        assert spectral_gap(g) == pytest.approx(1.0 / 3.0, abs=1e-9)
+
+    def test_hypercube_spectrum(self):
+        r = 4
+        g = hypercube_graph(r)
+        values = transition_spectrum(g)
+        expected = sorted(
+            (1 - 2 * k / r for k in range(r + 1) for _ in range(math.comb(r, k))),
+            reverse=True,
+        )
+        assert values == pytest.approx(expected, abs=1e-9)
+
+    def test_even_cycle_bipartite_gap_zero(self):
+        g = cycle_graph(8)
+        assert lambda_n(g) == pytest.approx(-1.0, abs=1e-9)
+        assert spectral_gap(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_bipartite(self):
+        assert spectral_gap(star_graph(5)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestLazyWalk:
+    def test_lazy_gap_positive_on_bipartite(self):
+        g = cycle_graph(8)
+        lazy_gap = spectral_gap(g, lazy=True)
+        assert lazy_gap == pytest.approx((1 - lambda_2(g)) / 2, abs=1e-9)
+        assert lazy_gap > 0
+
+    def test_lazy_hypercube_gap_one_over_r(self):
+        r = 4
+        assert spectral_gap(hypercube_graph(r), lazy=True) == pytest.approx(1.0 / r, abs=1e-9)
+
+
+class TestSparsePath:
+    def test_lanczos_matches_regular_theory(self, rng_factory):
+        # n = 700 > DENSE_THRESHOLD triggers Lanczos; random 4-regular graphs
+        # have lambda_2 close to the Alon-Boppana value 2*sqrt(3)/4 ≈ 0.866.
+        g = random_connected_regular_graph(700, 4, rng_factory(5))
+        l2 = lambda_2(g)
+        assert 0.5 < l2 < 0.95
+        assert spectral_gap(g) > 0.04
+
+    def test_dense_and_sparse_agree_on_boundary(self, rng_factory):
+        from repro.spectral import eigen
+
+        g = random_connected_regular_graph(80, 4, rng_factory(6))
+        dense = extreme_eigenvalues(g)
+        original = eigen.DENSE_THRESHOLD
+        eigen.DENSE_THRESHOLD = 10  # force the Lanczos path
+        try:
+            sparse = extreme_eigenvalues(g)
+        finally:
+            eigen.DENSE_THRESHOLD = original
+        assert dense == pytest.approx(sparse, abs=1e-7)
+
+
+class TestErrors:
+    def test_single_vertex_rejected(self):
+        with pytest.raises(SpectralError):
+            extreme_eigenvalues(Graph(1, []))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(SpectralError):
+            extreme_eigenvalues(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_multigraph_spectrum_well_defined(self):
+        g = Graph(2, [(0, 1), (0, 1)])
+        l1, l2, ln = extreme_eigenvalues(g)
+        assert l1 == pytest.approx(1.0)
+        assert ln == pytest.approx(-1.0)

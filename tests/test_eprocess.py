@@ -1,0 +1,182 @@
+"""Tests for the E-process engine itself."""
+
+import pytest
+
+from repro.core.bounds import edge_cover_sandwich
+from repro.core.eprocess import BLUE, RED, EdgeProcess
+from repro.core.rules import LowestLabelRule
+from repro.errors import EvenDegreeError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    double_cycle,
+    hypercube_graph,
+    torus_grid,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_regular import random_connected_regular_graph
+
+
+class TestConstruction:
+    def test_tracks_edges_always(self, rng):
+        walk = EdgeProcess(cycle_graph(4), 0, rng=rng)
+        assert walk.tracks_edges
+
+    def test_even_degree_enforcement_optional(self, rng):
+        k4 = complete_graph(4)  # 3-regular
+        with pytest.raises(EvenDegreeError):
+            EdgeProcess(k4, 0, rng=rng, require_even_degrees=True)
+        walk = EdgeProcess(k4, 0, rng=rng)  # default: allowed (Figure 1 runs d=3)
+        walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+
+    def test_initial_blue_degrees_equal_degrees(self, rng):
+        g = torus_grid(3, 3)
+        walk = EdgeProcess(g, 0, rng=rng)
+        assert walk.blue_degree == list(g.degrees())
+        assert walk.num_blue_edges == g.m
+
+
+class TestCycleDeterminism:
+    def test_covers_cycle_in_exactly_n_minus_one(self, rng):
+        # On C_n the first blue phase is forced around the cycle: any rule
+        # gives vertex cover at exactly n-1 and edge cover at exactly n.
+        n = 13
+        walk = EdgeProcess(cycle_graph(n), 0, rng=rng)
+        assert walk.run_until_vertex_cover() == n - 1
+        assert walk.run_until_edge_cover() == n
+        assert walk.current == 0  # blue phase returned to start
+        assert walk.blue_steps == n
+        assert walk.red_steps == 0
+
+
+class TestStepMechanics:
+    def test_blue_steps_consume_edges(self, rng):
+        g = torus_grid(4, 4)
+        walk = EdgeProcess(g, 0, rng=rng)
+        walk.run(10)
+        assert walk.blue_steps == walk.num_visited_edges
+        assert walk.blue_steps + walk.red_steps == walk.steps
+
+    def test_red_steps_only_after_local_exhaustion(self, rng):
+        g = torus_grid(4, 4)
+        walk = EdgeProcess(g, 0, rng=rng)
+        while walk.next_color == BLUE:
+            walk.step()
+        # now at a vertex with no blue edges: next transition is red
+        assert walk.blue_degree[walk.current] == 0
+        before_edges = walk.num_visited_edges
+        walk.step()
+        assert walk.num_visited_edges == before_edges  # red step marks nothing
+
+    def test_blue_candidates_shrink(self, rng):
+        g = complete_graph(5)
+        walk = EdgeProcess(g, 0, rng=rng)
+        assert len(walk.blue_candidates(0)) == 4
+        walk.step()
+        assert len(walk.blue_candidates(0)) == 3
+
+    def test_loop_candidate_reported_once_and_consumes_two(self, rng):
+        # triangle plus a loop at 0: even degrees (4, 2, 2)
+        g = Graph(3, [(0, 1), (1, 2), (2, 0), (0, 0)])
+        walk = EdgeProcess(g, 0, rng=rng, rule=LowestLabelRule())
+        cands = walk.blue_candidates(0)
+        # neighbours: edge 0 -> vertex 1, edge 2 -> vertex 2, loop 3 -> vertex 0
+        assert sorted(cands) == [(0, 1), (2, 2), (3, 0)]  # loop id 3 appears once
+        walk.run_until_edge_cover()
+        assert walk.blue_degree == [0, 0, 0]
+        assert walk.num_visited_edges == 4
+
+    def test_first_edge_visit_times_recorded(self, rng):
+        g = cycle_graph(5)
+        walk = EdgeProcess(g, 0, rng=rng)
+        walk.run_until_edge_cover()
+        times = sorted(walk.first_edge_visit_time)
+        assert times == [1, 2, 3, 4, 5]
+
+
+class TestPhaseColors:
+    def test_next_color_before_any_step(self, rng):
+        walk = EdgeProcess(cycle_graph(4), 0, rng=rng)
+        assert walk.next_color == BLUE
+        assert walk.last_color is None
+
+    def test_in_red_phase_after_exhaustion(self, rng):
+        walk = EdgeProcess(cycle_graph(4), 0, rng=rng)
+        walk.run_until_edge_cover()
+        assert walk.in_red_phase
+        walk.step()
+        assert walk.last_color == RED
+
+    def test_phase_marks_alternate(self, rng_factory):
+        g = random_connected_regular_graph(40, 4, rng_factory(1))
+        walk = EdgeProcess(g, 0, rng=rng_factory(2))
+        walk.run_until_edge_cover()
+        colors = [mark.color for mark in walk.phase_marks]
+        assert colors[0] == BLUE
+        for a, b in zip(colors, colors[1:]):
+            assert a != b
+
+
+class TestEdgeCoverSandwich:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda rng: torus_grid(5, 5),
+            lambda rng: hypercube_graph(4),
+            lambda rng: double_cycle(12),
+            lambda rng: random_connected_regular_graph(40, 4, rng),
+        ],
+    )
+    def test_lower_bound_deterministic(self, graph_factory, rng_factory):
+        # C_E >= m holds for every single run (each step visits <= 1 edge).
+        g = graph_factory(rng_factory(5))
+        walk = EdgeProcess(g, 0, rng=rng_factory(6))
+        steps = walk.run_until_edge_cover()
+        assert steps >= g.m
+
+    def test_sandwich_in_expectation(self, rng_factory):
+        # eq (3): m <= E[C_E] <= m + C_V(SRW).  We check the measured mean
+        # against the sandwich with the measured SRW cover mean.
+        from repro.walks.srw import SimpleRandomWalk
+
+        g = random_connected_regular_graph(60, 4, rng_factory(7))
+        trials = 15
+        ce = []
+        cv_srw = []
+        for i in range(trials):
+            walk = EdgeProcess(g, 0, rng=rng_factory(100 + i))
+            ce.append(walk.run_until_edge_cover())
+            srw = SimpleRandomWalk(g, 0, rng=rng_factory(200 + i))
+            cv_srw.append(srw.run_until_vertex_cover())
+        mean_ce = sum(ce) / trials
+        mean_cv = sum(cv_srw) / trials
+        low, high = edge_cover_sandwich(g.m, mean_cv)
+        assert low <= mean_ce <= high * 1.5  # sampling slack on the upper side
+
+
+class TestMultigraphSupport:
+    def test_double_cycle_runs(self, rng):
+        g = double_cycle(8)
+        walk = EdgeProcess(g, 0, rng=rng, require_even_degrees=True)
+        walk.run_until_edge_cover()
+        assert walk.num_visited_edges == g.m
+
+    def test_parallel_edges_distinct_candidates(self, rng):
+        g = Graph(2, [(0, 1), (0, 1)])
+        walk = EdgeProcess(g, 0, rng=rng)
+        assert sorted(walk.blue_candidates(0)) == [(0, 1), (1, 1)]
+
+
+class TestRecording:
+    def test_red_trajectory(self, rng_factory):
+        g = random_connected_regular_graph(30, 4, rng_factory(9))
+        walk = EdgeProcess(g, 0, rng=rng_factory(10), record_red_trajectory=True)
+        walk.run_until_vertex_cover()
+        assert walk.red_trajectory[0] == 0
+        assert len(walk.red_trajectory) == walk.red_steps + 1
+
+    def test_phases_disabled(self, rng):
+        walk = EdgeProcess(cycle_graph(5), 0, rng=rng, record_phases=False)
+        walk.run(3)
+        assert walk.phase_marks == []

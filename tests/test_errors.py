@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CoverTimeout,
+    EvenDegreeError,
+    GenerationError,
+    GoodnessError,
+    GraphError,
+    NotConnectedError,
+    ReproError,
+    RuleError,
+    SpectralError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            GraphError,
+            NotConnectedError,
+            EvenDegreeError,
+            GenerationError,
+            SpectralError,
+            RuleError,
+            GoodnessError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_not_connected_is_graph_error(self):
+        assert issubclass(NotConnectedError, GraphError)
+
+    def test_even_degree_is_graph_error(self):
+        assert issubclass(EvenDegreeError, GraphError)
+
+    def test_cover_timeout_carries_diagnostics(self):
+        exc = CoverTimeout("ran out", steps=42, remaining=7)
+        assert isinstance(exc, ReproError)
+        assert exc.steps == 42
+        assert exc.remaining == 7
+        assert "ran out" in str(exc)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise RuleError("bad rule")

@@ -1,0 +1,68 @@
+"""Tests for the locally fair walks (Least-Used-First, Oldest-First)."""
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, lollipop_graph, petersen_graph
+from repro.walks.fair import LeastUsedFirstWalk, OldestFirstWalk
+
+
+class TestLeastUsedFirst:
+    def test_deterministic(self):
+        g = petersen_graph()
+        a = LeastUsedFirstWalk(g, 0)
+        b = LeastUsedFirstWalk(g, 0)
+        assert [a.step() for _ in range(80)] == [b.step() for _ in range(80)]
+
+    @pytest.mark.parametrize("graph", [cycle_graph(10), petersen_graph(), lollipop_graph(4, 3)])
+    def test_covers_vertices(self, graph):
+        walk = LeastUsedFirstWalk(graph, 0)
+        walk.run_until_vertex_cover(max_steps=20 * graph.m * graph.n)
+        assert walk.vertices_covered
+
+    def test_traversal_counts_sum_to_steps(self):
+        walk = LeastUsedFirstWalk(petersen_graph(), 0)
+        walk.run(137)
+        assert sum(walk.traversal_counts) == 137
+
+    def test_long_run_frequencies_equalize_on_cycle(self):
+        # [5]: Least-Used-First traverses all edges with the same frequency
+        # in the long run; on a cycle the counts stay within 2 of each other.
+        g = cycle_graph(8)
+        walk = LeastUsedFirstWalk(g, 0)
+        walk.run(40 * g.m)
+        counts = walk.traversal_counts
+        assert max(counts) - min(counts) <= 2
+
+    def test_prefers_unused_edges(self):
+        g = cycle_graph(6)
+        walk = LeastUsedFirstWalk(g, 0)
+        walk.run(5)
+        # after 5 steps on a 6-cycle no edge can have been used twice
+        assert max(walk.traversal_counts) <= 1
+
+
+class TestOldestFirst:
+    def test_deterministic(self):
+        g = petersen_graph()
+        a = OldestFirstWalk(g, 0)
+        b = OldestFirstWalk(g, 0)
+        assert [a.step() for _ in range(80)] == [b.step() for _ in range(80)]
+
+    def test_covers_cycle(self):
+        g = cycle_graph(12)
+        walk = OldestFirstWalk(g, 0)
+        walk.run_until_vertex_cover(max_steps=50 * g.n)
+        assert walk.vertices_covered
+
+    def test_last_traversal_updates(self):
+        walk = OldestFirstWalk(cycle_graph(5), 0)
+        walk.step()
+        used = [e for e, t in enumerate(walk.last_traversal) if t >= 0]
+        assert len(used) == 1
+
+    def test_never_traversed_prioritized(self):
+        g = petersen_graph()
+        walk = OldestFirstWalk(g, 0)
+        walk.run(3)
+        # the first three departures must use three distinct edges
+        assert sum(1 for c in walk.traversal_counts if c > 0) == 3

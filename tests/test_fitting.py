@@ -1,0 +1,87 @@
+"""Tests for growth-curve fitting and model selection (Figure 1 machinery)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.fitting import (
+    fit_linear,
+    fit_nlogn,
+    fit_normalized_profile,
+    fit_through_origin,
+    select_growth_model,
+)
+
+NS = [1000, 2000, 4000, 8000, 16000, 32000]
+
+
+def _noisy(values, scale, seed=1):
+    rng = random.Random(seed)
+    return [v * (1 + rng.uniform(-scale, scale)) for v in values]
+
+
+class TestFitThroughOrigin:
+    def test_exact_recovery(self):
+        fit = fit_through_origin([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], model="c*x")
+        assert fit.constant == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.residual_sum == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            fit_through_origin([1.0], [1.0], model="m")
+        with pytest.raises(ReproError):
+            fit_through_origin([0.0, 0.0], [1.0, 2.0], model="m")
+        with pytest.raises(ReproError):
+            fit_through_origin([1.0, 2.0], [1.0], model="m")
+
+
+class TestModelRecovery:
+    def test_linear_data(self):
+        ys = _noisy([2.5 * n for n in NS], 0.02)
+        fit = fit_linear(NS, ys)
+        assert fit.constant == pytest.approx(2.5, rel=0.05)
+
+    def test_nlogn_data_recovers_paper_style_constant(self):
+        # the paper fits 0.93 n ln n to d=3; synthetic data with that c
+        # must recover it
+        ys = _noisy([0.93 * n * math.log(n) for n in NS], 0.02)
+        fit = fit_nlogn(NS, ys)
+        assert fit.constant == pytest.approx(0.93, rel=0.05)
+
+    def test_selection_prefers_true_model(self):
+        linear_ys = _noisy([3.0 * n for n in NS], 0.03)
+        winner, _lin, _nl = select_growth_model(NS, linear_ys)
+        assert winner == "linear"
+
+        nlogn_ys = _noisy([0.4 * n * math.log(n) for n in NS], 0.03)
+        winner, _lin, _nl = select_growth_model(NS, nlogn_ys)
+        assert winner == "nlogn"
+
+
+class TestNormalizedProfile:
+    def test_flat_profile_for_linear_growth(self):
+        ys = [2.0 * n for n in NS]
+        profile = fit_normalized_profile(NS, ys)
+        assert profile.intercept == pytest.approx(2.0)
+        assert profile.slope == pytest.approx(0.0, abs=1e-9)
+
+    def test_slope_recovers_nlogn_constant(self):
+        c = 0.41  # the paper's d=5 fit
+        ys = [c * n * math.log(n) for n in NS]
+        profile = fit_normalized_profile(NS, ys)
+        assert profile.slope == pytest.approx(c, rel=1e-6)
+        assert profile.r_squared == pytest.approx(1.0)
+
+    def test_identical_ns_rejected(self):
+        with pytest.raises(ReproError):
+            fit_normalized_profile([5, 5], [1.0, 2.0])
+
+    def test_mixed_model_detected_by_slope(self):
+        # y = n + 0.3 n ln n: slope ~ 0.3, intercept ~ 1
+        ys = [n + 0.3 * n * math.log(n) for n in NS]
+        profile = fit_normalized_profile(NS, ys)
+        assert profile.slope == pytest.approx(0.3, rel=1e-6)
+        assert profile.intercept == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,174 @@
+"""Tests for the deterministic graph families."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    barbell_graph,
+    bowtie_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    double_cycle,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    theta_graph,
+    torus_grid,
+)
+from repro.graphs.properties import diameter, girth, is_bipartite, is_connected
+
+
+class TestCycleAndPath:
+    def test_cycle_basics(self):
+        g = cycle_graph(7)
+        assert (g.n, g.m) == (7, 7)
+        assert g.is_regular() and g.regularity() == 2
+        assert girth(g) == 7
+        assert g.has_even_degrees()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == g.degree(4) == 1
+        assert not g.has_even_degrees()
+
+    def test_path_single_vertex(self):
+        g = path_graph(1)
+        assert (g.n, g.m) == (1, 0)
+
+
+class TestComplete:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert g.regularity() == 5
+        assert girth(g) == 3
+        assert diameter(g) == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert (g.n, g.m) == (5, 6)
+        assert is_bipartite(g)
+        assert girth(g) == 4
+
+    def test_complete_bipartite_rejects_empty_part(self):
+        with pytest.raises(GraphError):
+            complete_bipartite_graph(0, 3)
+
+
+class TestHypercube:
+    def test_h4(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert g.regularity() == 4
+        assert g.has_even_degrees()
+        assert girth(g) == 4
+        assert is_bipartite(g)
+        assert diameter(g) == 4
+
+    def test_h1_is_edge(self):
+        g = hypercube_graph(1)
+        assert (g.n, g.m) == (2, 1)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+
+
+class TestTorus:
+    def test_regular_even(self):
+        g = torus_grid(4, 5)
+        assert g.n == 20
+        assert g.regularity() == 4
+        assert g.has_even_degrees()
+        assert is_connected(g)
+
+    def test_girth_unit_squares(self):
+        assert girth(torus_grid(5, 5)) == 4
+
+    def test_girth_wraps_at_three(self):
+        assert girth(torus_grid(3, 5)) == 3
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            torus_grid(2, 5)
+
+
+class TestCirculant:
+    def test_even_degree(self):
+        g = circulant_graph(11, [1, 3])
+        assert g.regularity() == 4
+        assert g.has_even_degrees()
+        assert is_connected(g)
+
+    def test_offset_zero_rejected(self):
+        with pytest.raises(GraphError):
+            circulant_graph(10, [0])
+
+    def test_half_offset_rejected(self):
+        with pytest.raises(GraphError):
+            circulant_graph(10, [5])
+
+    def test_duplicate_offset_rejected(self):
+        with pytest.raises(GraphError):
+            circulant_graph(10, [3, 7])  # 7 ≡ -3 (mod 10)
+
+
+class TestNamedFixtures:
+    def test_petersen(self):
+        g = petersen_graph()
+        assert (g.n, g.m) == (10, 15)
+        assert g.regularity() == 3
+        assert girth(g) == 5
+        assert diameter(g) == 2
+
+    def test_bowtie(self):
+        g = bowtie_graph()
+        assert (g.n, g.m) == (5, 6)
+        assert g.degree(0) == 4
+        assert g.has_even_degrees()
+        assert girth(g) == 3
+
+    def test_double_cycle_multigraph(self):
+        g = double_cycle(5)
+        assert g.regularity() == 4
+        assert g.has_parallel_edges()
+        assert girth(g) == 2
+        assert g.has_even_degrees()
+
+    def test_theta_girth(self):
+        g = theta_graph(2, 3, 4)
+        assert girth(g) == 5  # two shortest arms
+        assert g.degree(0) == g.degree(1) == 3
+
+    def test_theta_rejects_double_parallel(self):
+        with pytest.raises(GraphError):
+            theta_graph(1, 1, 3)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert is_bipartite(g)
+        assert math.isinf(girth(g))
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        assert is_connected(g)
+        assert g.m == 2 * 6 + 3
+        assert girth(g) == 3
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert (g.n, g.m) == (7, 9)
+        assert is_connected(g)
+        assert g.degree(6) == 1

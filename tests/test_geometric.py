@@ -1,0 +1,92 @@
+"""Tests for random geometric graphs on the unit torus."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.graphs.geometric import connectivity_radius, random_geometric_graph
+from repro.graphs.properties import is_connected
+
+
+class TestParameters:
+    def test_invalid_n(self, rng):
+        with pytest.raises(GenerationError):
+            random_geometric_graph(0, 0.1, rng)
+
+    def test_invalid_radius(self, rng):
+        with pytest.raises(GenerationError):
+            random_geometric_graph(10, 0.0, rng)
+        with pytest.raises(GenerationError):
+            random_geometric_graph(10, 0.6, rng)
+
+    def test_connectivity_radius_decreases(self):
+        assert connectivity_radius(10_000) < connectivity_radius(100)
+
+    def test_connectivity_radius_validation(self):
+        with pytest.raises(GenerationError):
+            connectivity_radius(1)
+        with pytest.raises(GenerationError):
+            connectivity_radius(100, constant=0)
+
+
+class TestSampling:
+    def test_simple_graph(self, rng):
+        g = random_geometric_graph(150, 0.15, rng)
+        assert g.n == 150
+        assert g.is_simple()
+
+    def test_deterministic_given_seed(self):
+        a = random_geometric_graph(80, 0.12, random.Random(9))
+        b = random_geometric_graph(80, 0.12, random.Random(9))
+        assert a == b
+
+    def test_bucket_grid_matches_brute_force(self, rng):
+        # the O(n) bucket construction must agree exactly with the O(n^2)
+        # definition; rebuild edges by brute force from the same point set
+        n, radius = 60, 0.2
+        seed_rng = random.Random(31)
+        g = random_geometric_graph(n, radius, random.Random(31))
+        points = [(seed_rng.random(), seed_rng.random()) for _ in range(n)]
+        expected = set()
+        for u in range(n):
+            for v in range(u + 1, n):
+                dx = abs(points[u][0] - points[v][0])
+                dy = abs(points[u][1] - points[v][1])
+                dx = min(dx, 1 - dx)
+                dy = min(dy, 1 - dy)
+                if dx * dx + dy * dy <= radius * radius:
+                    expected.add((u, v))
+        actual = {tuple(sorted(e)) for e in g.edges()}
+        assert actual == expected
+
+    def test_connected_above_threshold(self, rng_factory):
+        n = 300
+        radius = connectivity_radius(n, constant=2.5)
+        connected = 0
+        for i in range(5):
+            g = random_geometric_graph(n, radius, rng_factory(i))
+            if is_connected(g):
+                connected += 1
+        assert connected >= 4  # whp above the threshold
+
+    def test_expected_degree_scale(self, rng):
+        # average degree ~ pi r^2 (n-1)
+        n, radius = 500, 0.1
+        g = random_geometric_graph(n, radius, rng)
+        mean_degree = 2 * g.m / n
+        expected = math.pi * radius * radius * (n - 1)
+        assert mean_degree == pytest.approx(expected, rel=0.25)
+
+    def test_walkable_workload(self, rng_factory):
+        # the [3] use-case: RWC runs on geometric graphs
+        from repro.walks.choice import RandomWalkWithChoice
+
+        n = 200
+        g = random_geometric_graph(n, connectivity_radius(n, 3.0), rng_factory(7))
+        if not is_connected(g):
+            pytest.skip("below-threshold draw")
+        walk = RandomWalkWithChoice(g, 0, d=2, rng=rng_factory(8))
+        walk.run_until_vertex_cover(max_steps=200 * n * 20)
+        assert walk.vertices_covered

@@ -1,0 +1,125 @@
+"""Tests for ℓ-goodness (exact values, lower bounds, (P2) search)."""
+
+import math
+
+import pytest
+
+from repro.core.goodness import (
+    corollary2_ell,
+    ell_goodness_exact,
+    ell_lower_bound_girth,
+    ell_value_at,
+    is_ell_good,
+    p2_max_density_ratio,
+    p2_violation_search,
+)
+from repro.errors import GoodnessError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    torus_grid,
+)
+from repro.graphs.random_regular import random_connected_regular_graph
+
+
+class TestExactValues:
+    def test_cycle_is_n_good(self):
+        # On C_n the only even subgraph containing a vertex's edges is the
+        # whole cycle.
+        n = 8
+        g = cycle_graph(n)
+        assert ell_goodness_exact(g) == n
+        assert is_ell_good(g, n)
+        assert not is_ell_good(g, n + 1)
+
+    def test_bowtie_values(self, bowtie):
+        assert ell_value_at(bowtie, 0) == 5  # centre: both triangles
+        assert ell_value_at(bowtie, 1) == 3  # arm: one triangle
+        assert ell_goodness_exact(bowtie) == 3
+
+    def test_k5(self, k5):
+        assert ell_goodness_exact(k5) == 5
+
+    def test_hypercube4(self):
+        # each vertex needs two coordinate squares: 7 vertices
+        g = hypercube_graph(4)
+        assert ell_value_at(g, 0) == 7
+
+    def test_torus(self):
+        # a vertex's 4 edges force two girth-4 cycles sharing it: order >= 7;
+        # two unit squares (or a row plus a column cycle) achieve exactly 7
+        g = torus_grid(4, 4)
+        assert ell_value_at(g, 0) == 7
+
+    def test_odd_degree_rejected(self, k4):
+        with pytest.raises(GoodnessError):
+            ell_goodness_exact(k4)
+
+    def test_no_vertices_rejected(self, k5):
+        with pytest.raises(GoodnessError):
+            ell_goodness_exact(k5, vertices=[])
+
+
+class TestLowerBounds:
+    def test_girth_bound_graph_level(self):
+        g = torus_grid(4, 4)
+        assert ell_lower_bound_girth(g) == 4
+        assert ell_goodness_exact(g, vertices=[0]) >= 4
+
+    def test_girth_bound_vertex_level(self, bowtie):
+        assert ell_lower_bound_girth(bowtie, vertex=0) == 3
+        assert ell_value_at(bowtie, 0) >= 3
+
+    def test_bound_never_exceeds_exact_on_small_graphs(self, k5, bowtie):
+        for g in (k5, bowtie, cycle_graph(6), torus_grid(4, 4)):
+            for v in range(min(g.n, 4)):
+                assert ell_lower_bound_girth(g, vertex=v) <= ell_value_at(g, v)
+
+
+class TestCorollary2:
+    def test_formula(self):
+        n, r = 10_000, 4
+        expected = math.log(n) / (4 * math.log(r * math.e))
+        assert corollary2_ell(n, r) == pytest.approx(expected)
+
+    def test_grows_with_n(self):
+        assert corollary2_ell(10_000, 4) > corollary2_ell(100, 4)
+
+    def test_odd_r_rejected(self):
+        with pytest.raises(GoodnessError):
+            corollary2_ell(1000, 3)
+
+    def test_r_two_rejected(self):
+        with pytest.raises(GoodnessError):
+            corollary2_ell(1000, 2)
+
+
+class TestP2:
+    def test_density_ratio_known_sets(self, k5):
+        # K5 on 4 vertices induces 6 edges: ratio 6 - 4 = 2 (violation)
+        assert p2_max_density_ratio(k5, [[0, 1, 2, 3]]) == 2
+        # a triangle induces 3 edges on 3 vertices: ratio 0 (boundary case)
+        assert p2_max_density_ratio(k5, [[0, 1, 2]]) == 0
+
+    def test_empty_input_rejected(self, k5):
+        with pytest.raises(GoodnessError):
+            p2_max_density_ratio(k5, [])
+
+    def test_violation_found_on_dense_graph(self, rng):
+        # K6 is saturated with dense subgraphs: the search must find one.
+        hit = p2_violation_search(complete_graph(6), max_size=5, rng=rng, samples=500)
+        assert hit is not None
+        vertices, induced = hit
+        assert induced > len(vertices)
+
+    def test_no_violation_on_sparse_random_regular(self, rng_factory):
+        # Lemma 18 / (P2): small sets in random 4-regular graphs are sparse
+        # whp; at n = 300 and s <= 7 a violation would be extraordinary.
+        g = random_connected_regular_graph(300, 4, rng_factory(13))
+        hit = p2_violation_search(g, max_size=7, rng=rng_factory(14), samples=1500)
+        assert hit is None
+
+    def test_max_size_validation(self, rng, k5):
+        with pytest.raises(GoodnessError):
+            p2_violation_search(k5, max_size=2, rng=rng)

@@ -1,0 +1,236 @@
+"""Unit tests for the multigraph substrate (repro.graphs.graph)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0
+        assert g.m == 0
+        assert g.is_regular()
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        assert g.n == 2
+        assert g.m == 1
+        assert g.degree(0) == g.degree(1) == 1
+        assert g.endpoints(0) == (0, 1)
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 0)])
+
+    def test_name_is_carried(self):
+        g = Graph(1, [], name="solo")
+        assert g.name == "solo"
+        assert "solo" in repr(g)
+
+
+class TestLoopsAndParallels:
+    def test_loop_counts_twice_in_degree(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_loop_appears_twice_in_incidence(self):
+        g = Graph(1, [(0, 0)])
+        assert len(g.incidence(0)) == 2
+        assert g.incidence(0) == ((0, 0), (0, 0))
+
+    def test_parallel_edges_distinct_ids(self):
+        g = Graph(2, [(0, 1), (0, 1)])
+        assert g.m == 2
+        assert g.degree(0) == 2
+        assert g.edge_ids_between(0, 1) == (0, 1)
+
+    def test_has_loops_and_parallels_flags(self):
+        assert Graph(1, [(0, 0)]).has_loops()
+        assert not Graph(2, [(0, 1)]).has_loops()
+        assert Graph(2, [(0, 1), (1, 0)]).has_parallel_edges()
+        assert not Graph(3, [(0, 1), (1, 2)]).has_parallel_edges()
+
+    def test_is_simple(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_simple()
+        assert not Graph(2, [(0, 1), (0, 1)]).is_simple()
+        assert not Graph(1, [(0, 0)]).is_simple()
+
+    def test_loop_edge_ids_between_deduplicated(self):
+        g = Graph(1, [(0, 0), (0, 0)])
+        assert g.edge_ids_between(0, 0) == (0, 1)
+
+
+class TestAccessors:
+    def test_degrees_sum_to_twice_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 0)])
+        assert sum(g.degrees()) == 2 * g.m
+        assert g.total_degree == 2 * g.m
+
+    def test_neighbors_sorted_unique(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 1)])
+        assert g.neighbors(0) == (1, 3)
+
+    def test_loop_makes_self_neighbor(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        assert 0 in g.neighbors(0)
+
+    def test_other_endpoint(self):
+        g = Graph(3, [(0, 2)])
+        assert g.other_endpoint(0, 0) == 2
+        assert g.other_endpoint(0, 2) == 0
+        with pytest.raises(GraphError):
+            g.other_endpoint(0, 1)
+
+    def test_other_endpoint_loop(self):
+        g = Graph(1, [(0, 0)])
+        assert g.other_endpoint(0, 0) == 0
+
+    def test_incident_edges(self):
+        g = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.incident_edges(0) == (0, 1)
+        assert g.incident_edges(2) == (1, 2)
+
+    def test_has_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 99)
+
+    def test_max_min_degree(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.max_degree == 2
+        assert g.min_degree == 1
+
+    def test_iteration_and_len(self):
+        g = Graph(3, [])
+        assert list(g) == [0, 1, 2]
+        assert len(g) == 3
+
+
+class TestRegularityAndParity:
+    def test_regularity(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.is_regular()
+        assert g.regularity() == 2
+
+    def test_not_regular(self):
+        g = Graph(3, [(0, 1)])
+        assert not g.is_regular()
+        with pytest.raises(GraphError):
+            g.regularity()
+
+    def test_even_degrees(self):
+        triangle = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        assert triangle.has_even_degrees()
+        path = Graph(2, [(0, 1)])
+        assert not path.has_even_degrees()
+
+    def test_loop_preserves_even_parity(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0), (0, 0)])
+        assert g.has_even_degrees()
+
+
+class TestDerivedGraphs:
+    def test_edge_subgraph_keeps_vertex_set(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.edge_subgraph([0, 2])
+        assert sub.n == 4
+        assert sub.m == 2
+        assert sub.edges() == ((0, 1), (2, 3))
+
+    def test_edge_subgraph_bad_id(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.edge_subgraph([5])
+
+    def test_relabeled(self):
+        g = Graph(2, [(0, 1)], name="a")
+        h = g.relabeled("b")
+        assert h.name == "b"
+        assert h == g
+
+
+class TestEquality:
+    def test_equal_ignores_edge_order_and_orientation(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(2, 1), (1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_different_multiplicity(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(0, 1), (0, 1)])
+        assert a != b
+
+    def test_unequal_different_n(self):
+        assert Graph(2, [(0, 1)]) != Graph(3, [(0, 1)])
+
+    def test_eq_non_graph(self):
+        assert Graph(1, []) != "graph"
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder()
+        v0 = b.add_vertex()
+        v1 = b.add_vertex()
+        eid = b.add_edge(v0, v1)
+        assert eid == 0
+        g = b.build("pair")
+        assert (g.n, g.m, g.name) == (2, 1, "pair")
+
+    def test_add_vertices_range(self):
+        b = GraphBuilder()
+        r = b.add_vertices(5)
+        assert list(r) == [0, 1, 2, 3, 4]
+        assert b.num_vertices == 5
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-1)
+        with pytest.raises(GraphError):
+            GraphBuilder().add_vertices(-1)
+
+    def test_edge_requires_existing_vertices(self):
+        b = GraphBuilder(1)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 1)
+
+    def test_ensure_vertices(self):
+        b = GraphBuilder(2)
+        b.ensure_vertices(5)
+        assert b.num_vertices == 5
+        b.ensure_vertices(3)  # never shrinks
+        assert b.num_vertices == 5
+
+    def test_add_path_and_cycle(self):
+        b = GraphBuilder(4)
+        b.add_path([0, 1, 2])
+        b.add_cycle([0, 2, 3])
+        g = b.build()
+        assert g.m == 2 + 3
+        assert g.has_edge(3, 0)
+
+    def test_single_vertex_cycle_is_loop(self):
+        b = GraphBuilder(1)
+        b.add_cycle([0])
+        g = b.build()
+        assert g.m == 1
+        assert g.has_loops()
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder(3)
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.num_edges == 2

@@ -1,0 +1,53 @@
+"""Tests for the Greedy Random Walk wrapper (eq. 2 of the paper)."""
+
+import math
+
+from repro.core.bounds import grw_edge_cover_bound
+from repro.core.eprocess import EdgeProcess
+from repro.core.rules import UniformEdgeRule
+from repro.graphs.generators import complete_graph, hypercube_graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.spectral.eigen import spectral_gap
+from repro.walks.greedy import GreedyRandomWalk, greedy_random_walk
+
+
+class TestIdentity:
+    def test_is_an_eprocess_with_uniform_rule(self, rng):
+        walk = GreedyRandomWalk(complete_graph(4), 0, rng=rng)
+        assert isinstance(walk, EdgeProcess)
+        assert isinstance(walk.rule, UniformEdgeRule)
+
+    def test_odd_degrees_allowed(self, rng):
+        # [13] covers all r, not just even
+        walk = GreedyRandomWalk(complete_graph(4), 0, rng=rng)
+        walk.run_until_edge_cover()
+        assert walk.edges_covered
+
+    def test_factory(self, rng):
+        walk = greedy_random_walk(complete_graph(4), 1, rng=rng)
+        assert walk.start == 1
+
+
+class TestEq2:
+    def test_edge_cover_within_eq2_bound(self, rng_factory):
+        # Eq (2): C_E(GRW) = m + O(n log n / gap); check with constant 6
+        # against the measured mean on random 4-regular graphs.
+        g = random_connected_regular_graph(80, 4, rng_factory(21))
+        gap = spectral_gap(g)
+        bound = grw_edge_cover_bound(g.m, g.n, gap, constant=6.0)
+        covers = []
+        for i in range(10):
+            walk = GreedyRandomWalk(g, 0, rng=rng_factory(300 + i))
+            covers.append(walk.run_until_edge_cover())
+        assert sum(covers) / len(covers) <= bound
+
+    def test_hypercube_linear_in_edges_plus_nlogn(self, rng_factory):
+        # the paper's H_r example: C_E(E-process) = Theta(n log n)
+        g = hypercube_graph(6)  # n=64, m=192
+        covers = []
+        for i in range(5):
+            walk = GreedyRandomWalk(g, 0, rng=rng_factory(400 + i))
+            covers.append(walk.run_until_edge_cover())
+        mean = sum(covers) / len(covers)
+        n = g.n
+        assert mean <= 6 * (g.m + n * math.log(n))

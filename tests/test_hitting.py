@@ -1,0 +1,145 @@
+"""Tests for exact hitting/commute/return times and cover-time bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    lollipop_graph,
+    path_graph,
+    petersen_graph,
+)
+from repro.graphs.graph import Graph
+from repro.spectral.hitting import (
+    best_kklv_lower_bound,
+    commute_time,
+    expected_return_time,
+    fundamental_matrix,
+    hitting_time,
+    hitting_time_matrix,
+    hitting_time_to_set,
+    kklv_lower_bound,
+    matthews_upper_bound,
+)
+from repro.spectral.matrices import stationary_distribution
+from repro.walks.srw import SimpleRandomWalk
+
+
+class TestFundamentalMatrix:
+    def test_rows_sum_to_one(self):
+        # Z = (I - P + 1pi)^(-1) has row sums 1 (since (I-P+1pi) 1 = 1).
+        Z = fundamental_matrix(petersen_graph())
+        assert np.allclose(Z.sum(axis=1), 1.0)
+
+    def test_stationary_left_eigenvector(self):
+        g = cycle_graph(6)
+        Z = fundamental_matrix(g)
+        pi = stationary_distribution(g)
+        assert np.allclose(pi @ Z, pi)
+
+
+class TestHittingTimes:
+    def test_cycle_closed_form(self):
+        # On C_n, E_u T_v = k (n - k) where k is the hop distance.
+        n = 9
+        g = cycle_graph(n)
+        H = hitting_time_matrix(g)
+        for k in range(1, n):
+            assert H[0, k] == pytest.approx(k * (n - k), rel=1e-9)
+
+    def test_complete_closed_form(self):
+        n = 7
+        H = hitting_time_matrix(complete_graph(n))
+        off_diag = H[~np.eye(n, dtype=bool)]
+        assert np.allclose(off_diag, n - 1)
+
+    def test_path_endpoint_quadratic(self):
+        # On P_n, hitting time end-to-end is (n-1)^2.
+        n = 6
+        assert hitting_time(path_graph(n), 0, n - 1) == pytest.approx((n - 1) ** 2)
+
+    def test_matrix_matches_direct_solver(self):
+        g = petersen_graph()
+        H = hitting_time_matrix(g)
+        for u, v in [(0, 1), (3, 8), (9, 0)]:
+            assert H[u, v] == pytest.approx(hitting_time(g, u, v), rel=1e-9)
+
+    def test_diagonal_zero(self):
+        H = hitting_time_matrix(cycle_graph(5))
+        assert np.allclose(np.diag(H), 0.0)
+
+    def test_set_hitting_less_than_single(self):
+        g = cycle_graph(10)
+        both = hitting_time_to_set(g, 0, {3, 7})
+        single = hitting_time(g, 0, 3)
+        assert both < single
+
+    def test_set_hitting_zero_if_inside(self):
+        assert hitting_time_to_set(cycle_graph(5), 2, {2}) == 0.0
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(SpectralError):
+            hitting_time_to_set(cycle_graph(5), 0, set())
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(SpectralError):
+            hitting_time_matrix(Graph(4, [(0, 1), (2, 3)]))
+
+
+class TestReturnAndCommute:
+    def test_return_time_identity(self):
+        # E_v T_v^+ = 2m / d(v), Aldous-Fill.
+        g = lollipop_graph(4, 2)
+        for v in range(g.n):
+            assert expected_return_time(g, v) == pytest.approx(2 * g.m / g.degree(v))
+
+    def test_commute_symmetric(self):
+        g = petersen_graph()
+        H = hitting_time_matrix(g)
+        assert commute_time(g, 2, 7, H) == pytest.approx(commute_time(g, 7, 2, H))
+
+    def test_commute_effective_resistance_cycle(self):
+        # K(u,v) = 2m * R_eff; on a cycle R_eff = k(n-k)/n.
+        n, k = 8, 3
+        g = cycle_graph(n)
+        expected = 2 * n * (k * (n - k) / n)
+        assert commute_time(g, 0, k) == pytest.approx(expected, rel=1e-9)
+
+
+class TestCoverBounds:
+    def test_matthews_dominates_measured_cover(self, rng_factory):
+        g = petersen_graph()
+        bound = matthews_upper_bound(g)
+        rng = rng_factory(3)
+        covers = []
+        for _ in range(60):
+            walk = SimpleRandomWalk(g, 0, rng=rng)
+            covers.append(walk.run_until_vertex_cover())
+        assert sum(covers) / len(covers) <= bound
+
+    def test_kklv_below_measured_cover(self, rng_factory):
+        g = cycle_graph(12)
+        bound = best_kklv_lower_bound(g)
+        rng = rng_factory(4)
+        covers = []
+        for _ in range(60):
+            walk = SimpleRandomWalk(g, 0, rng=rng)
+            covers.append(walk.run_until_vertex_cover())
+        mean = sum(covers) / len(covers)
+        assert bound <= mean * 1.15  # small-sample slack
+
+    def test_kklv_needs_two_vertices(self):
+        with pytest.raises(SpectralError):
+            kklv_lower_bound(cycle_graph(5), [0])
+
+    def test_theorem5_shape_on_regular_graphs(self):
+        # On regular graphs every vertex has pi_u = 1/n <= 2/n, so the
+        # bound uses all of them; it must exceed (n/4) log(n/2) whenever
+        # K_A >= n/2 (here: commute >= n on the cycle).
+        n = 16
+        g = cycle_graph(n)
+        assert best_kklv_lower_bound(g) >= (n / 4) * math.log(n / 2)

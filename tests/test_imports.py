@@ -1,0 +1,74 @@
+"""Public-API surface tests: exports resolve and stay importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.graphs",
+    "repro.spectral",
+    "repro.walks",
+    "repro.core",
+    "repro.sim",
+]
+
+
+class TestTopLevel:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_headline_objects_present(self):
+        assert callable(repro.EdgeProcess)
+        assert callable(repro.random_connected_regular_graph)
+        assert callable(repro.verify_observation_10)
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_lazy_greedy_import(self):
+        import repro.walks as walks
+
+        assert callable(walks.GreedyRandomWalk)
+        assert callable(walks.greedy_random_walk)
+
+    def test_lazy_unknown_attribute_raises(self):
+        import repro.walks as walks
+
+        with pytest.raises(AttributeError):
+            _ = walks.NotAWalk
+
+
+class TestLeafModules:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graphs.graph",
+            "repro.graphs.cycle_space",
+            "repro.graphs.ramanujan",
+            "repro.graphs.geometric",
+            "repro.spectral.mixing",
+            "repro.spectral.expanders",
+            "repro.core.eprocess",
+            "repro.core.goodness",
+            "repro.core.phasestats",
+            "repro.sim.blanket",
+            "repro.sim.profiles",
+            "repro.sim.plot",
+            "repro.cli",
+        ],
+    )
+    def test_leaf_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"

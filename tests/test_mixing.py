@@ -1,0 +1,175 @@
+"""Tests for the mixing machinery (eq. 5, Lemmas 6-8, Cor. 9, Lemma 13)."""
+
+import math
+
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import complete_graph, cycle_graph, petersen_graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.graphs.transform import contract
+from repro.spectral.eigen import lambda_max, spectral_gap
+from repro.spectral.hitting import hitting_time_matrix
+from repro.spectral.matrices import stationary_distribution
+from repro.spectral.mixing import (
+    convergence_profile,
+    epi_hitting_bound,
+    epi_hitting_exact,
+    epi_hitting_set_exact,
+    lemma13_min_time,
+    lemma13_tail_bound,
+    mixing_time_bound,
+    no_visit_tail_bound,
+    pointwise_convergence_bound,
+    set_hitting_bound,
+    zvv_exact,
+)
+
+
+class TestEq5:
+    def test_bound_dominates_true_deviation(self):
+        g = petersen_graph()
+        lam = lambda_max(g)
+        pi = stationary_distribution(g)
+        for t in (1, 3, 7, 15):
+            true_dev = convergence_profile(g, t)
+            worst_bound = max(
+                pointwise_convergence_bound(pi[x], pi[u], lam, t)
+                for u in range(g.n)
+                for x in range(g.n)
+            )
+            assert true_dev <= worst_bound + 1e-12
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(SpectralError):
+            pointwise_convergence_bound(0.0, 0.5, 0.5, 3)
+
+
+class TestZvvAndEpiHitting:
+    def test_eq6_identity(self):
+        # E_pi(H_v) = Z_vv / pi_v must equal sum_u pi_u E_u T_v.
+        g = petersen_graph()
+        H = hitting_time_matrix(g)
+        pi = stationary_distribution(g)
+        for v in (0, 4, 9):
+            direct = float(pi @ H[:, v])
+            assert epi_hitting_exact(g, v) == pytest.approx(direct, rel=1e-9)
+
+    def test_zvv_positive_on_connected_graphs(self):
+        g = cycle_graph(7)
+        for v in range(g.n):
+            assert zvv_exact(g, v) > 0
+
+    def test_lemma6_bound_dominates_exact(self):
+        # Lemma 6 needs lambda_max < 1; use non-bipartite fixtures.
+        for g in (petersen_graph(), complete_graph(6), cycle_graph(9)):
+            gap = spectral_gap(g)
+            pi = stationary_distribution(g)
+            for v in range(g.n):
+                assert epi_hitting_exact(g, v) <= epi_hitting_bound(pi[v], gap) + 1e-9
+
+    def test_lemma6_rejects_zero_gap(self):
+        with pytest.raises(SpectralError):
+            epi_hitting_bound(0.1, 0.0)
+
+
+class TestLemma7:
+    def test_mixing_time_achieves_pointwise_accuracy(self):
+        g = petersen_graph()
+        gap = spectral_gap(g)
+        T = math.ceil(mixing_time_bound(g.n, gap))
+        assert convergence_profile(g, T) <= g.n ** -3
+
+    def test_k_below_six_rejected(self):
+        with pytest.raises(SpectralError):
+            mixing_time_bound(100, 0.5, big_k=2.0)
+
+    def test_monotone_in_gap(self):
+        assert mixing_time_bound(100, 0.5) < mixing_time_bound(100, 0.1)
+
+
+class TestLemma8:
+    def test_tail_decays(self):
+        bound1 = no_visit_tail_bound(100.0, 10.0, 20.0)
+        bound2 = no_visit_tail_bound(400.0, 10.0, 20.0)
+        assert bound2 < bound1 <= 1.0
+
+    def test_floor_semantics(self):
+        # below one interval the bound is trivial (e^0 = 1)
+        assert no_visit_tail_bound(5.0, 10.0, 20.0) == 1.0
+
+    def test_empirically_dominates(self, rng_factory):
+        # Pr(v unvisited at t) measured by simulation on the Petersen graph
+        # must stay below Lemma 8's bound.
+        from repro.walks.srw import SimpleRandomWalk
+
+        g = petersen_graph()
+        gap = spectral_gap(g)
+        T = mixing_time_bound(g.n, gap)
+        target = 7
+        epi = epi_hitting_exact(g, target)
+        t = 200
+        bound = no_visit_tail_bound(t, T, epi)
+        rng = rng_factory(8)
+        trials = 300
+        misses = 0
+        for _ in range(trials):
+            walk = SimpleRandomWalk(g, 0, rng=rng)
+            walk.run(t)
+            if not walk.visited_vertices[target]:
+                misses += 1
+        assert misses / trials <= bound + 0.05
+
+
+class TestCorollary9:
+    def test_set_bound_dominates_exact(self):
+        g = petersen_graph()
+        gap = spectral_gap(g)
+        for S in ({0}, {0, 1}, {2, 5, 8}):
+            d_s = sum(g.degree(v) for v in S)
+            exact = epi_hitting_set_exact(g, S)
+            assert exact <= set_hitting_bound(g.m, d_s, gap) + 1e-9
+
+    def test_contraction_gap_inequality_feeds_bound(self):
+        # The bound holds with the *original* graph's gap because
+        # contraction only increases the gap (eq. 16).
+        g = petersen_graph()
+        S = {0, 1, 2}
+        gamma_graph = contract(g, S).graph
+        assert spectral_gap(gamma_graph, lazy=True) >= spectral_gap(g, lazy=True) - 1e-9
+
+
+class TestLemma13:
+    def test_preconditions_enforced(self):
+        with pytest.raises(SpectralError):
+            lemma13_tail_bound(t=10.0, m=100, d_s=90.0, gap=0.5, n=50)  # d(S) too big
+        with pytest.raises(SpectralError):
+            lemma13_tail_bound(t=1.0, m=100, d_s=2.0, gap=0.5, n=50)  # t too small
+
+    def test_valid_bound_below_one(self):
+        m, d_s, gap, n = 2000, 4.0, 0.3, 1000
+        t = lemma13_min_time(m, d_s, gap) * 2
+        bound = lemma13_tail_bound(t, m, d_s, gap, n)
+        assert 0 < bound < 1
+
+    def test_empirical_set_avoidance(self, rng_factory):
+        # measured Pr(S unvisited at t) <= Lemma 13 bound on a random
+        # 4-regular graph (uses the real spectral gap).
+        from repro.walks.srw import SimpleRandomWalk
+
+        g = random_connected_regular_graph(120, 4, rng_factory(11))
+        gap = spectral_gap(g)
+        S = {0}
+        d_s = 4.0
+        t = int(lemma13_min_time(g.m, d_s, gap)) + 1
+        bound = lemma13_tail_bound(t, g.m, d_s, gap, g.n)
+        rng = rng_factory(12)
+        trials = 120
+        misses = 0
+        for _ in range(trials):
+            start = rng.randrange(1, g.n)
+            walk = SimpleRandomWalk(g, start, rng=rng)
+            walk.run(t)
+            if not walk.visited_vertices[0]:
+                misses += 1
+        assert misses / trials <= bound + 0.05

@@ -1,0 +1,102 @@
+"""Tests for the number theory kit behind the LPS construction."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.graphs.numbertheory import (
+    four_square_representations,
+    is_prime,
+    legendre_symbol,
+    mod_inverse,
+    next_prime,
+    primes_in_range,
+    sqrt_mod_prime,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in known)
+
+    def test_large_prime_and_composite(self):
+        assert is_prime(104729)  # 10000th prime
+        assert not is_prime(104729 * 104723)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(13) == 17
+        assert next_prime(14) == 17
+
+    def test_primes_in_range(self):
+        assert primes_in_range(10, 30) == [11, 13, 17, 19, 23, 29]
+
+
+class TestLegendre:
+    def test_against_brute_force(self):
+        for p in (5, 13, 17, 29):
+            residues = {(x * x) % p for x in range(1, p)}
+            for a in range(1, p):
+                expected = 1 if a in residues else -1
+                assert legendre_symbol(a, p) == expected
+
+    def test_zero(self):
+        assert legendre_symbol(13, 13) == 0
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(GenerationError):
+            legendre_symbol(2, 15)
+
+
+class TestSqrtMod:
+    @pytest.mark.parametrize("p", [5, 13, 17, 29, 101, 10007])
+    def test_roots_square_back(self, p):
+        residues = sorted({(x * x) % p for x in range(1, p)})[:20]
+        for a in residues:
+            root = sqrt_mod_prime(a, p)
+            assert (root * root) % p == a % p
+
+    def test_minus_one_has_root_iff_1_mod_4(self):
+        root = sqrt_mod_prime(12, 13)  # -1 mod 13
+        assert (root * root) % 13 == 12
+        with pytest.raises(GenerationError):
+            sqrt_mod_prime(6, 7)  # 6 is a non-residue mod 7
+
+    def test_zero(self):
+        assert sqrt_mod_prime(0, 13) == 0
+
+
+class TestModInverse:
+    def test_inverse(self):
+        for p in (5, 13, 101):
+            for a in range(1, p):
+                assert (a * mod_inverse(a, p)) % p == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(GenerationError):
+            mod_inverse(0, 13)
+
+
+class TestFourSquares:
+    @pytest.mark.parametrize("p", [5, 13, 17, 29])
+    def test_exactly_p_plus_one_solutions(self, p):
+        sols = four_square_representations(p)
+        assert len(sols) == p + 1
+        for a0, a1, a2, a3 in sols:
+            assert a0 > 0 and a0 % 2 == 1
+            assert a1 % 2 == a2 % 2 == a3 % 2 == 0
+            assert a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3 == p
+
+    def test_wrong_residue_class_rejected(self):
+        with pytest.raises(GenerationError):
+            four_square_representations(7)  # 7 ≡ 3 (mod 4)
+
+    def test_solutions_closed_under_quaternion_conjugation(self):
+        sols = set(four_square_representations(13))
+        for a0, a1, a2, a3 in sols:
+            assert (a0, -a1, -a2, -a3) in sols

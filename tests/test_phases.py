@@ -1,0 +1,120 @@
+"""Tests for phase decomposition and Observations 10/12."""
+
+import pytest
+
+from repro.core.eprocess import BLUE, EdgeProcess
+from repro.core.phases import (
+    PhaseViolation,
+    blue_phases,
+    phase_decomposition,
+    red_phases,
+    verify_observation_10,
+    verify_observation_12,
+    verify_step_accounting,
+)
+from repro.core.rules import ALL_RULE_FACTORIES
+from repro.errors import ReproError
+from repro.graphs.generators import complete_graph, cycle_graph, torus_grid
+from repro.graphs.random_regular import random_connected_regular_graph
+
+
+class TestDecomposition:
+    def test_cycle_single_blue_phase(self, rng):
+        n = 9
+        walk = EdgeProcess(cycle_graph(n), 0, rng=rng)
+        walk.run_until_edge_cover()
+        phases = phase_decomposition(walk)
+        assert len(phases) == 1
+        phase = phases[0]
+        assert phase.color == BLUE
+        assert (phase.start_step, phase.end_step) == (1, n)
+        assert phase.length == n
+        assert phase.start_vertex == 0
+        assert phase.end_vertex == 0  # closed: walk sits on an all-red vertex
+
+    def test_phases_partition_steps(self, rng_factory):
+        g = random_connected_regular_graph(40, 4, rng_factory(3))
+        walk = EdgeProcess(g, 0, rng=rng_factory(4))
+        walk.run_until_vertex_cover()
+        phases = phase_decomposition(walk)
+        assert phases[0].start_step == 1
+        for a, b in zip(phases, phases[1:]):
+            assert b.start_step == a.end_step + 1
+        assert phases[-1].end_step == walk.steps
+        assert sum(p.length for p in phases) == walk.steps
+
+    def test_blue_red_split_matches_counters(self, rng_factory):
+        g = random_connected_regular_graph(40, 4, rng_factory(5))
+        walk = EdgeProcess(g, 0, rng=rng_factory(6))
+        walk.run_until_vertex_cover()
+        assert sum(p.length for p in blue_phases(walk)) == walk.blue_steps
+        assert sum(p.length for p in red_phases(walk)) == walk.red_steps
+
+    def test_open_final_phase_has_no_end_vertex(self, rng):
+        g = torus_grid(4, 4)
+        walk = EdgeProcess(g, 0, rng=rng)
+        walk.run(3)  # mid blue phase
+        phases = phase_decomposition(walk)
+        assert phases[-1].end_vertex is None
+
+    def test_disabled_recording_raises(self, rng):
+        walk = EdgeProcess(cycle_graph(5), 0, rng=rng, record_phases=False)
+        walk.run(2)
+        with pytest.raises(ReproError):
+            phase_decomposition(walk)
+
+    def test_no_steps_no_phases(self, rng):
+        walk = EdgeProcess(cycle_graph(5), 0, rng=rng)
+        assert phase_decomposition(walk) == []
+
+
+class TestObservation10:
+    @pytest.mark.parametrize("rule_name", sorted(ALL_RULE_FACTORIES))
+    def test_blue_phases_return_to_start_all_rules(self, rule_name, rng_factory):
+        g = random_connected_regular_graph(36, 4, rng_factory(7))
+        rule = ALL_RULE_FACTORIES[rule_name]()
+        walk = EdgeProcess(g, 0, rng=rng_factory(8), rule=rule, require_even_degrees=True)
+        walk.run_until_edge_cover()
+        checked = verify_observation_10(walk)
+        assert checked  # at least one completed blue phase
+
+    def test_holds_on_multigraph_with_loops(self, rng):
+        from repro.graphs.graph import Graph
+
+        # triangle + loop at 0 + a tripled (1,2) edge: degrees (4, 4, 4)
+        g = Graph(3, [(0, 1), (1, 2), (2, 0), (0, 0), (1, 2), (2, 1)])
+        assert g.has_even_degrees()
+        walk = EdgeProcess(g, 0, rng=rng, require_even_degrees=True)
+        walk.run_until_edge_cover()
+        verify_observation_10(walk)
+
+    def test_odd_degree_graph_rejected(self, rng):
+        walk = EdgeProcess(complete_graph(4), 0, rng=rng)
+        walk.run_until_vertex_cover()
+        with pytest.raises(PhaseViolation):
+            verify_observation_10(walk)
+
+
+class TestObservation12:
+    def test_accounting_at_every_scale(self, rng_factory):
+        g = random_connected_regular_graph(40, 6, rng_factory(9))
+        walk = EdgeProcess(g, 0, rng=rng_factory(10))
+        for _ in range(200):
+            walk.step()
+            verify_observation_12(walk)
+        walk.run_until_edge_cover()
+        verify_observation_12(walk)
+        # at edge cover, t_B equals m exactly
+        assert walk.blue_steps == g.m
+
+    def test_alias(self, rng):
+        walk = EdgeProcess(cycle_graph(5), 0, rng=rng)
+        walk.run(2)
+        verify_step_accounting(walk)
+
+    def test_red_steps_bound_cover_relation(self, rng_factory):
+        # t_R <= t <= t_R + m for the full run (Observation 12).
+        g = random_connected_regular_graph(50, 4, rng_factory(11))
+        walk = EdgeProcess(g, 0, rng=rng_factory(12))
+        t = walk.run_until_vertex_cover()
+        assert walk.red_steps <= t <= walk.red_steps + g.m

@@ -1,0 +1,60 @@
+"""Tests for phase statistics."""
+
+import pytest
+
+from repro.core.eprocess import EdgeProcess
+from repro.core.phasestats import phase_statistics
+from repro.errors import ReproError
+from repro.graphs.generators import cycle_graph
+from repro.graphs.random_regular import random_connected_regular_graph
+
+
+class TestPhaseStatistics:
+    def test_cycle_single_sweep(self, rng):
+        n = 10
+        walk = EdgeProcess(cycle_graph(n), 0, rng=rng)
+        walk.run_until_edge_cover()
+        stats = phase_statistics(walk)
+        assert stats.num_blue_phases == 1
+        assert stats.num_red_phases == 0
+        assert stats.first_blue_length == n
+        assert stats.blue_fraction == 1.0
+        assert stats.first_blue_edge_share == 1.0
+
+    def test_first_sweep_dominates_on_even_expanders(self, rng_factory):
+        # the paper's narrative: the initial blue phase consumes a large
+        # share of the edges before the first red phase starts
+        g = random_connected_regular_graph(200, 4, rng_factory(1))
+        walk = EdgeProcess(g, 0, rng=rng_factory(2))
+        walk.run_until_vertex_cover()
+        stats = phase_statistics(walk)
+        assert stats.first_blue_edge_share > 0.3
+        assert stats.longest_blue_length >= stats.first_blue_length * 0.99
+
+    def test_counts_consistent_with_decomposition(self, rng_factory):
+        from repro.core.phases import phase_decomposition
+
+        g = random_connected_regular_graph(100, 4, rng_factory(3))
+        walk = EdgeProcess(g, 0, rng=rng_factory(4))
+        walk.run_until_edge_cover()
+        stats = phase_statistics(walk)
+        phases = phase_decomposition(walk)
+        assert stats.num_blue_phases + stats.num_red_phases == len(phases)
+
+    def test_blue_fraction_matches_obs12(self, rng_factory):
+        g = random_connected_regular_graph(100, 6, rng_factory(5))
+        walk = EdgeProcess(g, 0, rng=rng_factory(6))
+        walk.run_until_vertex_cover()
+        stats = phase_statistics(walk)
+        assert stats.blue_fraction == pytest.approx(walk.num_visited_edges / walk.steps)
+
+    def test_no_steps_rejected(self, rng):
+        walk = EdgeProcess(cycle_graph(4), 0, rng=rng)
+        with pytest.raises(ReproError):
+            phase_statistics(walk)
+
+    def test_recording_disabled_rejected(self, rng):
+        walk = EdgeProcess(cycle_graph(4), 0, rng=rng, record_phases=False)
+        walk.run(2)
+        with pytest.raises(ReproError):
+            phase_statistics(walk)

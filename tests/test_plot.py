@@ -1,0 +1,62 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend_present(self):
+        out = ascii_plot(
+            [("flat", [1.0, 2.0, 3.0], [2.0, 2.0, 2.0]),
+             ("rising", [1.0, 2.0, 3.0], [1.0, 2.0, 3.0])],
+            width=40,
+            height=10,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "o flat" in out
+        assert "x rising" in out
+        canvas = out.splitlines()[2:12]  # 10 canvas rows follow title + blank
+        rows_with_o = [i for i, line in enumerate(canvas) if "o" in line]
+        # the constant series y=2 in range [1,3] lands mid-canvas
+        assert rows_with_o
+        assert all(3 <= i <= 6 for i in rows_with_o)
+
+    def test_log_axis(self):
+        out = ascii_plot(
+            [("s", [10.0, 100.0, 1000.0], [1.0, 2.0, 3.0])],
+            log_x=True,
+            width=30,
+            height=8,
+        )
+        assert "10" in out  # tick rendered back in linear units
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            ascii_plot([("s", [0.0, 1.0], [1.0, 2.0])], log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot([])
+        with pytest.raises(ReproError):
+            ascii_plot([("s", [], [])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot([("s", [1.0], [1.0, 2.0])])
+
+    def test_constant_series_renders(self):
+        out = ascii_plot([("c", [1.0, 2.0], [5.0, 5.0])], width=20, height=6)
+        assert "o" in out
+
+    def test_too_many_series_rejected(self):
+        series = [(f"s{i}", [1.0, 2.0], [1.0, 2.0]) for i in range(9)]
+        with pytest.raises(ReproError):
+            ascii_plot(series)
+
+    def test_dimensions_respected(self):
+        out = ascii_plot([("s", [1.0, 2.0], [1.0, 2.0])], width=25, height=7)
+        canvas_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(canvas_rows) == 7

@@ -1,0 +1,79 @@
+"""Tests for exploration profiles."""
+
+import pytest
+
+from repro.core.eprocess import EdgeProcess
+from repro.errors import ReproError
+from repro.graphs.generators import cycle_graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.profiles import record_profile
+from repro.walks.srw import SimpleRandomWalk
+
+
+class TestRecordProfile:
+    def test_cycle_deterministic_profile(self, rng):
+        n = 20
+        walk = EdgeProcess(cycle_graph(n), 0, rng=rng)
+        profile = record_profile(walk)
+        assert profile.vertex_cover_step == n - 1
+        assert profile.points[0].step == 0
+        assert profile.points[0].vertices_visited == 1
+        assert profile.points[-1].vertices_visited == n
+
+    def test_monotone_coverage(self, rng_factory):
+        g = random_connected_regular_graph(60, 4, rng_factory(1))
+        walk = EdgeProcess(g, 0, rng=rng_factory(2))
+        profile = record_profile(walk)
+        verts = [p.vertices_visited for p in profile.points]
+        steps = [p.step for p in profile.points]
+        assert verts == sorted(verts)
+        assert steps == sorted(steps)
+
+    def test_half_cover_step_sensible(self, rng_factory):
+        g = random_connected_regular_graph(60, 4, rng_factory(3))
+        walk = EdgeProcess(g, 0, rng=rng_factory(4))
+        profile = record_profile(walk)
+        assert profile.half_cover_step is not None
+        assert profile.half_cover_step <= profile.vertex_cover_step
+
+    def test_vertex_fractions(self, rng):
+        n = 10
+        walk = EdgeProcess(cycle_graph(n), 0, rng=rng)
+        profile = record_profile(walk)
+        fractions = profile.vertex_fractions(n)
+        assert fractions[0] == pytest.approx(1 / n)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_tail_fraction_between_zero_and_one(self, rng_factory):
+        g = random_connected_regular_graph(100, 3, rng_factory(5))
+        walk = EdgeProcess(g, 0, rng=rng_factory(6))
+        profile = record_profile(walk)
+        assert 0.0 <= profile.tail_fraction(100) <= 1.0
+
+    def test_tail_fraction_needs_cover(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(40), 0, rng=rng)
+        profile = record_profile(walk, max_steps=5)
+        assert profile.vertex_cover_step is None
+        with pytest.raises(ReproError):
+            profile.tail_fraction(40)
+
+    def test_edge_mode_requires_tracking(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(6), 0, rng=rng)
+        with pytest.raises(ReproError):
+            record_profile(walk, until="edges")
+
+    def test_edge_mode_runs_to_edge_cover(self, rng):
+        walk = EdgeProcess(cycle_graph(6), 0, rng=rng)
+        profile = record_profile(walk, until="edges")
+        assert profile.points[-1].edges_visited == 6
+
+    def test_fresh_walk_required(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(6), 0, rng=rng)
+        walk.step()
+        with pytest.raises(ReproError):
+            record_profile(walk)
+
+    def test_bad_until_rejected(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(6), 0, rng=rng)
+        with pytest.raises(ReproError):
+            record_profile(walk, until="faces")

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the E-process invariants.
+
+These run the paper's Observations on arbitrary connected even-degree
+multigraphs with arbitrary built-in rules — the strongest form of the
+"independent of rule A" claim that a test suite can check.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import blue_components, verify_observation_11
+from repro.core.eprocess import EdgeProcess
+from repro.core.phases import verify_observation_10, verify_observation_12
+from repro.core.rules import ALL_RULE_FACTORIES
+from tests.strategies import connected_even_multigraphs
+
+RULE_NAMES = sorted(ALL_RULE_FACTORIES)
+
+
+def _walk(graph, seed, rule_name):
+    rng = random.Random(seed)
+    rule = ALL_RULE_FACTORIES[rule_name]()
+    return EdgeProcess(graph, rng.randrange(graph.n), rng=rng, rule=rule)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=connected_even_multigraphs(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    rule_name=st.sampled_from(RULE_NAMES),
+)
+def test_observation_10_any_rule(graph, seed, rule_name):
+    walk = _walk(graph, seed, rule_name)
+    walk.run_until_edge_cover(max_steps=200 * graph.m * graph.n + 1000)
+    verify_observation_10(walk)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph=connected_even_multigraphs(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    rule_name=st.sampled_from(RULE_NAMES),
+    steps=st.integers(min_value=0, max_value=200),
+)
+def test_observation_12_any_prefix(graph, seed, rule_name, steps):
+    walk = _walk(graph, seed, rule_name)
+    for _ in range(steps):
+        walk.step()
+    verify_observation_12(walk)
+    assert walk.red_steps <= walk.steps <= walk.red_steps + graph.m
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=connected_even_multigraphs(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_observation_11_at_red_entries(graph, seed):
+    walk = _walk(graph, seed, "uniform")
+    budget = 50 * graph.m * graph.n + 500
+    while not walk.edges_covered and walk.steps < budget:
+        walk.step()
+        if walk.in_red_phase:
+            verify_observation_11(walk)
+            break
+    # even with no red entry (everything covered blue) obs 11 holds trivially
+    if walk.edges_covered:
+        verify_observation_11(walk)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=connected_even_multigraphs(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_blue_steps_bounded_by_m_and_cover_reached(graph, seed):
+    walk = _walk(graph, seed, "uniform")
+    steps = walk.run_until_vertex_cover(max_steps=200 * graph.m * graph.n + 1000)
+    assert walk.blue_steps <= graph.m
+    assert steps >= graph.n - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=connected_even_multigraphs(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_blue_component_degrees_even_mid_run(graph, seed):
+    walk = _walk(graph, seed, "uniform")
+    walk.run_until_edge_cover(max_steps=200 * graph.m * graph.n + 1000)
+    # after full cover there are no blue components at all
+    assert blue_components(walk) == []

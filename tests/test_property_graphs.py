@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.cycle_space import cycle_space_basis, cycle_space_dimension, is_even_edge_set
+from repro.graphs.properties import connected_components, girth, is_connected
+from repro.graphs.transform import contract, subdivide
+from tests.strategies import connected_even_multigraphs, simple_connected_graphs
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=simple_connected_graphs())
+def test_handshake_lemma(graph):
+    assert sum(graph.degrees()) == 2 * graph.m
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=connected_even_multigraphs())
+def test_even_strategy_delivers_even_connected(graph):
+    assert graph.has_even_degrees()
+    assert is_connected(graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=simple_connected_graphs())
+def test_cycle_space_dimension_matches_basis(graph):
+    basis = cycle_space_basis(graph)
+    assert len(basis) == cycle_space_dimension(graph)
+    for vec in basis:
+        assert is_even_edge_set(graph, vec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=connected_even_multigraphs())
+def test_even_graph_contains_cycle(graph):
+    # an even-degree connected graph with >= 1 edge always contains a cycle
+    g = girth(graph)
+    assert not math.isinf(g)
+    assert 1 <= g <= graph.n
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=simple_connected_graphs(), data=st.data())
+def test_contraction_invariants(graph, data):
+    size = data.draw(st.integers(min_value=1, max_value=max(1, graph.n - 1)))
+    members = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.n - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    result = contract(graph, members)
+    # m preserved, total degree preserved, gamma degree = d(S)
+    assert result.graph.m == graph.m
+    assert sum(result.graph.degrees()) == sum(graph.degrees())
+    d_s = sum(graph.degree(v) for v in set(members))
+    assert result.graph.degree(result.gamma) == d_s
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=connected_even_multigraphs(), data=st.data())
+def test_subdivision_preserves_even_degrees_and_connectivity(graph, data):
+    if graph.m == 0:
+        return
+    k = data.draw(st.integers(min_value=1, max_value=graph.m))
+    edge_ids = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.m - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    result = subdivide(graph, edge_ids)
+    assert result.graph.has_even_degrees()
+    assert is_connected(result.graph)
+    assert result.graph.m == graph.m + len(set(edge_ids))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=simple_connected_graphs())
+def test_components_partition_vertices(graph):
+    comps = connected_components(graph)
+    seen = [v for comp in comps for v in comp]
+    assert sorted(seen) == list(range(graph.n))

@@ -1,0 +1,74 @@
+"""Property-based tests on arbitrary (odd-degree allowed) simple graphs.
+
+The E-process is *defined* on any connected graph (Figure 1 runs d = 3, 5,
+7); only the theorems need even degrees.  These properties pin down what
+survives without the parity assumption: step accounting (Observation 12),
+the deterministic edge-cover floor ``C_E ≥ m``, and cover termination.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eprocess import EdgeProcess
+from repro.core.phases import verify_observation_12
+from repro.walks.greedy import GreedyRandomWalk
+from tests.strategies import simple_connected_graphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=simple_connected_graphs(min_vertices=2),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_obs12_holds_without_even_degrees(graph, seed):
+    rng = random.Random(seed)
+    walk = EdgeProcess(graph, rng.randrange(graph.n), rng=rng)
+    walk.run_until_vertex_cover(max_steps=500 * graph.n * graph.n + 1000)
+    verify_observation_12(walk)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=simple_connected_graphs(min_vertices=2),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_grw_edge_cover_floor(graph, seed):
+    rng = random.Random(seed)
+    walk = GreedyRandomWalk(graph, rng.randrange(graph.n), rng=rng)
+    steps = walk.run_until_edge_cover(max_steps=500 * graph.n * graph.n + 1000)
+    assert steps >= graph.m
+    assert walk.blue_steps == graph.m  # every edge consumed exactly once blue
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    graph=simple_connected_graphs(min_vertices=2),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_first_visit_times_consistent(graph, seed):
+    rng = random.Random(seed)
+    walk = EdgeProcess(graph, rng.randrange(graph.n), rng=rng)
+    walk.run_until_vertex_cover(max_steps=500 * graph.n * graph.n + 1000)
+    times = walk.first_visit_time
+    assert times[walk.start] == 0
+    assert all(0 <= t <= walk.steps for t in times)
+    # cover step equals the latest first-visit
+    assert max(times) == walk.steps or not walk.vertices_covered
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=simple_connected_graphs(min_vertices=3),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_edge_visit_times_are_distinct_blue_instants(graph, seed):
+    # each edge is consumed by exactly one blue transition, so the first
+    # edge-visit times are distinct and at most t
+    rng = random.Random(seed)
+    walk = EdgeProcess(graph, rng.randrange(graph.n), rng=rng)
+    walk.run_until_edge_cover(max_steps=500 * graph.n * graph.n + 1000)
+    times = walk.first_edge_visit_time
+    assert len(set(times)) == graph.m
+    assert all(1 <= t <= walk.steps for t in times)

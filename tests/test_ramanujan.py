@@ -1,0 +1,112 @@
+"""Tests for the LPS Ramanujan graphs X^{p,q}.
+
+These graphs are the paper's reference "high girth even degree expanders".
+The tests check the construction against the LPS theory: group order,
+regularity p+1, connectivity, bipartiteness by Legendre symbol, the girth
+lower bounds, and (the expensive but decisive one) the Ramanujan eigenvalue
+bound λ₂(A) ≤ 2√p.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.graphs.properties import girth, is_bipartite, is_connected
+from repro.graphs.ramanujan import (
+    lps_girth_lower_bound,
+    lps_graph,
+    lps_is_bipartite,
+    lps_vertex_count,
+    valid_lps_q_values,
+)
+from repro.spectral.eigen import extreme_eigenvalues
+
+
+@pytest.fixture(scope="module")
+def x_5_13():
+    """X^{5,13}: 6-regular bipartite PGL graph on 2184 vertices."""
+    return lps_graph(5, 13)
+
+
+class TestParameters:
+    def test_rejects_non_primes(self):
+        with pytest.raises(GenerationError):
+            lps_graph(9, 13)
+
+    def test_rejects_wrong_residue(self):
+        with pytest.raises(GenerationError):
+            lps_graph(7, 13)  # 7 ≡ 3 (mod 4)
+
+    def test_rejects_equal(self):
+        with pytest.raises(GenerationError):
+            lps_graph(13, 13)
+
+    def test_rejects_small_q(self):
+        with pytest.raises(GenerationError):
+            lps_graph(13, 5)  # needs q > 2*sqrt(p)
+
+    def test_valid_q_values(self):
+        qs = valid_lps_q_values(5, 40)
+        assert qs == [13, 17, 29, 37]
+
+    def test_vertex_count_formulas(self):
+        assert lps_vertex_count(5, 13) == 13 * 168       # PGL (bipartite)
+        assert lps_vertex_count(13, 17) == 17 * 288 // 2  # PSL
+
+
+class TestBipartiteCase:
+    def test_structure(self, x_5_13):
+        g = x_5_13
+        assert g.n == 2184
+        assert g.is_regular() and g.regularity() == 6
+        assert g.is_simple()
+        assert is_connected(g)
+
+    def test_bipartite_matches_legendre(self, x_5_13):
+        assert lps_is_bipartite(5, 13)
+        assert is_bipartite(x_5_13)
+
+    def test_girth_meets_lps_bound(self, x_5_13):
+        bound = lps_girth_lower_bound(5, 13)
+        assert girth(x_5_13, upper_bound=20) >= bound
+
+    def test_ramanujan_eigenvalue_bound(self, x_5_13):
+        # For the bipartite (PGL) graphs the non-trivial spectrum satisfies
+        # |λ(A)| ≤ 2√p apart from ±(p+1).
+        _l1, l2, ln = extreme_eigenvalues(x_5_13)
+        degree = 6
+        assert l2 * degree <= 2 * math.sqrt(5) + 1e-9
+        assert abs(ln * degree) - 1e-9 <= degree  # λ_n = -(p+1)/(p+1) = -1 (bipartite)
+        assert ln == pytest.approx(-1.0, abs=1e-8)
+
+
+class TestNonBipartiteCase:
+    @pytest.fixture(scope="class")
+    def x_13_17(self):
+        """X^{13,17}: 14-regular non-bipartite PSL graph on 2448 vertices."""
+        return lps_graph(13, 17)
+
+    def test_structure(self, x_13_17):
+        g = x_13_17
+        assert g.n == 2448
+        assert g.regularity() == 14
+        assert is_connected(g)
+        assert not is_bipartite(g)
+        assert not lps_is_bipartite(13, 17)
+
+    def test_ramanujan_bound_both_sides(self, x_13_17):
+        _l1, l2, ln = extreme_eigenvalues(x_13_17)
+        degree = 14
+        bound = 2 * math.sqrt(13)
+        assert l2 * degree <= bound + 1e-9
+        assert abs(ln) * degree <= bound + 1e-9
+
+    def test_girth(self, x_13_17):
+        assert girth(x_13_17, upper_bound=12) >= lps_girth_lower_bound(13, 17)
+
+
+class TestEvenDegreeForPaper:
+    def test_odd_p_gives_even_degree(self, x_5_13):
+        # p odd prime => degree p+1 even: the graphs sit inside Theorem 1's class.
+        assert x_5_13.has_even_degrees()

@@ -1,0 +1,71 @@
+"""Tests for result aggregation and serialization."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.results import (
+    Aggregate,
+    Series,
+    SweepPoint,
+    aggregate,
+    series_from_json,
+    series_to_json,
+)
+
+
+class TestAggregate:
+    def test_basic_statistics(self):
+        stats = aggregate([2.0, 4.0, 6.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.std == pytest.approx(2.0)
+        assert stats.sem == pytest.approx(2.0 / math.sqrt(3))
+        assert stats.ci95 == pytest.approx(1.96 * stats.sem)
+        assert (stats.minimum, stats.maximum) == (2.0, 6.0)
+
+    def test_single_sample(self):
+        stats = aggregate([5.0])
+        assert stats.std == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            aggregate([])
+
+    def test_scaled(self):
+        stats = aggregate([10.0, 20.0]).scaled(0.1)
+        assert stats.mean == pytest.approx(1.5)
+        assert stats.minimum == pytest.approx(1.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(ReproError):
+            aggregate([1.0]).scaled(0.0)
+
+
+class TestSeries:
+    def _series(self):
+        return Series(
+            label="E d=4",
+            points=[
+                SweepPoint(x=100.0, stats=aggregate([1.0, 2.0]), extras={"gap": 0.3}),
+                SweepPoint(x=200.0, stats=aggregate([3.0])),
+            ],
+        )
+
+    def test_accessors(self):
+        s = self._series()
+        assert s.xs() == [100.0, 200.0]
+        assert s.means() == [pytest.approx(1.5), pytest.approx(3.0)]
+
+    def test_json_round_trip(self):
+        original = [self._series()]
+        payload = series_to_json(original)
+        restored = series_from_json(payload)
+        assert restored == original
+
+    def test_json_is_stable_text(self):
+        payload = series_to_json([self._series()])
+        assert payload == series_to_json(series_from_json(payload))
+        assert '"E d=4"' in payload

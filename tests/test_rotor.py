@@ -1,0 +1,53 @@
+"""Tests for the rotor-router (Propp machine) walk."""
+
+import pytest
+
+from repro.core.bounds import rotor_router_cover_bound
+from repro.graphs.generators import cycle_graph, lollipop_graph, petersen_graph, torus_grid
+from repro.graphs.properties import diameter
+from repro.walks.rotor import RotorRouterWalk
+
+
+class TestDeterminism:
+    def test_trajectory_reproducible(self, rng_factory):
+        g = petersen_graph()
+        a = RotorRouterWalk(g, 0)
+        b = RotorRouterWalk(g, 0)
+        traj_a = [a.step() for _ in range(100)]
+        traj_b = [b.step() for _ in range(100)]
+        assert traj_a == traj_b
+
+    def test_randomized_rotors_vary(self, rng_factory):
+        g = petersen_graph()
+        a = RotorRouterWalk(g, 0, rng=rng_factory(1), randomize_rotors=True)
+        b = RotorRouterWalk(g, 0, rng=rng_factory(2), randomize_rotors=True)
+        traj_a = [a.step() for _ in range(30)]
+        traj_b = [b.step() for _ in range(30)]
+        assert traj_a != traj_b
+
+    def test_cycle_walks_straight(self):
+        # rotor order on a cycle sends the walk around monotonically after
+        # at most one reversal; cover in <= 2(n-1) steps
+        g = cycle_graph(9)
+        walk = RotorRouterWalk(g, 0)
+        steps = walk.run_until_vertex_cover()
+        assert steps <= 2 * (g.n - 1)
+
+
+class TestCoverBound:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(12), petersen_graph(), lollipop_graph(5, 4), torus_grid(4, 4)],
+    )
+    def test_cover_within_O_mD(self, graph):
+        walk = RotorRouterWalk(graph, 0)
+        steps = walk.run_until_vertex_cover()
+        bound = rotor_router_cover_bound(graph.m, max(diameter(graph), 1), constant=4.0)
+        assert steps <= bound
+
+    def test_edge_cover_eventually(self):
+        # rotor-router settles into an Eulerian circulation: edges get covered
+        g = petersen_graph()
+        walk = RotorRouterWalk(g, 0, track_edges=True)
+        steps = walk.run_until_edge_cover(max_steps=50 * g.m)
+        assert steps >= g.m

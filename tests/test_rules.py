@@ -1,0 +1,115 @@
+"""Tests for the rule A implementations."""
+
+import pytest
+
+from repro.core.eprocess import EdgeProcess
+from repro.core.rules import (
+    ALL_RULE_FACTORIES,
+    AdversarialHomingRule,
+    CallableRule,
+    FarthestFirstRule,
+    HighestLabelRule,
+    LowestLabelRule,
+    RoundRobinRule,
+    UniformEdgeRule,
+)
+from repro.errors import RuleError
+from repro.graphs.generators import cycle_graph, torus_grid
+from repro.graphs.properties import bfs_distances
+from repro.graphs.random_regular import random_connected_regular_graph
+
+
+class _FakeProcess:
+    """Minimal stand-in for rule unit tests."""
+
+    def __init__(self, rng, graph=None, start=0):
+        self.rng = rng
+        self.graph = graph
+        self.start = start
+
+
+class TestUniform:
+    def test_chooses_from_candidates(self, rng):
+        rule = UniformEdgeRule()
+        candidates = [(0, 1), (3, 2), (5, 4)]
+        picks = {rule.choose(0, candidates, _FakeProcess(rng)) for _ in range(100)}
+        assert picks == set(candidates)
+
+
+class TestDeterministicRules:
+    def test_lowest_label(self, rng):
+        rule = LowestLabelRule()
+        assert rule.choose(0, [(4, 1), (2, 9), (7, 0)], _FakeProcess(rng)) == (2, 9)
+
+    def test_highest_label(self, rng):
+        rule = HighestLabelRule()
+        assert rule.choose(0, [(4, 1), (2, 9), (7, 0)], _FakeProcess(rng)) == (7, 0)
+
+    def test_round_robin_cycles_per_vertex(self, rng):
+        rule = RoundRobinRule()
+        cands = [(0, 1), (1, 2), (2, 3)]
+        picks = [rule.choose(5, cands, _FakeProcess(rng)) for _ in range(4)]
+        assert picks == [(0, 1), (1, 2), (2, 3), (0, 1)]
+        # independent counter for a different vertex
+        assert rule.choose(6, cands, _FakeProcess(rng)) == (0, 1)
+
+
+class TestDistanceGuidedRules:
+    def test_homing_prefers_closer_to_start(self, rng):
+        g = cycle_graph(8)
+        proc = _FakeProcess(rng, graph=g, start=0)
+        rule = AdversarialHomingRule()
+        dist = bfs_distances(g, 0)
+        # candidates leading to vertices 1 (dist 1) and 4 (dist 4)
+        choice = rule.choose(3, [(9, 4), (1, 1)], proc)
+        assert dist[choice[1]] == 1
+
+    def test_farthest_prefers_far(self, rng):
+        g = cycle_graph(8)
+        proc = _FakeProcess(rng, graph=g, start=0)
+        rule = FarthestFirstRule()
+        choice = rule.choose(3, [(9, 4), (1, 1)], proc)
+        assert choice == (9, 4)
+
+    def test_distance_cache_reused(self, rng):
+        g = cycle_graph(8)
+        proc = _FakeProcess(rng, graph=g, start=0)
+        rule = AdversarialHomingRule()
+        rule.choose(3, [(9, 4), (1, 1)], proc)
+        assert len(rule._cache) == 1
+        rule.choose(2, [(9, 4), (1, 1)], proc)
+        assert len(rule._cache) == 1
+
+
+class TestCallableRule:
+    def test_valid_function(self, rng):
+        rule = CallableRule(lambda v, cands, p: cands[-1], name="last")
+        assert rule.choose(0, [(1, 2), (3, 4)], _FakeProcess(rng)) == (3, 4)
+        assert rule.name == "last"
+
+    def test_invalid_return_raises(self, rng):
+        rule = CallableRule(lambda v, cands, p: (99, 99))
+        with pytest.raises(RuleError):
+            rule.choose(0, [(1, 2)], _FakeProcess(rng))
+
+
+class TestRulesInsideEProcess:
+    @pytest.mark.parametrize("rule_name", sorted(ALL_RULE_FACTORIES))
+    def test_every_rule_covers_even_regular_graph(self, rule_name, rng_factory):
+        g = random_connected_regular_graph(50, 4, rng_factory(17))
+        rule = ALL_RULE_FACTORIES[rule_name]()
+        walk = EdgeProcess(g, 0, rng=rng_factory(18), rule=rule)
+        steps = walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+        assert steps >= g.n - 1
+
+    def test_buggy_rule_raises_inside_process(self, rng):
+        g = torus_grid(3, 3)
+        walk = EdgeProcess(g, 0, rng=rng, rule=CallableRule(lambda v, c, p: (123, 456)))
+        with pytest.raises(RuleError):
+            walk.step()
+
+    def test_rule_name_in_repr(self, rng):
+        g = torus_grid(3, 3)
+        walk = EdgeProcess(g, 0, rng=rng, rule=LowestLabelRule())
+        assert "lowest-label" in repr(walk)

@@ -1,0 +1,87 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.eprocess import EdgeProcess
+from repro.errors import ReproError
+from repro.graphs.generators import cycle_graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.runner import cover_time_trials, sweep
+from repro.walks.srw import SimpleRandomWalk
+
+
+def _srw_factory(graph, start, rng):
+    return SimpleRandomWalk(graph, start, rng=rng)
+
+
+def _eprocess_factory(graph, start, rng):
+    return EdgeProcess(graph, start, rng=rng, record_phases=False)
+
+
+class TestCoverTimeTrials:
+    def test_fixed_graph_reproducible(self):
+        g = cycle_graph(12)
+        a = cover_time_trials(g, _srw_factory, trials=4, root_seed=5)
+        b = cover_time_trials(g, _srw_factory, trials=4, root_seed=5)
+        assert a.cover_times == b.cover_times
+
+    def test_seed_changes_results(self):
+        g = cycle_graph(12)
+        a = cover_time_trials(g, _srw_factory, trials=4, root_seed=5)
+        b = cover_time_trials(g, _srw_factory, trials=4, root_seed=6)
+        assert a.cover_times != b.cover_times
+
+    def test_label_isolates_measurements(self):
+        g = cycle_graph(12)
+        a = cover_time_trials(g, _srw_factory, trials=4, root_seed=5, label="x")
+        b = cover_time_trials(g, _srw_factory, trials=4, root_seed=5, label="y")
+        assert a.cover_times != b.cover_times
+
+    def test_graph_factory_fresh_per_trial(self):
+        built = []
+
+        def factory(rng):
+            g = random_connected_regular_graph(16, 4, rng)
+            built.append(g)
+            return g
+
+        run = cover_time_trials(factory, _eprocess_factory, trials=3, root_seed=9)
+        assert len(built) == 3
+        assert len({g for g in built}) > 1  # fresh samples, not one graph
+        assert len(run.cover_times) == 3
+
+    def test_fixed_start(self):
+        g = cycle_graph(10)
+        run = cover_time_trials(g, _srw_factory, trials=2, root_seed=1, start=3)
+        assert run.stats.count == 2
+
+    def test_edge_target(self):
+        g = cycle_graph(10)
+        run = cover_time_trials(g, _eprocess_factory, trials=2, root_seed=1, target="edges")
+        assert all(t >= g.m for t in run.cover_times)
+
+    def test_extra_metrics_aggregated(self):
+        g = cycle_graph(10)
+        run = cover_time_trials(
+            g,
+            _eprocess_factory,
+            trials=3,
+            root_seed=2,
+            extra_metrics=lambda walk: {"red": walk.red_steps, "blue": walk.blue_steps},
+        )
+        assert set(run.extras) == {"red", "blue"}
+        assert run.extras["blue"].count == 3
+
+    def test_validation(self):
+        g = cycle_graph(5)
+        with pytest.raises(ReproError):
+            cover_time_trials(g, _srw_factory, trials=0, root_seed=1)
+        with pytest.raises(ReproError):
+            cover_time_trials(g, _srw_factory, trials=1, root_seed=1, target="faces")
+
+
+class TestSweep:
+    def test_runs_in_order(self):
+        g = cycle_graph(8)
+        runs = sweep([1, 2, 3], lambda k: cover_time_trials(g, _srw_factory, trials=int(k), root_seed=4))
+        assert [r.stats.count for r in runs] == [1, 2, 3]

@@ -1,0 +1,109 @@
+"""Tests for matrix views (adjacency / transition / normalized / Laplacian)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectralError
+from repro.graphs.generators import cycle_graph, petersen_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.spectral.matrices import (
+    adjacency_matrix,
+    degree_vector,
+    laplacian_matrix,
+    normalized_adjacency,
+    stationary_distribution,
+    transition_matrix,
+)
+
+
+class TestAdjacency:
+    def test_symmetric_and_row_sums(self):
+        g = petersen_graph()
+        A = adjacency_matrix(g, sparse=False)
+        assert np.allclose(A, A.T)
+        assert np.allclose(A.sum(axis=1), degree_vector(g))
+
+    def test_loop_diagonal_two(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        A = adjacency_matrix(g, sparse=False)
+        assert A[0, 0] == 2.0
+        assert A.sum(axis=1)[0] == g.degree(0) == 3
+
+    def test_parallel_edges_counted(self):
+        g = Graph(2, [(0, 1), (0, 1)])
+        A = adjacency_matrix(g, sparse=False)
+        assert A[0, 1] == 2.0
+
+    def test_sparse_dense_agree(self):
+        g = cycle_graph(9)
+        assert np.allclose(adjacency_matrix(g).toarray(), adjacency_matrix(g, sparse=False))
+
+
+class TestTransition:
+    def test_row_stochastic(self):
+        g = petersen_graph()
+        P = transition_matrix(g, sparse=False)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_row_stochastic_with_loops(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        P = transition_matrix(g, sparse=False)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert P[0, 0] == pytest.approx(2.0 / 3.0)
+
+    def test_lazy_transform(self):
+        g = cycle_graph(4)
+        P = transition_matrix(g, sparse=False)
+        L = transition_matrix(g, lazy=True, sparse=False)
+        assert np.allclose(L, 0.5 * (np.eye(4) + P))
+
+    def test_isolated_vertex_rejected(self):
+        with pytest.raises(SpectralError):
+            transition_matrix(Graph(2, [(0, 0)]))
+
+    def test_reversibility(self):
+        # pi_u P(u,v) == pi_v P(v,u)
+        g = star_graph(4)
+        P = transition_matrix(g, sparse=False)
+        pi = stationary_distribution(g)
+        flux = pi[:, None] * P
+        assert np.allclose(flux, flux.T)
+
+
+class TestNormalized:
+    def test_same_spectrum_as_transition(self):
+        g = petersen_graph()
+        P = transition_matrix(g, sparse=False)
+        N = normalized_adjacency(g, sparse=False)
+        eig_p = np.sort(np.linalg.eigvals(P).real)
+        eig_n = np.sort(np.linalg.eigvalsh(N))
+        assert np.allclose(eig_p, eig_n, atol=1e-9)
+
+    def test_symmetric(self):
+        g = star_graph(5)
+        N = normalized_adjacency(g, sparse=False)
+        assert np.allclose(N, N.T)
+
+
+class TestLaplacian:
+    def test_rowsums_zero(self):
+        g = petersen_graph()
+        L = laplacian_matrix(g, sparse=False)
+        assert np.allclose(L.sum(axis=1), 0.0)
+
+    def test_positive_semidefinite(self):
+        g = cycle_graph(7)
+        eigs = np.linalg.eigvalsh(laplacian_matrix(g, sparse=False))
+        assert eigs.min() >= -1e-9
+
+
+class TestStationary:
+    def test_proportional_to_degree(self):
+        g = star_graph(3)
+        pi = stationary_distribution(g)
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[0] == pytest.approx(3 / 6)
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(SpectralError):
+            stationary_distribution(Graph(3, []))

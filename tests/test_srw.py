@@ -1,0 +1,122 @@
+"""Tests for simple, lazy, and weighted random walks."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import cycle_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.walks.srw import LazyRandomWalk, SimpleRandomWalk, WeightedRandomWalk
+
+
+class TestSimpleRandomWalk:
+    def test_stationary_frequencies_proportional_to_degree(self, rng):
+        # star: center has stationary mass 1/2
+        g = star_graph(4)
+        walk = SimpleRandomWalk(g, 0, rng=rng)
+        counts = Counter()
+        steps = 20_000
+        for _ in range(steps):
+            counts[walk.step()] += 1
+        assert counts[0] / steps == pytest.approx(0.5, abs=0.02)
+
+    def test_multigraph_transition_weighted_by_multiplicity(self, rng):
+        # triangle with doubled edge (0,1): from 0, P(->1) = 2/3
+        g = Graph(3, [(0, 1), (0, 1), (0, 2), (1, 2)])
+        walk = SimpleRandomWalk(g, 0, rng=rng)
+        to_one = 0
+        trials = 9_000
+        for _ in range(trials):
+            walk.current = 0
+            if walk.step() == 1:
+                to_one += 1
+        assert to_one / trials == pytest.approx(2 / 3, abs=0.02)
+
+    def test_loop_transition_possible(self, rng):
+        # from 0, both staying via the loop and moving to 1 must occur
+        g = Graph(2, [(0, 0), (0, 1)])
+        walk = SimpleRandomWalk(g, 0, rng=rng)
+        seen = set()
+        for _ in range(200):
+            walk.current = 0
+            seen.add(walk.step())
+        assert seen == {0, 1}
+
+    def test_cycle_cover_time_near_theory(self, rng):
+        # E[C_V] on a cycle is n(n-1)/2.
+        n = 20
+        expected = n * (n - 1) / 2
+        covers = []
+        for _ in range(200):
+            walk = SimpleRandomWalk(cycle_graph(n), 0, rng=rng)
+            covers.append(walk.run_until_vertex_cover())
+        mean = sum(covers) / len(covers)
+        assert mean == pytest.approx(expected, rel=0.25)
+
+
+class TestLazyRandomWalk:
+    def test_stays_roughly_half_the_time(self, rng):
+        g = cycle_graph(6)
+        walk = LazyRandomWalk(g, 0, rng=rng)
+        stays = 0
+        steps = 10_000
+        for _ in range(steps):
+            before = walk.current
+            if walk.step() == before:
+                stays += 1
+        assert stays / steps == pytest.approx(0.5, abs=0.03)
+
+    def test_covers_bipartite_graph(self, rng):
+        walk = LazyRandomWalk(cycle_graph(8), 0, rng=rng)
+        assert walk.run_until_vertex_cover() > 0
+        assert walk.vertices_covered
+
+
+class TestWeightedRandomWalk:
+    def test_weight_validation(self, rng):
+        g = cycle_graph(4)
+        with pytest.raises(GraphError):
+            WeightedRandomWalk(g, 0, weights=[1.0], rng=rng)
+        with pytest.raises(GraphError):
+            WeightedRandomWalk(g, 0, weights=[1.0, 1.0, -2.0, 1.0], rng=rng)
+
+    def test_uniform_weights_match_srw_marginals(self, rng):
+        g = star_graph(3)
+        walk = WeightedRandomWalk(g, 0, weights=[1.0] * g.m, rng=rng)
+        counts = Counter()
+        for _ in range(6_000):
+            walk.current = 0
+            counts[walk.step()] += 1
+        for leaf in (1, 2, 3):
+            assert counts[leaf] / 6_000 == pytest.approx(1 / 3, abs=0.03)
+
+    def test_heavy_edge_dominates(self, rng):
+        # path 0-1-2 with w(0,1)=99, w(1,2)=1: from 1, mostly to 0
+        g = Graph(3, [(0, 1), (1, 2)])
+        walk = WeightedRandomWalk(g, 1, weights=[99.0, 1.0], rng=rng)
+        to_zero = 0
+        trials = 4_000
+        for _ in range(trials):
+            walk.current = 1
+            if walk.step() == 0:
+                to_zero += 1
+        assert to_zero / trials == pytest.approx(0.99, abs=0.02)
+
+    def test_covers(self, rng):
+        g = cycle_graph(7)
+        walk = WeightedRandomWalk(g, 0, weights=[1.0 + 0.1 * i for i in range(7)], rng=rng)
+        walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+
+    def test_radzik_lower_bound_respected(self, rng):
+        # Theorem 5: no weighting beats (n/4) ln(n/2) on average.
+        from repro.core.bounds import radzik_lower_bound
+
+        n = 16
+        g = cycle_graph(n)
+        covers = []
+        for _ in range(120):
+            walk = WeightedRandomWalk(g, 0, weights=[1.0] * n, rng=rng)
+            covers.append(walk.run_until_vertex_cover())
+        assert sum(covers) / len(covers) >= radzik_lower_bound(n)

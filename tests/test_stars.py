@@ -1,0 +1,115 @@
+"""Tests for the Section 5 isolated-star heuristics."""
+
+import math
+
+import pytest
+
+from repro.core.stars import (
+    coupon_collector_time,
+    expected_isolated_stars,
+    isolated_star_probability,
+    star_collection_lower_bound,
+)
+from repro.errors import ReproError
+
+
+class TestStarProbability:
+    def test_cubic_is_one_eighth(self):
+        # the paper's r=3 number: (1/2)^3
+        assert isolated_star_probability(3) == pytest.approx(1 / 8)
+
+    def test_general_form(self):
+        # ((r-2)/(r-1))^r: at r=5 each first visit avoids v w.p. 3/4
+        assert isolated_star_probability(5) == pytest.approx((3 / 4) ** 5)
+
+    def test_turn_away_probability(self):
+        from repro.core.stars import turn_away_probability
+
+        assert turn_away_probability(3) == pytest.approx(0.5)
+        assert turn_away_probability(5) == pytest.approx(0.75)
+        with pytest.raises(ReproError):
+            turn_away_probability(2)
+
+    def test_even_degree_rejected(self):
+        with pytest.raises(ReproError):
+            isolated_star_probability(4)
+
+    def test_below_three_rejected(self):
+        with pytest.raises(ReproError):
+            isolated_star_probability(1)
+
+
+class TestExpectedStars:
+    def test_paper_number(self):
+        # "a set of isolated vertices I of expected size |I| ~ n/8"
+        assert expected_isolated_stars(8000, 3) == pytest.approx(1000)
+
+    def test_positive_n_required(self):
+        with pytest.raises(ReproError):
+            expected_isolated_stars(0, 3)
+
+
+class TestPassedOver:
+    def test_measured_fraction_near_but_below_heuristic(self, rng_factory):
+        from repro.core.eprocess import EdgeProcess
+        from repro.core.stars import passed_over_vertices
+        from repro.graphs.random_regular import random_connected_regular_graph
+
+        n = 2000
+        g = random_connected_regular_graph(n, 3, rng_factory(21))
+        walk = EdgeProcess(g, 0, rng=rng_factory(22), record_phases=False)
+        walk.run_until_vertex_cover()
+        fraction = len(passed_over_vertices(walk)) / n
+        # Θ(n) passed-over vertices, below the 1/8 independence heuristic
+        assert 0.02 < fraction < 0.125
+
+    def test_even_degree_passed_over_strands_nothing(self, rng_factory):
+        # the passed-over *event* also occurs on even-degree graphs
+        # (≈ (2/3)^4 for r=4), but parity means it strands nothing: the
+        # cumulative star census stays zero while passed-over counts are Θ(n)
+        from repro.core.eprocess import EdgeProcess
+        from repro.core.stars import cumulative_star_census, passed_over_vertices
+        from repro.graphs.random_regular import random_connected_regular_graph
+
+        n = 1000
+        g = random_connected_regular_graph(n, 4, rng_factory(23))
+        walk = EdgeProcess(g, 0, rng=rng_factory(24), record_phases=False)
+        census = cumulative_star_census(walk)
+        assert census.count == 0
+        assert census.covered
+        passed = passed_over_vertices(walk)
+        assert len(passed) > n * 0.03  # the event itself is common
+
+    def test_requires_cover(self, rng):
+        from repro.core.eprocess import EdgeProcess
+        from repro.core.stars import passed_over_vertices
+        from repro.graphs.generators import cycle_graph
+
+        walk = EdgeProcess(cycle_graph(6), 0, rng=rng)
+        with pytest.raises(ReproError):
+            passed_over_vertices(walk)
+
+
+class TestCouponCollector:
+    def test_known_values(self):
+        assert coupon_collector_time(1) == 1.0
+        assert coupon_collector_time(2) == pytest.approx(3.0)
+        assert coupon_collector_time(0) == 0.0
+
+    def test_asymptotic_k_log_k(self):
+        k = 10_000
+        assert coupon_collector_time(k) == pytest.approx(k * (math.log(k) + 0.5772), rel=1e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            coupon_collector_time(-1)
+
+
+class TestCollectionBound:
+    def test_order_n_log_n(self):
+        n = 4096
+        bound = star_collection_lower_bound(n, 3)
+        assert bound == pytest.approx(n * math.log(n / 8))
+
+    def test_grows_superlinearly(self):
+        assert star_collection_lower_bound(20_000, 3) > 2 * star_collection_lower_bound(10_000, 3) * 0.99

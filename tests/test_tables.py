@@ -1,0 +1,74 @@
+"""Tests for the ASCII table renderers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.results import Series, SweepPoint, aggregate
+from repro.sim.tables import format_kv_block, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["n", "cover"], [[100, 1.5], [2000, 22.25]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["n", "cover"]
+        assert "2000" in lines[3]
+        assert "22.250" in lines[3]
+
+    def test_title_underlined(self):
+        out = format_table(["a"], [[1]], title="Figure 1")
+        lines = out.splitlines()
+        assert lines[0] == "Figure 1"
+        assert lines[1] == "=" * len("Figure 1")
+
+    def test_float_digits(self):
+        out = format_table(["x"], [[1.23456]], float_digits=1)
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_headers_required(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+    def test_text_columns_left_aligned(self):
+        out = format_table(["name", "v"], [["x", 1], ["longer", 2]])
+        assert "x     " in out.splitlines()[2]
+
+
+class TestSeriesTable:
+    def _mk(self, label, values):
+        return Series(
+            label=label,
+            points=[SweepPoint(x=float(x), stats=aggregate([v])) for x, v in values],
+        )
+
+    def test_two_series_share_grid(self):
+        a = self._mk("E d=4", [(100, 2.0), (200, 2.1)])
+        b = self._mk("E d=3", [(100, 5.0), (200, 6.5)])
+        out = format_series_table([a, b], x_header="n")
+        header = out.splitlines()[0]
+        assert "E d=4" in header and "E d=3" in header
+        assert "100" in out and "6.500" in out
+
+    def test_mismatched_grids_rejected(self):
+        a = self._mk("A", [(100, 1.0)])
+        b = self._mk("B", [(200, 1.0)])
+        with pytest.raises(ReproError):
+            format_series_table([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            format_series_table([])
+
+
+class TestKvBlock:
+    def test_aligned_pairs(self):
+        out = format_kv_block("summary", [["n", 100], ["gap", 0.25]])
+        lines = out.splitlines()
+        assert lines[0] == "summary"
+        assert lines[2].startswith("n  ")
+        assert "0.250" in lines[3]

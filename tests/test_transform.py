@@ -1,0 +1,196 @@
+"""Tests for contraction, subdivision and subgraphs (the proofs' transforms)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import complete_graph, cycle_graph, petersen_graph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_connected
+from repro.graphs.transform import contract, disjoint_union, induced_subgraph, subdivide
+from repro.spectral.eigen import lambda_2
+from repro.spectral.hitting import hitting_time, hitting_time_to_set
+
+
+class TestContract:
+    def test_preserves_edge_count_and_set_degree(self):
+        g = petersen_graph()
+        S = {0, 1, 2}
+        result = contract(g, S)
+        assert result.graph.m == g.m
+        d_S = sum(g.degree(v) for v in S)
+        assert result.graph.degree(result.gamma) == d_S
+
+    def test_internal_edges_become_loops(self):
+        triangle = cycle_graph(3)
+        result = contract(triangle, {0, 1})
+        # edge (0,1) becomes a loop at gamma; two edges to vertex 2 remain
+        assert result.graph.has_loops()
+        assert result.graph.degree(result.gamma) == 4
+
+    def test_parallel_edges_retained(self):
+        g = cycle_graph(4)
+        result = contract(g, {0, 2})  # opposite vertices: two parallel pairs
+        gamma = result.gamma
+        assert result.graph.m == 4
+        assert result.graph.has_parallel_edges()
+        assert result.graph.degree(gamma) == 4
+
+    def test_vertex_map_consistency(self):
+        g = cycle_graph(5)
+        result = contract(g, {1, 3})
+        assert result.vertex_map[1] == result.vertex_map[3] == result.gamma
+        mapped = {result.vertex_map[v] for v in range(5)}
+        assert mapped == set(range(result.graph.n))
+
+    def test_untouched_degrees_preserved(self):
+        g = petersen_graph()
+        result = contract(g, {0, 5})
+        for v in range(10):
+            if v in (0, 5):
+                continue
+            assert result.graph.degree(result.vertex_map[v]) == g.degree(v)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(GraphError):
+            contract(cycle_graph(3), [])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            contract(cycle_graph(3), [7])
+
+    def test_hitting_time_correspondence(self):
+        # E_u H_S in G equals E_u H_gamma in Gamma: the contraction coupling
+        # of Section 2.2, checked exactly on a small graph.
+        g = petersen_graph()
+        S = {3, 7}
+        result = contract(g, S)
+        for u in (0, 1, 9):
+            direct = hitting_time_to_set(g, u, S)
+            via_gamma = hitting_time(result.graph, result.vertex_map[u], result.gamma)
+            assert direct == pytest.approx(via_gamma, rel=1e-9)
+
+    def test_contraction_increases_gap(self):
+        # eq. (16): 1 - lambda_max(G) <= 1 - lambda_max(Gamma); checked via
+        # lambda_2 on graphs whose lambda_max = lambda_2.
+        for g, S in [
+            (petersen_graph(), {0, 1}),
+            (complete_graph(6), {0, 1, 2}),
+            (cycle_graph(9), {0, 4}),
+        ]:
+            result = contract(g, S)
+            assert lambda_2(result.graph) <= lambda_2(g) + 1e-9
+
+
+class TestSubdivide:
+    def test_counts(self):
+        g = cycle_graph(4)
+        result = subdivide(g, [0, 2])
+        assert result.graph.n == 6
+        assert result.graph.m == 6
+        assert set(result.midpoints) == {0, 2}
+
+    def test_midpoints_have_degree_two(self):
+        g = complete_graph(4)
+        result = subdivide(g, [1])
+        z = result.midpoints[1]
+        assert result.graph.degree(z) == 2
+
+    def test_even_degrees_preserved(self):
+        g = cycle_graph(6)
+        result = subdivide(g, range(g.m))
+        assert result.graph.has_even_degrees()
+
+    def test_original_degrees_unchanged(self):
+        g = petersen_graph()
+        result = subdivide(g, [0, 7, 14])
+        for v in range(g.n):
+            assert result.graph.degree(v) == g.degree(v)
+
+    def test_loop_subdivides_to_parallel_pair(self):
+        g = Graph(1, [(0, 0)])
+        result = subdivide(g, [0])
+        assert result.graph.n == 2
+        assert result.graph.m == 2
+        assert result.graph.has_parallel_edges()
+        assert result.graph.degree(0) == 2
+        assert result.graph.has_even_degrees()
+
+    def test_connectivity_preserved(self):
+        g = petersen_graph()
+        result = subdivide(g, range(0, g.m, 2))
+        assert is_connected(result.graph)
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(GraphError):
+            subdivide(cycle_graph(3), [10])
+
+
+class TestInducedSubgraph:
+    def test_triangle_in_k5(self):
+        g = complete_graph(5)
+        result = induced_subgraph(g, [0, 1, 2])
+        assert result.graph.n == 3
+        assert result.graph.m == 3
+        assert result.vertex_map == (0, 1, 2)
+
+    def test_edge_map_points_back(self):
+        g = cycle_graph(5)
+        result = induced_subgraph(g, [0, 1, 2])
+        for new_eid, old_eid in enumerate(result.edge_map):
+            u, v = result.graph.endpoints(new_eid)
+            ou, ov = g.endpoints(old_eid)
+            assert {result.vertex_map[u], result.vertex_map[v]} == {ou, ov}
+
+    def test_bad_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            induced_subgraph(cycle_graph(3), [5])
+
+
+class TestDisjointUnion:
+    def test_counts_and_shift(self):
+        a, b = cycle_graph(3), cycle_graph(4)
+        u = disjoint_union(a, b)
+        assert u.n == 7
+        assert u.m == 7
+        assert not is_connected(u)
+        assert u.has_edge(3, 4)
+
+
+class TestDoubleEdges:
+    def test_degrees_double_and_parity_fixes(self):
+        from repro.graphs.transform import double_edges
+
+        g = petersen_graph()  # 3-regular, odd
+        d = double_edges(g)
+        assert d.n == g.n
+        assert d.m == 2 * g.m
+        assert d.regularity() == 6
+        assert d.has_even_degrees()
+        assert d.has_parallel_edges()
+
+    def test_edge_ids_twin_layout(self):
+        from repro.graphs.transform import double_edges
+
+        g = cycle_graph(5)
+        d = double_edges(g)
+        for e in range(g.m):
+            assert d.endpoints(e) == d.endpoints(g.m + e)
+
+    def test_goodness_collapses_to_doubled_star(self):
+        # the ablation's mechanism: a degree-2k vertex's doubled star is an
+        # even subgraph on k+1 vertices, so ℓ(v) = deg_G(v) + 1 at best
+        from repro.core.goodness import ell_value_at
+        from repro.graphs.transform import double_edges
+
+        d = double_edges(complete_graph(4))
+        for v in range(4):
+            assert ell_value_at(d, v) == 4
+
+    def test_eprocess_accepts_doubled_odd_graph(self, rng):
+        from repro.core.eprocess import EdgeProcess
+        from repro.graphs.transform import double_edges
+
+        d = double_edges(petersen_graph())
+        walk = EdgeProcess(d, 0, rng=rng, require_even_degrees=True)
+        walk.run_until_vertex_cover()
+        assert walk.vertices_covered

@@ -1,0 +1,113 @@
+"""Tests for the shared walk framework (stepping, covers, budgets)."""
+
+import pytest
+
+from repro.errors import CoverTimeout, GraphError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.walks.base import default_step_budget
+from repro.walks.srw import SimpleRandomWalk
+
+
+class TestConstruction:
+    def test_start_out_of_range(self, rng):
+        with pytest.raises(GraphError):
+            SimpleRandomWalk(cycle_graph(4), 9, rng=rng)
+
+    def test_empty_graph_rejected(self, rng):
+        with pytest.raises(GraphError):
+            SimpleRandomWalk(Graph(0, []), 0, rng=rng)
+
+    def test_isolated_start_rejected(self, rng):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            SimpleRandomWalk(g, 2, rng=rng)
+
+    def test_time_zero_counts_as_visit(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(5), 3, rng=rng)
+        assert walk.num_visited_vertices == 1
+        assert walk.first_visit_time[3] == 0
+        assert walk.current == 3
+        assert walk.steps == 0
+
+
+class TestStepping:
+    def test_step_advances_time_and_position(self, rng):
+        g = path_graph(2)
+        walk = SimpleRandomWalk(g, 0, rng=rng)
+        nxt = walk.step()
+        assert nxt == 1
+        assert walk.steps == 1
+        assert walk.first_visit_time[1] == 1
+
+    def test_run_exact_steps(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(6), 0, rng=rng)
+        walk.run(17)
+        assert walk.steps == 17
+
+    def test_first_visit_recorded_once(self, rng):
+        g = path_graph(2)
+        walk = SimpleRandomWalk(g, 0, rng=rng)
+        walk.run(10)
+        assert walk.first_visit_time[1] == 1  # not overwritten by revisits
+
+
+class TestVertexCover:
+    def test_cover_completes(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(10), 0, rng=rng)
+        steps = walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+        assert steps == walk.steps
+        assert steps >= 9  # at least n-1 moves
+
+    def test_single_vertex_trivial_cover(self, rng):
+        walk = SimpleRandomWalk(Graph(1, [(0, 0)]), 0, rng=rng)
+        assert walk.run_until_vertex_cover() == 0
+
+    def test_timeout_raises_with_diagnostics(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(50), 0, rng=rng)
+        with pytest.raises(CoverTimeout) as info:
+            walk.run_until_vertex_cover(max_steps=3)
+        assert info.value.steps == 3
+        assert info.value.remaining > 0
+
+    def test_default_budget_scales(self):
+        assert default_step_budget(cycle_graph(10)) > default_step_budget(cycle_graph(3))
+
+
+class TestEdgeTracking:
+    def test_disabled_by_default(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(4), 0, rng=rng)
+        assert not walk.tracks_edges
+        with pytest.raises(GraphError):
+            _ = walk.edges_covered
+        with pytest.raises(GraphError):
+            walk.run_until_edge_cover()
+        with pytest.raises(GraphError):
+            walk.unvisited_edges()
+
+    def test_edge_cover(self, rng):
+        g = star_graph(4)
+        walk = SimpleRandomWalk(g, 0, rng=rng, track_edges=True)
+        steps = walk.run_until_edge_cover()
+        assert walk.edges_covered
+        assert steps >= g.m
+
+    def test_edge_visit_time_is_arrival_step(self, rng):
+        g = path_graph(2)
+        walk = SimpleRandomWalk(g, 0, rng=rng, track_edges=True)
+        walk.step()
+        assert walk.first_edge_visit_time[0] == 1
+
+    def test_unvisited_lists(self, rng):
+        g = path_graph(3)
+        walk = SimpleRandomWalk(g, 0, rng=rng, track_edges=True)
+        walk.step()  # 0 -> 1
+        assert 2 in walk.unvisited_vertices()
+        assert walk.unvisited_edges() == [1]
+
+
+class TestRepr:
+    def test_repr_mentions_progress(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(4), 0, rng=rng)
+        assert "covered=1/4" in repr(walk)
