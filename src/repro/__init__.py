@@ -62,6 +62,7 @@ from repro.core import (
     verify_observation_11,
     verify_observation_12,
 )
+from repro.engine import ArrayEdgeProcess, ArraySRW
 from repro.errors import (
     CoverTimeout,
     EvenDegreeError,
@@ -160,6 +161,9 @@ __all__ = [
     "LeastUsedFirstWalk",
     "OldestFirstWalk",
     "GreedyRandomWalk",
+    # array engines
+    "ArraySRW",
+    "ArrayEdgeProcess",
     # E-process core
     "EdgeProcess",
     "BLUE",

@@ -27,6 +27,7 @@ from repro.core.eprocess import EdgeProcess
 from repro.core.components import isolated_blue_stars
 from repro.core.goodness import ell_goodness_exact
 from repro.core.stars import expected_isolated_stars
+from repro.engine import NAMED_WALK_FACTORIES
 from repro.errors import ReproError
 from repro.graphs import (
     Graph,
@@ -138,15 +139,30 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 def _cmd_cover(args: argparse.Namespace) -> int:
     if args.walk not in WALKS:
         raise ReproError(f"unknown walk {args.walk!r}; choose from {sorted(WALKS)}")
+    engine = getattr(args, "engine", "reference")
+    workers = getattr(args, "workers", 1)
+    if engine == "array" or workers > 1:
+        # The array engine and the worker pool both need a walk from the
+        # named registry (array twins exist / factories pickle).
+        if args.walk not in NAMED_WALK_FACTORIES:
+            raise ReproError(
+                f"--engine array / --workers > 1 support walks "
+                f"{sorted(NAMED_WALK_FACTORIES)}; got {args.walk!r}"
+            )
+        walk_factory = args.walk
+    else:
+        walk_factory = WALKS[args.walk]
     build_rng = spawn(args.seed, "cli-cover-graph")
     graph = _build_family_graph(args, build_rng)
     run = cover_time_trials(
         workload=graph,
-        walk_factory=WALKS[args.walk],
+        walk_factory=walk_factory,
         trials=args.trials,
         root_seed=args.seed,
         target=args.target,
         label=f"cli-cover-{args.walk}",
+        engine=engine,
+        workers=workers,
     )
     denom = graph.n if args.target == "vertices" else graph.m
     print(
@@ -348,6 +364,20 @@ def build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--target", default="vertices", choices=["vertices", "edges"])
     cover.add_argument("--trials", type=int, default=5)
     cover.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    cover.add_argument(
+        "--engine",
+        default="reference",
+        choices=["reference", "array"],
+        help="walk engine: reference per-step classes or the chunked "
+        "flat-array fast path (identical results, higher throughput)",
+    )
+    cover.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes to spread trials over (results are identical "
+        "for any worker count)",
+    )
     cover.set_defaults(fn=_cmd_cover)
 
     spectral = sub.add_parser("spectral", help="eigenvalue gap / conductance")

@@ -1,0 +1,90 @@
+"""Fast array-backed simulation engines.
+
+The reference walk classes optimize for clarity and pluggability; the
+engines here optimize for throughput.  Both expose the same stepping and
+cover-time surface and draw the same Mersenne-Twister stream, so for a
+given seed an array engine reproduces its reference twin's trajectory and
+cover time bit for bit — the parity tests in ``tests/test_engine.py``
+assert exactly that.
+
+The registry at the bottom names the walks that exist in both engines so
+the experiment runner (:func:`repro.sim.runner.cover_time_trials`) and the
+CLI can select ``engine="reference"`` or ``engine="array"`` by walk name.
+The factories are module-level functions (not lambdas) so trial
+specifications stay picklable for the multiprocessing runner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from repro.core.eprocess import EdgeProcess
+from repro.engine.base import DEFAULT_CHUNK_SIZE, ArrayWalkEngine
+from repro.engine.eprocess import ArrayEdgeProcess
+from repro.engine.srw import ArraySRW
+from repro.errors import ReproError
+from repro.walks.srw import SimpleRandomWalk
+
+__all__ = [
+    "ArrayWalkEngine",
+    "ArraySRW",
+    "ArrayEdgeProcess",
+    "DEFAULT_CHUNK_SIZE",
+    "ENGINES",
+    "NAMED_WALK_FACTORIES",
+    "resolve_walk_factory",
+]
+
+ENGINES = ("reference", "array")
+
+
+def _srw_reference(graph, start, rng):
+    return SimpleRandomWalk(graph, start, rng=rng, track_edges=True)
+
+
+def _srw_array(graph, start, rng):
+    return ArraySRW(graph, start, rng=rng, track_edges=True)
+
+
+def _eprocess_reference(graph, start, rng):
+    return EdgeProcess(graph, start, rng=rng, record_phases=False)
+
+
+def _eprocess_array(graph, start, rng):
+    return ArrayEdgeProcess(graph, start, rng=rng, record_phases=False)
+
+
+#: Walks constructible in either engine, by name.  Both variants of a name
+#: take (graph, start, rng), track edges (so either cover target works),
+#: and consume randomness identically.
+NAMED_WALK_FACTORIES: Dict[str, Dict[str, Callable]] = {
+    "srw": {"reference": _srw_reference, "array": _srw_array},
+    "eprocess": {"reference": _eprocess_reference, "array": _eprocess_array},
+}
+
+
+def resolve_walk_factory(walk: Union[str, Callable], engine: str = "reference") -> Callable:
+    """Resolve a walk name or factory to a concrete walk factory.
+
+    ``walk`` may be a name from :data:`NAMED_WALK_FACTORIES` (resolved for
+    the requested engine) or an explicit ``f(graph, start, rng)`` factory
+    (allowed only with ``engine="reference"`` — a callable already commits
+    to a concrete walk class, so asking for the array engine on top of it
+    would be silently ignored at best).
+    """
+    if engine not in ENGINES:
+        raise ReproError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if callable(walk):
+        if engine != "reference":
+            raise ReproError(
+                f"engine={engine!r} needs a named walk "
+                f"({sorted(NAMED_WALK_FACTORIES)}); got a callable factory — "
+                "construct the array walk inside the factory instead"
+            )
+        return walk
+    try:
+        return NAMED_WALK_FACTORIES[walk][engine]
+    except (KeyError, TypeError):
+        raise ReproError(
+            f"unknown walk {walk!r}; named walks: {sorted(NAMED_WALK_FACTORIES)}"
+        ) from None

@@ -1,0 +1,386 @@
+"""Shared machinery for the array-backed walk engines.
+
+The reference engines (:class:`~repro.walks.srw.SimpleRandomWalk`,
+:class:`~repro.core.eprocess.EdgeProcess`) pay per-step method dispatch:
+``step()`` → ``_transition()`` → ``_record_edge_visit()``, plus a tuple
+unpack from the per-vertex incidence list and a full ``randrange`` call.
+The array engines keep identical semantics but step in *chunks*: one
+bytecode loop over the graph's flat CSR arrays with every piece of hot
+state hoisted into locals and the RNG draws batched.
+
+Everything rests on one invariant — **bit-identical randomness**.  For a
+``random.Random`` seed, an array engine replays its reference twin's draw
+sequence exactly, so trajectories, cover times, phase statistics, and even
+the generator state after any number of steps all match.  Three draw tiers
+implement this, fastest first:
+
+1. *Batched raw words* (:class:`MTWordStream`).  ``random.Random`` and
+   ``numpy.random.MT19937`` share the same core generator, and
+   ``randrange(k)`` → ``_randbelow(k)`` → ``getrandbits(b)`` consumes
+   exactly one tempered 32-bit output word per rejection round
+   (``word >> (32 - b)``).  Transplanting the state into a numpy
+   ``MT19937`` lets a chunk draw its words with one ``random_raw`` call
+   and do the rejection filter vectorized; the state is synced back when
+   the chunk ends.  Used for constant-modulus draw runs (regular graphs).
+
+2. *Inlined rejection*.  ``r = getrandbits(k)`` / ``while r >= q`` with a
+   hoisted bound method — the body of CPython's ``_randbelow``, minus the
+   per-call function overhead.  Used when the modulus varies per step.
+
+3. *Reference stepping*.  For RNGs that are not plain Mersenne-Twister
+   ``random.Random`` instances (``_randbelow`` overridden, no state
+   access), chunks degrade to the inherited per-step ``step()`` loop —
+   slow but always faithful.
+
+Chunks mutate the very containers the reference base class owns
+(``visited_vertices``, ``first_visit_time``, ...) and write scalars back
+on exit, so single ``step()`` calls and chunked runs interleave freely.
+
+The CSR arrays live on :class:`~repro.graphs.graph.Graph` as numpy arrays;
+the engines copy them into plain lists once per walk because CPython list
+indexing with a Python int is several times faster than numpy scalar
+indexing, and the per-step part of the loop is scalar by nature (a walk is
+a sequential chain).
+"""
+
+from __future__ import annotations
+
+import random
+from repro.errors import ReproError
+
+__all__ = [
+    "ArrayWalkEngine",
+    "MTWordStream",
+    "DEFAULT_CHUNK_SIZE",
+    "STOP_NONE",
+    "STOP_VERTICES",
+    "STOP_EDGES",
+]
+
+#: Steps per inner chunk for the cover-time runners.  Large enough that the
+#: per-chunk setup (local hoisting, RNG state transplant) is noise, small
+#: enough that a cover run re-checks its budget at a reasonable cadence.
+DEFAULT_CHUNK_SIZE = 8192
+
+#: Below this many steps a chunk skips the numpy word batching — the
+#: state-transplant overhead would exceed the per-draw savings.
+BATCH_MIN_STEPS = 1024
+
+#: ``run``/``run_chunk`` split long requests into pieces of this size so
+#: the kernel dispatch (notably steady-state eligibility) is re-evaluated
+#: at a bounded cadence while the per-chunk setup stays amortized.
+RUN_SPLIT_STEPS = 65536
+
+#: Largest composition-table size (``n * d**width`` entries) the
+#: steady-state kernel will build; bounds its memory to tens of MB.
+COMP_TABLE_MAX_ENTRIES = 1_000_000
+
+# Chunk stop conditions (protocol between the runners and each engine's
+# ``_chunk``).
+STOP_NONE = 0  # take exactly num_steps steps
+STOP_VERTICES = 1  # additionally stop the instant all vertices are visited
+STOP_EDGES = 2  # additionally stop the instant all edges are visited
+
+
+class MTWordStream:
+    """Batched, bit-identical access to a ``random.Random``'s raw words.
+
+    Between :meth:`begin` and :meth:`end`, :meth:`take` hands out the exact
+    sequence of tempered 32-bit Mersenne-Twister outputs the wrapped
+    generator would produce, as numpy arrays.  :meth:`end` advances the
+    wrapped generator past precisely the words the caller reports as
+    consumed, so interleaving batched chunks with ordinary ``rng`` calls
+    (or comparing ``getstate()`` against a reference run) stays exact.
+    """
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._mt = None  # reusable scratch numpy MT19937 (created lazily)
+        self._base = None
+        self._handed = 0
+        self._pre_take_state = None
+        self._last_count = 0
+
+    @staticmethod
+    def supports(rng: random.Random) -> bool:
+        """Whether ``rng`` is a plain Mersenne-Twister ``random.Random``.
+
+        Requires the stock ``_randbelow`` (a subclass overriding
+        ``random()`` silently swaps in a different rejection scheme) and a
+        standard 625-word ``getstate`` tuple to transplant.
+        """
+        if type(rng)._randbelow is not random.Random._randbelow:
+            return False
+        try:
+            state = rng.getstate()
+        except Exception:
+            return False
+        return (
+            isinstance(state, tuple)
+            and len(state) == 3
+            and state[0] == 3
+            and len(state[1]) == 625
+        )
+
+    def begin(self) -> None:
+        """Capture the generator's state and start handing out its words."""
+        import numpy as np
+
+        self._base = self._rng.getstate()
+        internal = self._base[1]
+        if self._mt is None:
+            self._mt = np.random.MT19937(0)
+        self._mt.state = {
+            "bit_generator": "MT19937",
+            "state": {
+                "key": np.asarray(internal[:-1], dtype=np.uint32),
+                "pos": internal[-1],
+            },
+        }
+        self._handed = 0
+        self._pre_take_state = None
+        self._last_count = 0
+
+    def take(self, count: int):
+        """The next ``count`` raw 32-bit words as a numpy array."""
+        # Snapshot so end() can rewind to the start of this batch and
+        # replay only its consumed prefix (MT cannot run backwards).
+        self._pre_take_state = self._mt.state
+        self._last_count = count
+        self._handed += count
+        return self._mt.random_raw(count)
+
+    def end(self, unused: int = 0) -> None:
+        """Advance the wrapped generator past the consumed words.
+
+        ``unused`` is how many words from the *final* :meth:`take` batch
+        the caller did not consume (earlier batches must be fully
+        consumed); those word positions will be re-handed next time.
+        """
+        consumed = self._handed - unused
+        version, internal, gauss = self._base
+        if consumed:
+            mt = self._mt
+            if unused:
+                # Rewind to the final batch's start and replay only its
+                # consumed prefix.
+                mt.state = self._pre_take_state
+                mt.random_raw(self._last_count - unused)
+            state = mt.state["state"]
+            self._rng.setstate(
+                (version, tuple(map(int, state["key"])) + (int(state["pos"]),), gauss)
+            )
+        self._base = None
+        self._handed = 0
+        self._pre_take_state = None
+        self._last_count = 0
+
+
+class ArrayWalkEngine:
+    """Mixin adding flat-array state and chunked runners to a walk class.
+
+    Subclasses inherit from this mixin *and* the reference walk class they
+    accelerate (``class ArraySRW(ArrayWalkEngine, SimpleRandomWalk)``), so
+    the single-step protocol, introspection surface, and constructor
+    validation all come from the reference implementation; the mixin
+    overrides only the bulk runners.  Call :meth:`_init_arrays` at the end
+    of ``__init__``.
+    """
+
+    def _init_arrays(self, chunk_size: int) -> None:
+        if chunk_size < 1:
+            raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        graph = self.graph
+        offsets, edge_ids, neighbors = graph.csr_arrays()
+        # Plain lists: fastest scalar indexing for the pure-Python hot loop.
+        self._off = offsets.tolist()
+        self._eids = edge_ids.tolist()
+        self._nbrs = neighbors.tolist()
+        self._deg = list(graph.degrees())
+        self._regular_degree = graph.regularity() if graph.is_regular() else 0
+        # Rejection-sampling bit widths per modulus: _randbelow(q) draws
+        # getrandbits(q.bit_length()) until the result is < q.
+        self._kbits = [q.bit_length() for q in range(graph.max_degree + 1)]
+        if type(self.rng)._randbelow is random.Random._randbelow and hasattr(
+            self.rng, "getrandbits"
+        ):
+            self._grb = self.rng.getrandbits
+        else:
+            self._grb = None  # exotic RNG: chunks fall back to step()
+        self._stream = MTWordStream(self.rng) if MTWordStream.supports(self.rng) else None
+        self._comp_table = None  # lazily built by _position_comp_table
+
+    # ------------------------------------------------------------------
+    # Per-engine chunk kernel
+    # ------------------------------------------------------------------
+    def _chunk(self, num_steps: int, stop: int) -> None:
+        """Take up to ``num_steps`` steps in one tight loop.
+
+        Takes exactly ``num_steps`` steps unless ``stop`` requests an early
+        exit at the cover instant.  Implemented by each engine.
+        """
+        raise NotImplementedError
+
+    def _chunk_steps(self, num_steps: int, stop: int) -> None:
+        """Portable chunk fallback: the inherited per-step reference loop."""
+        step = self.step
+        for _ in range(num_steps):
+            step()
+            if stop == STOP_VERTICES:
+                if self.num_visited_vertices == self.graph.n:
+                    return
+            elif stop == STOP_EDGES:
+                if self.num_visited_edges == self.graph.m:
+                    return
+
+    # ------------------------------------------------------------------
+    # Steady-state kernel (shared): nothing left to record
+    # ------------------------------------------------------------------
+    def _position_comp_table(self):
+        """Multi-step composition table for regular graphs.
+
+        Returns ``(table, width)`` where
+        ``table[v*d**width + i_1*d**(width-1) + ... + i_width]`` is the
+        vertex reached from ``v`` by taking incidence entries ``i_1``
+        through ``i_width`` in order — so a steady-state walk advances
+        ``width`` steps per loop iteration.  ``width`` is the largest of
+        ``{3, 2}`` whose table fits :data:`COMP_TABLE_MAX_ENTRIES`; built
+        lazily and cached.  ``(None, 1)`` when the graph is irregular or
+        even the pair table would be too large.
+        """
+        if self._comp_table is None:
+            cache = self.graph.scratch_cache()
+            cached = cache.get("engine_comp_table")
+            if cached is not None:
+                self._comp_table = cached
+            else:
+                d = self._regular_degree
+                n = self.graph.n
+                if not d or n * d * d > COMP_TABLE_MAX_ENTRIES:
+                    self._comp_table = (False, 1)
+                else:
+                    nb = self.graph.csr_neighbors.reshape(n, d)
+                    pair = nb[nb]  # [v, i1, i2] -> two-step destination
+                    if n * d * d * d <= COMP_TABLE_MAX_ENTRIES:
+                        triple = nb[pair.reshape(n, d * d)]
+                        self._comp_table = (triple.reshape(-1).tolist(), 3)
+                    else:
+                        self._comp_table = (pair.reshape(-1).tolist(), 2)
+                cache["engine_comp_table"] = self._comp_table
+        table, width = self._comp_table
+        return (table, width) if table else (None, 1)
+
+    def _chunk_steady(self, num_steps: int) -> None:
+        """Advance ``num_steps`` with no visitation bookkeeping.
+
+        Only valid once every observable the walk still records is
+        saturated (the engine's ``_chunk`` dispatch guarantees this); the
+        walk is then a pure position chain, so the kernel consumes the
+        prefiltered draws ``width`` at a time through the composition
+        table.  Updates ``current``/``steps`` and leaves the RNG exactly
+        where the reference per-step loop would.
+        """
+        d = self._regular_degree
+        k = d.bit_length()
+        shift = 32 - k
+        factor = (1 << k) / d
+        off = self._off
+        nbrs = self._nbrs
+        table, width = self._position_comp_table()
+        dw = d**width
+        stream = self._stream
+        cur = self.current
+        steps = self.steps
+        stream.begin()
+        unused = 0
+        remaining = num_steps
+        try:
+            while remaining:
+                # Cap the per-batch word pull so the numpy working set
+                # stays cache-sized; every accepted draw has the same
+                # modulus here, so an uncapped batch's surplus accepts
+                # would be valid anyway — the cap only matters when they
+                # would overshoot num_steps, which the truncation below
+                # (the final batch) handles.
+                goal = remaining if remaining < RUN_SPLIT_STEPS else RUN_SPLIT_STEPS
+                est = int(goal * factor) + 32
+                raw = stream.take(est)
+                cand = raw >> shift
+                pos = (cand < d).nonzero()[0]
+                if pos.size > remaining:
+                    pos = pos[:remaining]
+                count = int(pos.size)
+                seg = cand[pos]
+                grouped = count - count % width if table is not None else 0
+                if grouped:
+                    if width == 3:
+                        packed = (
+                            seg[0:grouped:3] * (d * d)
+                            + seg[1:grouped:3] * d
+                            + seg[2:grouped:3]
+                        )
+                    else:
+                        packed = seg[0:grouped:2] * d + seg[1:grouped:2]
+                    for word in packed.tolist():
+                        cur = table[cur * dw + word]
+                for i in seg[grouped:].tolist():
+                    cur = nbrs[off[cur] + i]
+                steps += count
+                if count == remaining:
+                    unused = est - (int(pos[count - 1]) + 1)
+                    remaining = 0
+                else:
+                    # Shortfall: all words (trailing rejects included, they
+                    # belong to the in-flight draw the next batch finishes)
+                    # are consumed.
+                    remaining -= count
+        finally:
+            self.current = cur
+            self.steps = steps
+            stream.end(unused)
+
+    # ------------------------------------------------------------------
+    # Bulk runners (override the per-step loops of WalkProcess)
+    # ------------------------------------------------------------------
+    def _steady_eligible(self) -> bool:
+        """Whether the walk is already in its steady state (see subclass).
+
+        Steady eligibility is monotone — a saturated observable stays
+        saturated — so once this returns True the runners stop splitting
+        requests for dispatch re-evaluation.
+        """
+        return False
+
+    def _run_split(self, num_steps: int) -> None:
+        # Split long requests so kernel dispatch (entering the steady-state
+        # path after cover) is re-evaluated periodically; once steady, hand
+        # the whole remainder to one chunk.
+        remaining = num_steps
+        while remaining > 0:
+            if self._steady_eligible():
+                size = remaining
+            else:
+                size = RUN_SPLIT_STEPS if remaining > RUN_SPLIT_STEPS else remaining
+            self._chunk(size, STOP_NONE)
+            remaining -= size
+
+    def run_chunk(self, num_steps: int) -> int:
+        """Take exactly ``num_steps`` steps in one batch; returns the final
+        vertex.  Equivalent to ``num_steps`` calls of ``step()`` (same
+        trajectory, same RNG consumption), minus the dispatch overhead."""
+        if num_steps < 0:
+            raise ReproError(f"num_steps must be >= 0, got {num_steps}")
+        self._run_split(num_steps)
+        return self.current
+
+    def run(self, num_steps: int) -> int:
+        """Take exactly ``num_steps`` steps; returns the final vertex."""
+        self._run_split(num_steps)
+        return self.current
+
+    def _cover_advance(self, budget: int, target: str) -> None:
+        # The cover runners (budget/timeout logic) live on WalkProcess;
+        # the engines advance by bounded chunks instead of single steps.
+        stop = STOP_VERTICES if target == "vertices" else STOP_EDGES
+        self._chunk(min(self.chunk_size, budget - self.steps), stop)

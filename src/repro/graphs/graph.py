@@ -58,7 +58,7 @@ class Graph:
         Optional human-readable label used in ``repr`` and reports.
     """
 
-    __slots__ = ("_n", "_edges", "_incidence", "_degrees", "_name")
+    __slots__ = ("_n", "_edges", "_incidence", "_degrees", "_name", "_csr", "_scratch")
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge], name: str = ""):
         if num_vertices < 0:
@@ -84,6 +84,8 @@ class Graph:
         )
         self._degrees: Tuple[int, ...] = tuple(degrees)
         self._name = name
+        self._csr = None  # lazily built flat-array incidence (see csr_arrays)
+        self._scratch = None  # lazily created memo dict (see scratch_cache)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -226,6 +228,71 @@ class Graph:
         return tuple(sorted(eid for (eid, w) in self._incidence[u] if w == v))
 
     # ------------------------------------------------------------------
+    # Flat-array (CSR) incidence layout
+    # ------------------------------------------------------------------
+    def csr_arrays(self):
+        """Flat-array (CSR-style) incidence layout as three numpy arrays.
+
+        Returns ``(csr_offsets, csr_edge_ids, csr_neighbors)`` where the
+        incidence entries of vertex ``v`` occupy positions
+        ``csr_offsets[v]:csr_offsets[v+1]`` of the two flat arrays, **in the
+        same order as** :meth:`incidence` — so a uniform index into a
+        vertex's slice is exactly the SRW transition, and array-backed
+        engines replay the reference engines' random choices bit for bit.
+
+        ``csr_offsets`` has length ``n + 1`` with ``csr_offsets[n] == 2m``;
+        loops contribute two entries, like :meth:`incidence`.  The arrays
+        are built lazily on first access, cached on the graph (sharing one
+        graph across thousands of trials amortizes the build), and marked
+        read-only to preserve the immutability contract.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            offsets = np.zeros(self._n + 1, dtype=np.int64)
+            if self._n:
+                np.cumsum(self._degrees, out=offsets[1:])
+            total = 2 * len(self._edges)
+            edge_ids = np.empty(total, dtype=np.int64)
+            neighbors = np.empty(total, dtype=np.int64)
+            pos = 0
+            for entries in self._incidence:
+                for eid, w in entries:
+                    edge_ids[pos] = eid
+                    neighbors[pos] = w
+                    pos += 1
+            for arr in (offsets, edge_ids, neighbors):
+                arr.setflags(write=False)
+            self._csr = (offsets, edge_ids, neighbors)
+        return self._csr
+
+    @property
+    def csr_offsets(self):
+        """Per-vertex slice starts into the flat incidence arrays."""
+        return self.csr_arrays()[0]
+
+    @property
+    def csr_edge_ids(self):
+        """Edge ids of all incidence entries, vertex-major."""
+        return self.csr_arrays()[1]
+
+    @property
+    def csr_neighbors(self):
+        """Neighbour endpoints of all incidence entries, vertex-major."""
+        return self.csr_arrays()[2]
+
+    def scratch_cache(self) -> dict:
+        """Per-graph memo for derived acceleration structures.
+
+        Consumers (e.g. the array walk engines) key expensive read-only
+        artifacts here so every walk sharing the graph reuses them.  The
+        cache is invisible to equality/hashing and dropped on pickling.
+        """
+        if self._scratch is None:
+            self._scratch = {}
+        return self._scratch
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def edge_subgraph(self, edge_ids: Iterable[int]) -> "Graph":
@@ -262,6 +329,11 @@ class Graph:
         return hash(
             (self._n, tuple(sorted(_normalize_edge(u, v) for (u, v) in self._edges)))
         )
+
+    def __reduce__(self):
+        # Pickle structurally (vertex count + edge list); the lazy caches
+        # are rebuilt on demand so worker-pool payloads stay small.
+        return (Graph, (self._n, self._edges, self._name))
 
     def __repr__(self) -> str:
         label = f" {self._name!r}" if self._name else ""

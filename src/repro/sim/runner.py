@@ -5,13 +5,23 @@ a (random) vertex, run to vertex or edge cover, repeat, aggregate.  The
 paper averaged five experiments per data point; the runner makes trial
 counts, seeds, and workloads explicit so each table/figure's harness is a
 few declarative lines.
+
+Trials are independent by construction — every trial derives its graph,
+start vertex, and walk noise from ``(root_seed, label, kind, trial)``
+through the seed tree — so the runner can fan them out across a
+``multiprocessing`` pool (``workers=N``) and the results are bit-identical
+regardless of worker count or scheduling.  Likewise the ``engine`` switch
+("reference" or "array", for walks named in
+:data:`repro.engine.NAMED_WALK_FACTORIES`) changes throughput, never
+numbers.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError
 from repro.graphs.graph import Graph
@@ -45,9 +55,80 @@ class CoverRun:
     extras: Dict[str, Aggregate] = field(default_factory=dict)
 
 
+class _TrialSpec(NamedTuple):
+    """Everything one trial needs, picklable for the worker pool."""
+
+    workload: Union[Graph, GraphFactory]
+    walk_factory: WalkFactory
+    trial: int
+    root_seed: int
+    label: str
+    target: str
+    start: Optional[int]  # None means "uniform random per trial"
+    max_steps: Optional[int]
+    extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]]
+
+
+def _run_trial(spec: _TrialSpec) -> Tuple[int, Dict[str, float]]:
+    """Run one trial from its spec (serial path and pool workers alike)."""
+    graph_rng = spawn(spec.root_seed, spec.label, "graph", spec.trial)
+    graph = spec.workload(graph_rng) if callable(spec.workload) else spec.workload
+    start_rng = spawn(spec.root_seed, spec.label, "start", spec.trial)
+    if spec.start is None:
+        start_vertex = start_rng.randrange(graph.n)
+    else:
+        start_vertex = spec.start
+        if not 0 <= start_vertex < graph.n:
+            raise ReproError(
+                f"trial {spec.trial}: start vertex {start_vertex} out of "
+                f"range 0..{graph.n - 1} for graph {graph!r}"
+            )
+    walk_rng = spawn(spec.root_seed, spec.label, "walk", spec.trial)
+    walk = spec.walk_factory(graph, start_vertex, walk_rng)
+    if spec.target == "vertices":
+        steps = walk.run_until_vertex_cover(spec.max_steps)
+    else:
+        steps = walk.run_until_edge_cover(spec.max_steps)
+    extras: Dict[str, float] = {}
+    if spec.extra_metrics is not None:
+        extras = {key: float(value) for key, value in spec.extra_metrics(walk).items()}
+    return steps, extras
+
+
+#: Per-worker trial template installed by the pool initializer, so the
+#: workload (possibly a large Graph) is shipped once per worker process —
+#: not once per trial — and each worker's copy keeps its lazy caches
+#: (incidence, CSR arrays, composition tables) warm across its trials.
+_POOL_SPEC: Optional[_TrialSpec] = None
+
+
+def _init_pool_worker(spec: _TrialSpec) -> None:
+    global _POOL_SPEC
+    _POOL_SPEC = spec
+
+
+def _run_pool_trial(trial: int) -> Tuple[int, Dict[str, float]]:
+    return _run_trial(_POOL_SPEC._replace(trial=trial))
+
+
+def _resolve_start(start: Union[int, str]) -> Optional[int]:
+    """Normalize the ``start`` argument; None means random-per-trial.
+
+    Rejects non-vertex values with :class:`ReproError` up front (range
+    checking against the trial's graph happens per trial, since a workload
+    factory may produce graphs of varying size).
+    """
+    if start == "random":
+        return None
+    try:
+        return int(start)
+    except (TypeError, ValueError):
+        raise ReproError(f"start must be a vertex id or 'random', got {start!r}") from None
+
+
 def cover_time_trials(
     workload: Union[Graph, GraphFactory],
-    walk_factory: WalkFactory,
+    walk_factory: Union[str, WalkFactory],
     trials: int,
     root_seed: int,
     target: str = "vertices",
@@ -55,6 +136,8 @@ def cover_time_trials(
     max_steps: Optional[int] = None,
     label: str = "cover",
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]] = None,
+    engine: str = "reference",
+    workers: int = 1,
 ) -> CoverRun:
     """Run repeated cover-time trials.
 
@@ -64,7 +147,10 @@ def cover_time_trials(
         A fixed :class:`Graph`, or a factory ``f(rng) -> Graph`` sampling a
         fresh graph per trial (the paper's random-regular setting).
     walk_factory:
-        ``f(graph, start, rng) -> WalkProcess``.
+        ``f(graph, start, rng) -> WalkProcess``, or the name of a walk
+        registered in :data:`repro.engine.NAMED_WALK_FACTORIES` (``"srw"``,
+        ``"eprocess"``) — names are required for ``engine="array"`` and
+        recommended for ``workers > 1`` (they always pickle).
     trials:
         Number of independent trials (paper: 5 per data point).
     root_seed:
@@ -74,7 +160,8 @@ def cover_time_trials(
         ``"vertices"`` or ``"edges"`` — which cover time to measure.
     start:
         A fixed start vertex id, or ``"random"`` for a uniform start per
-        trial.
+        trial.  Fixed starts are validated against each trial's graph; an
+        out-of-range vertex raises :class:`ReproError` naming the trial.
     max_steps:
         Per-trial step budget (default: the walk framework's safety cap).
     label:
@@ -82,34 +169,57 @@ def cover_time_trials(
         stay independent.
     extra_metrics:
         Optional ``f(finished_walk) -> {name: value}`` collected per trial
-        and aggregated.
+        and aggregated.  Must be picklable when ``workers > 1``.
+    engine:
+        ``"reference"`` (the pluggable per-step classes) or ``"array"``
+        (the chunked flat-array engines from :mod:`repro.engine`).  Both
+        consume randomness identically, so the choice never changes the
+        measured cover times — only how fast they arrive.
+    workers:
+        Number of processes to spread trials over (default 1 = in-process,
+        no pool).  Results are bit-identical for any worker count because
+        each trial's randomness depends only on its seed-tree path.
     """
     if trials < 1:
         raise ReproError(f"need at least one trial, got {trials}")
     if target not in ("vertices", "edges"):
         raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    from repro.engine import resolve_walk_factory
+
+    factory = resolve_walk_factory(walk_factory, engine)
+    fixed_start = _resolve_start(start)
+    template = _TrialSpec(
+        workload=workload,
+        walk_factory=factory,
+        trial=-1,  # filled in per trial
+        root_seed=root_seed,
+        label=label,
+        target=target,
+        start=fixed_start,
+        max_steps=max_steps,
+        extra_metrics=extra_metrics,
+    )
+    if workers == 1:
+        outcomes = [_run_trial(template._replace(trial=t)) for t in range(trials)]
+    else:
+        with multiprocessing.get_context().Pool(
+            min(workers, trials),
+            initializer=_init_pool_worker,
+            initargs=(template,),
+        ) as pool:
+            outcomes = pool.map(_run_pool_trial, range(trials))
     cover_times: List[int] = []
     extra_values: Dict[str, List[float]] = {}
-    for trial in range(trials):
-        graph_rng = spawn(root_seed, label, "graph", trial)
-        graph = workload(graph_rng) if callable(workload) else workload
-        start_rng = spawn(root_seed, label, "start", trial)
-        if start == "random":
-            start_vertex = start_rng.randrange(graph.n)
-        else:
-            start_vertex = int(start)
-        walk_rng = spawn(root_seed, label, "walk", trial)
-        walk = walk_factory(graph, start_vertex, walk_rng)
-        if target == "vertices":
-            steps = walk.run_until_vertex_cover(max_steps)
-        else:
-            steps = walk.run_until_edge_cover(max_steps)
+    for steps, extras in outcomes:
         cover_times.append(steps)
-        if extra_metrics is not None:
-            for key, value in extra_metrics(walk).items():
-                extra_values.setdefault(key, []).append(float(value))
-    extras = {key: aggregate(vals) for key, vals in extra_values.items()}
-    return CoverRun(cover_times=cover_times, stats=aggregate(cover_times), extras=extras)
+        for key, value in extras.items():
+            extra_values.setdefault(key, []).append(value)
+    extras_agg = {key: aggregate(vals) for key, vals in extra_values.items()}
+    return CoverRun(
+        cover_times=cover_times, stats=aggregate(cover_times), extras=extras_agg
+    )
 
 
 def sweep(

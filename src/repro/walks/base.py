@@ -30,12 +30,16 @@ __all__ = ["WalkProcess", "default_step_budget"]
 def default_step_budget(graph: Graph) -> int:
     """Generous safety cap for cover-time runs.
 
-    ``10_000 + 20·n²`` comfortably exceeds the worst cover times of the
-    connected graphs in this library (the SRW's worst case is ``O(n³)`` only
-    on contrived weighted chains; on unweighted connected graphs ``≤ 4nm/3``
-    ≈ ``O(n³)`` — for those, pass an explicit budget).
+    The classical bound of Aleliunas et al. caps the SRW's expected vertex
+    cover time on any connected unweighted graph at ``2m(n-1)``, which
+    reaches the Feige-tight ``Θ(n³)`` regime on dense bottleneck graphs
+    such as lollipops and barbells (Feige: worst case ``(4/27)n³+o(n³)``).
+    The budget is therefore edge-aware: ``10_000 + 8·n·m`` sits a factor
+    ≥ 4 above the ``2m(n-1)`` worst case (the additive floor keeps tiny
+    graphs safe from unlucky tails), so legitimate Θ(n³) runs no longer
+    trip :class:`~repro.errors.CoverTimeout`.
     """
-    return 10_000 + 20 * graph.n * graph.n
+    return 10_000 + 8 * graph.n * graph.m
 
 
 class WalkProcess(ABC):
@@ -161,6 +165,14 @@ class WalkProcess(ABC):
             self.step()
         return self.current
 
+    def _cover_advance(self, budget: int, target: str) -> None:
+        """Advance toward covering ``target`` (``"vertices"``/``"edges"``).
+
+        One step here; the array engines override this with a bounded
+        chunk, keeping the budget/timeout logic in one place.
+        """
+        self.step()
+
     def run_until_vertex_cover(self, max_steps: Optional[int] = None) -> int:
         """Step until all vertices are visited; returns the cover step count.
 
@@ -178,7 +190,7 @@ class WalkProcess(ABC):
                     steps=self.steps,
                     remaining=self.graph.n - self.num_visited_vertices,
                 )
-            self.step()
+            self._cover_advance(budget, "vertices")
         return self.steps
 
     def run_until_edge_cover(self, max_steps: Optional[int] = None) -> int:
@@ -194,7 +206,7 @@ class WalkProcess(ABC):
                     steps=self.steps,
                     remaining=self.graph.m - self.num_visited_edges,
                 )
-            self.step()
+            self._cover_advance(budget, "edges")
         return self.steps
 
     # ------------------------------------------------------------------

@@ -61,6 +61,31 @@ class TestCoverCommand:
             )
             assert code == 0, walk
 
+    def test_array_engine_matches_reference_output(self, capsys):
+        args = ["cover", "--family", "regular", "--n", "60", "--degree", "4",
+                "--walk", "srw", "--trials", "3", "--seed", "9"]
+        assert main(args + ["--engine", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(args + ["--engine", "array"]) == 0
+        array_out = capsys.readouterr().out
+        assert array_out == reference_out
+
+    def test_workers_flag_runs(self, capsys):
+        code = main(
+            ["cover", "--family", "cycle", "--n", "20", "--walk", "eprocess",
+             "--trials", "4", "--seed", "2", "--workers", "2"]
+        )
+        assert code == 0
+        assert "mean steps" in capsys.readouterr().out
+
+    def test_array_engine_rejects_unsupported_walk(self, capsys):
+        code = main(
+            ["cover", "--family", "cycle", "--n", "12", "--walk", "rotor",
+             "--trials", "1", "--seed", "5", "--engine", "array"]
+        )
+        assert code == 2
+        assert "rotor" in capsys.readouterr().err
+
 
 class TestSpectralCommand:
     def test_profile_printed(self, capsys):

@@ -234,3 +234,64 @@ class TestGraphBuilder:
         b = GraphBuilder(3)
         b.add_edges([(0, 1), (1, 2)])
         assert b.num_edges == 2
+
+
+class TestCSRLayout:
+    def test_offsets_are_degree_cumsums(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        offsets = g.csr_offsets
+        assert offsets.tolist() == [0, 2, 5, 7, 10]
+        assert offsets[-1] == g.total_degree
+
+    def test_entries_match_incidence_order(self):
+        g = Graph(5, [(0, 1), (0, 1), (2, 2), (1, 2), (3, 4)])
+        offsets, edge_ids, neighbors = g.csr_arrays()
+        for v in range(g.n):
+            lo, hi = int(offsets[v]), int(offsets[v + 1])
+            entries = list(zip(edge_ids[lo:hi].tolist(), neighbors[lo:hi].tolist()))
+            assert entries == list(g.incidence(v))
+
+    def test_loop_contributes_two_entries(self):
+        g = Graph(1, [(0, 0)])
+        assert g.csr_offsets.tolist() == [0, 2]
+        assert g.csr_neighbors.tolist() == [0, 0]
+        assert g.csr_edge_ids.tolist() == [0, 0]
+
+    def test_cached_and_read_only(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        first = g.csr_arrays()
+        second = g.csr_arrays()
+        assert all(a is b for a, b in zip(first, second))
+        with pytest.raises(ValueError):
+            g.csr_offsets[0] = 7
+
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.csr_offsets.tolist() == [0]
+        assert g.csr_edge_ids.size == 0
+
+
+class TestScratchAndPickle:
+    def test_scratch_cache_persists(self):
+        g = Graph(2, [(0, 1)])
+        g.scratch_cache()["k"] = 41
+        assert g.scratch_cache()["k"] == 41
+
+    def test_pickle_roundtrip_drops_caches(self):
+        import pickle
+
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)], name="tri")
+        g.csr_arrays()
+        g.scratch_cache()["payload"] = list(range(10))
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone == g
+        assert clone.name == "tri"
+        assert clone.incidence(1) == g.incidence(1)
+        assert clone.scratch_cache() == {}
+
+    def test_scratch_invisible_to_equality_and_hash(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(0, 1)])
+        a.scratch_cache()["x"] = 1
+        assert a == b
+        assert hash(a) == hash(b)

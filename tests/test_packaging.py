@@ -1,0 +1,50 @@
+"""Packaging metadata regression tests.
+
+``setup.py`` is a thin shim that defers all metadata to ``pyproject.toml``;
+an earlier revision shipped the shim without the TOML file, so editable
+installs produced a metadata-less ``UNKNOWN`` dist.  Pin the contract.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro._version import __version__
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+tomllib = pytest.importorskip("tomllib")  # stdlib on >= 3.11
+
+
+@pytest.fixture(scope="module")
+def pyproject():
+    assert PYPROJECT.is_file(), "setup.py defers to pyproject.toml, which must exist"
+    return tomllib.loads(PYPROJECT.read_text())
+
+
+class TestPyproject:
+    def test_project_name(self, pyproject):
+        assert pyproject["project"]["name"] == "repro"
+
+    def test_version_is_dynamic_from_single_source(self, pyproject):
+        assert "version" in pyproject["project"]["dynamic"]
+        attr = pyproject["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+        assert attr == "repro._version.__version__"
+        assert __version__.count(".") == 2
+
+    def test_src_layout_configured(self, pyproject):
+        assert pyproject["tool"]["setuptools"]["package-dir"][""] == "src"
+        assert pyproject["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
+
+    def test_numpy_dependency_declared(self, pyproject):
+        deps = pyproject["project"]["dependencies"]
+        assert any(d.split()[0].startswith("numpy") for d in deps)
+
+    def test_build_backend_reads_project_table(self, pyproject):
+        # setuptools >= 61 is the first version that reads [project].
+        assert pyproject["build-system"]["build-backend"] == "setuptools.build_meta"
+        assert any("setuptools>=61" in req.replace(" ", "") for req in pyproject["build-system"]["requires"])
+
+    def test_cli_entry_point(self, pyproject):
+        assert pyproject["project"]["scripts"]["repro"] == "repro.cli:main"

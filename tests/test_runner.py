@@ -1,5 +1,7 @@
 """Tests for the experiment runner."""
 
+import random
+
 import pytest
 
 from repro.core.eprocess import EdgeProcess
@@ -85,3 +87,86 @@ class TestSweep:
         g = cycle_graph(8)
         runs = sweep([1, 2, 3], lambda k: cover_time_trials(g, _srw_factory, trials=int(k), root_seed=4))
         assert [r.stats.count for r in runs] == [1, 2, 3]
+
+
+def _regular_workload(rng):
+    """Module-level (picklable) workload for the worker-pool tests."""
+    return random_connected_regular_graph(24, 4, rng)
+
+
+class TestStartValidation:
+    def test_non_numeric_string_raises_repro_error(self):
+        g = cycle_graph(6)
+        with pytest.raises(ReproError, match="start must be"):
+            cover_time_trials(g, _srw_factory, trials=1, root_seed=1, start="nope")
+
+    def test_numeric_string_accepted(self):
+        g = cycle_graph(6)
+        run = cover_time_trials(g, _srw_factory, trials=2, root_seed=1, start="3")
+        assert run.stats.count == 2
+
+    def test_out_of_range_start_names_trial(self):
+        g = cycle_graph(5)
+        with pytest.raises(ReproError, match="trial 0.*out of range"):
+            cover_time_trials(g, _srw_factory, trials=2, root_seed=1, start=99)
+
+    def test_negative_start_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(ReproError, match="out of range"):
+            cover_time_trials(g, _srw_factory, trials=1, root_seed=1, start=-2)
+
+    def test_non_convertible_start_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(ReproError, match="start must be"):
+            cover_time_trials(g, _srw_factory, trials=1, root_seed=1, start=object())
+
+
+class TestEngineAndWorkers:
+    def test_engine_validation(self):
+        g = cycle_graph(8)
+        with pytest.raises(ReproError):
+            cover_time_trials(g, "srw", trials=1, root_seed=1, engine="bogus")
+        with pytest.raises(ReproError):
+            cover_time_trials(g, _srw_factory, trials=1, root_seed=1, engine="array")
+        with pytest.raises(ReproError):
+            cover_time_trials(g, "srw", trials=1, root_seed=1, workers=0)
+
+    def test_array_engine_matches_reference_exactly(self):
+        g = random_connected_regular_graph(40, 4, random.Random(2))
+        for walk in ("srw", "eprocess"):
+            ref = cover_time_trials(g, walk, trials=6, root_seed=13)
+            arr = cover_time_trials(g, walk, trials=6, root_seed=13, engine="array")
+            assert arr.cover_times == ref.cover_times
+
+    def test_array_engine_edge_target(self):
+        g = cycle_graph(14)
+        ref = cover_time_trials(g, "eprocess", trials=3, root_seed=5, target="edges")
+        arr = cover_time_trials(
+            g, "eprocess", trials=3, root_seed=5, target="edges", engine="array"
+        )
+        assert arr.cover_times == ref.cover_times
+
+    def test_workers_do_not_change_results(self):
+        serial = cover_time_trials(_regular_workload, "srw", trials=6, root_seed=21)
+        pooled = cover_time_trials(
+            _regular_workload, "srw", trials=6, root_seed=21, workers=3
+        )
+        assert pooled.cover_times == serial.cover_times
+
+    def test_array_workers_reproduce_reference_serial(self):
+        # The issue's headline determinism claim: engine="array", workers=4
+        # replays engine="reference", workers=1 cover times exactly.
+        serial = cover_time_trials(
+            _regular_workload, "eprocess", trials=8, root_seed=3,
+            engine="reference", workers=1,
+        )
+        pooled = cover_time_trials(
+            _regular_workload, "eprocess", trials=8, root_seed=3,
+            engine="array", workers=4,
+        )
+        assert pooled.cover_times == serial.cover_times
+
+    def test_worker_pool_propagates_validation_errors(self):
+        g = cycle_graph(5)
+        with pytest.raises(ReproError, match="out of range"):
+            cover_time_trials(g, "srw", trials=4, root_seed=1, start=77, workers=2)

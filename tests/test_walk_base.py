@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import CoverTimeout, GraphError
-from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+)
 from repro.graphs.graph import Graph
 from repro.walks.base import default_step_budget
 from repro.walks.srw import SimpleRandomWalk
@@ -73,6 +80,32 @@ class TestVertexCover:
 
     def test_default_budget_scales(self):
         assert default_step_budget(cycle_graph(10)) > default_step_budget(cycle_graph(3))
+
+    def test_default_budget_is_edge_aware(self):
+        # Regression: the budget used to be 10_000 + 20*n^2, which Θ(n³)
+        # worst cases (SRW on dense bottleneck graphs, cover ≤ 2m(n-1))
+        # legitimately exceed.  The edge-aware budget must dominate that
+        # classical bound with margin on every graph.
+        for g in (
+            cycle_graph(50),
+            complete_graph(40),
+            lollipop_graph(30, 15),
+            barbell_graph(20, 5),
+        ):
+            assert default_step_budget(g) >= 4 * g.m * (g.n - 1)
+
+    def test_budget_grows_with_multiplicity(self):
+        # Parallel edges slow the SRW down; the budget must notice them.
+        sparse = Graph(10, [(i, (i + 1) % 10) for i in range(10)])
+        dense = Graph(10, [(i, (i + 1) % 10) for i in range(10)] * 40)
+        assert default_step_budget(dense) > default_step_budget(sparse)
+
+    def test_lollipop_covers_within_default_budget(self, rng):
+        # The Θ(n³)-flavoured fixture that used to trip CoverTimeout.
+        walk = SimpleRandomWalk(lollipop_graph(14, 7), 0, rng=rng)
+        steps = walk.run_until_vertex_cover()
+        assert walk.vertices_covered
+        assert steps <= default_step_budget(walk.graph)
 
 
 class TestEdgeTracking:
