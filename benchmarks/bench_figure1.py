@@ -4,54 +4,57 @@ Paper series: ``E d=3 [0.93 n ln(n)]``, ``E d=4`` (flat), ``E d=5
 [0.41 n ln(n)]``, ``E d=6`` (flat), ``E d=7 [0.38 n ln(n)]``; each data
 point an average of five experiments, unvisited edges chosen u.a.r.
 
-This harness reproduces the full figure at a scaled n-grid and re-derives
-the fitted constants; expected shape: flat rows for d = 4, 6, logarithmic
-growth for d = 3, 5, 7 with fitted constants ordered c(3) > c(5) > c(7).
+This harness declares the full figure as a :class:`SweepSpec` and runs it
+through the experiment store under ``benchmarks/out/store`` — a first run
+computes all trials, subsequent runs (or a run interrupted and restarted)
+reuse every completed trial and only fill the gaps.  Tables and fits are
+rebuilt purely from the store.
 """
 
 from __future__ import annotations
 
-from conftest import ROOT_SEED, eprocess_factory
+from conftest import ROOT_SEED, STORE_DIR
 
-from repro.graphs.random_regular import random_connected_regular_graph
+from repro.experiments import (
+    ResultStore,
+    SweepSpec,
+    regular_degree_series,
+    run_sweep,
+    sweep_runs_from_store,
+)
 from repro.sim.fitting import fit_normalized_profile, select_growth_model
-from repro.sim.results import Series, SweepPoint
-from repro.sim.runner import cover_time_trials
 from repro.sim.tables import format_series_table, format_table
 
 SIZES = [1000, 2000, 4000, 8000, 16000]
 DEGREES = [3, 4, 5, 6, 7]
 TRIALS = 5  # matches the paper's "average of five actual experiments"
 
+SWEEP = SweepSpec.figure1(sizes=SIZES, degrees=DEGREES, trials=TRIALS, root_seed=ROOT_SEED)
+
 
 def _run_figure1():
-    series = []
+    store = ResultStore(STORE_DIR)
+    result = run_sweep(SWEEP, store=store)
+    runs = sweep_runs_from_store(store, SWEEP)  # tables come from the store alone
+    series = regular_degree_series(runs, normalize_by_n=True)
+    by_degree = {}
+    for spec, run in runs:
+        by_degree.setdefault(spec.params["degree"], []).append(
+            (spec.params["n"], run.stats.mean)
+        )
     fits = []
     for d in DEGREES:
-        points = []
-        raw_means = []
-        for n in SIZES:
-            adjusted = n if (n * d) % 2 == 0 else n + 1
-            run = cover_time_trials(
-                workload=lambda rng, nn=adjusted, dd=d: random_connected_regular_graph(
-                    nn, dd, rng
-                ),
-                walk_factory=eprocess_factory,
-                trials=TRIALS,
-                root_seed=ROOT_SEED,
-                label=f"E1-d{d}-n{adjusted}",
-            )
-            raw_means.append(run.stats.mean)
-            points.append(SweepPoint(x=adjusted, stats=run.stats.scaled(1.0 / adjusted)))
-        series.append(Series(label=f"E d={d}", points=points))
-        winner, linear_fit, nlogn_fit = select_growth_model(SIZES, raw_means)
-        profile = fit_normalized_profile(SIZES, raw_means)
+        pairs = sorted(by_degree[d])
+        ns = [n for n, _ in pairs]
+        raw_means = [mean for _, mean in pairs]
+        winner, linear_fit, nlogn_fit = select_growth_model(ns, raw_means)
+        profile = fit_normalized_profile(ns, raw_means)
         fits.append((d, winner, linear_fit, nlogn_fit, profile))
-    return series, fits
+    return series, fits, result
 
 
 def bench_figure1(benchmark, emit):
-    series, fits = benchmark.pedantic(_run_figure1, rounds=1, iterations=1)
+    series, fits, result = benchmark.pedantic(_run_figure1, rounds=1, iterations=1)
 
     table = format_series_table(
         series,
@@ -80,6 +83,8 @@ def bench_figure1(benchmark, emit):
     )
     emit("E1_figure1", table + "\n\n" + fits_table)
 
+    benchmark.extra_info["trials_scheduled"] = result.scheduled
+    benchmark.extra_info["trials_cached"] = result.cached
     for d, winner, _lin, nlogn_fit, profile in fits:
         benchmark.extra_info[f"d{d}_model"] = winner
         benchmark.extra_info[f"d{d}_nlogn_c"] = round(nlogn_fit.constant, 4)

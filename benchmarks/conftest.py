@@ -26,6 +26,11 @@ from repro.walks.srw import SimpleRandomWalk
 
 OUTPUT_DIR = Path(__file__).parent / "out"
 
+#: Shared experiment store for spec-based harnesses (bench_figure1,
+#: bench_edge_cover_rr, ...): completed trials persist across runs, so a
+#: re-run — or a run interrupted and restarted — only computes the gaps.
+STORE_DIR = OUTPUT_DIR / "store"
+
 #: One root seed for the whole harness: rerunning reproduces every number.
 ROOT_SEED = DEFAULT_ROOT_SEED
 

@@ -4,6 +4,10 @@ Subcommands mirror the experiment index in DESIGN.md:
 
 * ``figure1``  — the paper's Figure 1 sweep (normalized E-process cover time
   on d-regular graphs) at a configurable scale.
+* ``sweep``    — run a declarative experiment sweep against a persistent
+  store: only missing trials are computed, interrupted runs resume.
+* ``report``   — rebuild a sweep's tables purely from the store (no walks).
+* ``store``    — inspect (``ls``) or compact (``gc``) an experiment store.
 * ``cover``    — vertex/edge cover time of any walk on any built-in family.
 * ``spectral`` — eigenvalue gap and conductance interval of a family member.
 * ``goodness`` — exact ℓ-goodness of a small graph.
@@ -12,7 +16,8 @@ Subcommands mirror the experiment index in DESIGN.md:
 * ``blanket``  — eq. (4)'s blanket-style visit-count times.
 
 Every command accepts ``--seed`` and prints plain-text tables, so outputs
-are reproducible and diff-able.
+are reproducible and diff-able.  Progress lines stream to stderr; tables
+go to stdout.
 """
 
 from __future__ import annotations
@@ -29,62 +34,45 @@ from repro.core.goodness import ell_goodness_exact
 from repro.core.stars import expected_isolated_stars
 from repro.engine import NAMED_WALK_FACTORIES
 from repro.errors import ReproError
-from repro.graphs import (
-    Graph,
-    complete_graph,
-    cycle_graph,
-    hypercube_graph,
-    lps_graph,
-    random_connected_regular_graph,
-    torus_grid,
+from repro.experiments import (
+    ExperimentSpec,
+    ResultStore,
+    SweepSpec,
+    WALK_BUILDERS,
+    family_params_from_size,
+    family_workload,
+    format_sweep_report,
+    print_progress,
+    regular_degree_series,
+    run_sweep,
 )
+from repro.graphs import Graph, random_connected_regular_graph
 from repro.graphs.properties import girth
 from repro.sim.fitting import fit_normalized_profile, select_growth_model
-from repro.sim.results import Series, SweepPoint, aggregate
+from repro.sim.results import Series, aggregate
 from repro.sim.rng import DEFAULT_ROOT_SEED, spawn
 from repro.sim.runner import cover_time_trials
 from repro.sim.tables import format_kv_block, format_series_table, format_table
 from repro.spectral.conductance import conductance_interval_from_gap
 from repro.spectral.eigen import extreme_eigenvalues, spectral_gap
-from repro.walks import (
-    LeastUsedFirstWalk,
-    OldestFirstWalk,
-    RandomWalkWithChoice,
-    RotorRouterWalk,
-    SimpleRandomWalk,
-    UnvisitedVertexWalk,
-)
 
 __all__ = ["main", "build_parser"]
 
-WALKS = {
-    "eprocess": lambda g, s, rng: EdgeProcess(g, s, rng=rng),
-    "srw": lambda g, s, rng: SimpleRandomWalk(g, s, rng=rng, track_edges=True),
-    "rotor": lambda g, s, rng: RotorRouterWalk(g, s, rng=rng, randomize_rotors=True, track_edges=True),
-    "rwc2": lambda g, s, rng: RandomWalkWithChoice(g, s, d=2, rng=rng),
-    "vprocess": lambda g, s, rng: UnvisitedVertexWalk(g, s, rng=rng),
-    "least-used": lambda g, s, rng: LeastUsedFirstWalk(g, s, rng=rng),
-    "oldest-first": lambda g, s, rng: OldestFirstWalk(g, s, rng=rng),
-}
+#: One registry for every command: the declarative experiment layer's walk
+#: builders (module-level functions, picklable, array twins where they
+#: exist) are the single source of truth for walk names.
+WALKS = WALK_BUILDERS
+
+
+def _family_params(args: argparse.Namespace) -> dict:
+    """A family's spec params from the CLI's --family/--n/--degree/--p/--q."""
+    if args.family == "lps":
+        return {"p": args.p, "q": args.q}
+    return family_params_from_size(args.family, args.n, getattr(args, "degree", 4))
 
 
 def _build_family_graph(args: argparse.Namespace, rng) -> Graph:
-    family = args.family
-    if family == "regular":
-        return random_connected_regular_graph(args.n, args.degree, rng)
-    if family == "cycle":
-        return cycle_graph(args.n)
-    if family == "complete":
-        return complete_graph(args.n)
-    if family == "torus":
-        side = max(3, int(math.isqrt(args.n)))
-        return torus_grid(side, side)
-    if family == "hypercube":
-        r = max(1, int(round(math.log2(args.n))))
-        return hypercube_graph(r)
-    if family == "lps":
-        return lps_graph(args.p, args.q)
-    raise ReproError(f"unknown family {family!r}")
+    return family_workload(args.family, _family_params(args))(rng)
 
 
 def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
@@ -101,22 +89,23 @@ def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    sizes = args.sizes
-    degrees = args.degrees
-    series: List[Series] = []
-    for d in degrees:
-        points = []
-        for n in sizes:
-            adjusted = n if (n * d) % 2 == 0 else n + 1
-            run = cover_time_trials(
-                workload=lambda rng, nn=adjusted, dd=d: random_connected_regular_graph(nn, dd, rng),
-                walk_factory=lambda g, s, rng: EdgeProcess(g, s, rng=rng, record_phases=False),
-                trials=args.trials,
-                root_seed=args.seed,
-                label=f"figure1-d{d}-n{adjusted}",
-            )
-            points.append(SweepPoint(x=adjusted, stats=run.stats.scaled(1.0 / adjusted)))
-        series.append(Series(label=f"E d={d}", points=points))
+    degrees = sorted(set(args.degrees))
+    sweep_spec = SweepSpec.figure1(
+        sizes=args.sizes,
+        degrees=degrees,
+        trials=args.trials,
+        root_seed=args.seed,
+        engine=args.engine,
+    )
+    store = ResultStore(args.store) if args.store else None
+    result = run_sweep(
+        sweep_spec,
+        store=store,
+        workers=args.workers,
+        progress=print_progress,
+    )
+    runs = [(p.spec, p.run) for p in result.points]
+    series: List[Series] = regular_degree_series(runs, normalize_by_n=True)
     print(format_series_table(series, x_header="n", title="Figure 1: normalized cover time C_V/n (E-process, d-regular)"))
     print()
     rows = []
@@ -133,7 +122,140 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
             title="Growth-model fits (paper: d=3,5,7 -> c*n*ln n with c≈0.93/0.41/0.38; d=4,6 -> flat)",
         )
     )
+    print()
+    print(result.summary())
     return 0
+
+
+#: Grid defaults when `repro sweep`/`report` get no --sizes / --degrees.
+_DEFAULT_SWEEP_SIZES = [1000, 2000, 4000]
+_DEFAULT_SWEEP_DEGREES = [4]
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build the declarative sweep a `repro sweep`/`report` invocation names."""
+    name = f"{args.family}-{args.walk}-{args.target}"
+    if args.family != "regular" and args.degrees is not None:
+        raise ReproError(
+            f"--degrees applies only to --family regular, not {args.family!r}"
+        )
+    if args.family == "lps" and args.sizes is not None:
+        raise ReproError(
+            "--family lps points are fixed by --p/--q; --sizes does not apply"
+        )
+    sizes = args.sizes if args.sizes is not None else _DEFAULT_SWEEP_SIZES
+    if args.family == "regular":
+        degrees = args.degrees if args.degrees is not None else _DEFAULT_SWEEP_DEGREES
+        return SweepSpec.regular_grid(
+            name=name,
+            sizes=sizes,
+            degrees=sorted(set(degrees)),
+            walk=args.walk,
+            trials=args.trials,
+            root_seed=args.seed,
+            target=args.target,
+            engine=args.engine,
+        )
+    if args.family == "lps":
+        params_list = [{"p": args.p, "q": args.q}]
+    else:
+        params_list = [family_params_from_size(args.family, n) for n in sizes]
+    return SweepSpec.deduped(
+        name,
+        [
+            ExperimentSpec(
+                family=args.family,
+                family_params=params,
+                walk=args.walk,
+                target=args.target,
+                trials=args.trials,
+                root_seed=args.seed,
+                engine=args.engine,
+            )
+            for params in params_list
+        ],
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep_spec = _sweep_spec_from_args(args)
+    store = ResultStore(args.store)
+    try:
+        result = run_sweep(
+            sweep_spec,
+            store=store,
+            workers=args.workers,
+            use_cache=not args.force,
+            progress=print_progress,
+        )
+    except KeyboardInterrupt:
+        print(
+            f"interrupted — completed trials are saved in {store.root}; "
+            "re-run with --resume to finish the rest",
+            file=sys.stderr,
+        )
+        return 130
+    print(result.summary())
+    print()
+    print(format_sweep_report(store, sweep_spec))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    sweep_spec = _sweep_spec_from_args(args)
+    store = ResultStore(args.store)
+    print(format_sweep_report(store, sweep_spec))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.action == "ls":
+        rows = []
+        total_trials = 0
+        total_wall = 0.0
+        for entry in store.entries():
+            rows.append(
+                [entry.spec_hash, entry.describe(), entry.trials_cached, entry.total_wall_time]
+            )
+            total_trials += entry.trials_cached
+            total_wall += entry.total_wall_time
+        print(
+            format_table(
+                ["hash", "point", "trials", "wall s"],
+                rows,
+                title=f"experiment store {store.root}",
+            )
+        )
+        print()
+        print(
+            format_kv_block(
+                "totals",
+                [
+                    ["specs", len(rows)],
+                    ["trials", total_trials],
+                    ["wall s", total_wall],
+                    ["quarantined lines", store.quarantined_count()],
+                ],
+            )
+        )
+        return 0
+    if args.action == "gc":
+        stats = store.gc()
+        print(
+            format_kv_block(
+                f"gc of {store.root}",
+                [
+                    ["specs kept", stats.specs_kept],
+                    ["records kept", stats.records_kept],
+                    ["duplicates dropped", stats.duplicates_dropped],
+                    ["quarantined purged", stats.quarantined_purged],
+                    ["orphan shards removed", stats.orphan_shards_removed],
+                ],
+            )
+        )
+        return 0
+    raise ReproError(f"unknown store action {args.action!r}")
 
 
 def _cmd_cover(args: argparse.Namespace) -> int:
@@ -141,16 +263,16 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         raise ReproError(f"unknown walk {args.walk!r}; choose from {sorted(WALKS)}")
     engine = getattr(args, "engine", "reference")
     workers = getattr(args, "workers", 1)
-    if engine == "array" or workers > 1:
-        # The array engine and the worker pool both need a walk from the
-        # named registry (array twins exist / factories pickle).
-        if args.walk not in NAMED_WALK_FACTORIES:
-            raise ReproError(
-                f"--engine array / --workers > 1 support walks "
-                f"{sorted(NAMED_WALK_FACTORIES)}; got {args.walk!r}"
-            )
-        walk_factory = args.walk
+    if args.walk in NAMED_WALK_FACTORIES:
+        walk_factory = args.walk  # let the runner resolve the engine
+    elif engine == "array":
+        raise ReproError(
+            f"--engine array supports walks with array twins "
+            f"{sorted(NAMED_WALK_FACTORIES)}; got {args.walk!r}"
+        )
     else:
+        # Module-level registry factories: picklable, so any worker count
+        # works for every walk.
         walk_factory = WALKS[args.walk]
     build_rng = spawn(args.seed, "cli-cover-graph")
     graph = _build_family_graph(args, build_rng)
@@ -351,12 +473,91 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            default="reference",
+            choices=["reference", "array"],
+            help="walk engine: reference per-step classes or the chunked "
+            "flat-array fast path (identical results, higher throughput)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="processes to spread trials over (results are identical "
+            "for any worker count)",
+        )
+
     fig1 = sub.add_parser("figure1", help="regenerate Figure 1 at a chosen scale")
     fig1.add_argument("--sizes", type=int, nargs="+", default=[1000, 2000, 4000, 8000])
     fig1.add_argument("--degrees", type=int, nargs="+", default=[3, 4, 5, 6, 7])
     fig1.add_argument("--trials", type=int, default=5)
     fig1.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    _add_engine_arguments(fig1)
+    fig1.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="experiment store directory; trials cached there are reused "
+        "and fresh ones persisted (default: ephemeral, nothing saved)",
+    )
     fig1.set_defaults(fn=_cmd_figure1)
+
+    def _add_sweep_grid_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--family",
+            default="regular",
+            choices=["regular", "cycle", "complete", "torus", "hypercube", "lps"],
+            help="graph family (default: random regular)",
+        )
+        p.add_argument("--sizes", type=int, nargs="+", default=None,
+                       help="target vertex counts, one sweep point each "
+                       "(default: 1000 2000 4000; not valid for --family lps)")
+        p.add_argument("--degrees", type=int, nargs="+", default=None,
+                       help="degrees for --family regular, grid with --sizes "
+                       "(default: 4; only valid for --family regular)")
+        p.add_argument("--p", type=int, default=5, help="LPS p (degree p+1)")
+        p.add_argument("--q", type=int, default=13, help="LPS q (size ~ q^3)")
+        p.add_argument("--walk", default="eprocess", choices=sorted(WALK_BUILDERS))
+        p.add_argument("--target", default="vertices", choices=["vertices", "edges"])
+        p.add_argument("--trials", type=int, default=5,
+                       help="trials per point; raising it later tops up the store")
+        p.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+        p.add_argument("--store", default=".repro-store", metavar="DIR",
+                       help="experiment store directory (default: .repro-store)")
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a sweep against the experiment store (only missing trials)",
+    )
+    _add_sweep_grid_arguments(swp)
+    _add_engine_arguments(swp)
+    swp.add_argument(
+        "--resume",
+        action="store_true",
+        help="finish an interrupted sweep (this is the default behaviour — "
+        "cached trials are always reused; the flag documents intent)",
+    )
+    swp.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every trial, ignoring cached results",
+    )
+    swp.set_defaults(fn=_cmd_sweep)
+
+    rep = sub.add_parser(
+        "report",
+        help="rebuild a sweep's table purely from the store (runs nothing)",
+    )
+    _add_sweep_grid_arguments(rep)
+    rep.add_argument("--engine", default="reference", help=argparse.SUPPRESS)
+    rep.set_defaults(fn=_cmd_report)
+
+    st = sub.add_parser("store", help="inspect or compact an experiment store")
+    st.add_argument("action", choices=["ls", "gc"])
+    st.add_argument("--store", default=".repro-store", metavar="DIR")
+    st.set_defaults(fn=_cmd_store)
 
     cover = sub.add_parser("cover", help="cover time of one walk on one family")
     _add_family_arguments(cover)

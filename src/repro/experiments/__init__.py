@@ -1,0 +1,74 @@
+"""Persistent experiment store + resumable sweep orchestration.
+
+The durable result layer over the trial runner:
+
+* :mod:`repro.experiments.spec` — declarative, content-hashed experiment
+  points (:class:`ExperimentSpec`) and collections (:class:`SweepSpec`);
+* :mod:`repro.experiments.store` — a per-trial, append-only
+  :class:`ResultStore` (sharded JSONL) with quarantine and gc;
+* :mod:`repro.experiments.scheduler` — :func:`run_sweep`, which diffs a
+  sweep against the store and computes only the missing trial cells,
+  checkpointing each trial as it finishes (interrupt-safe, resumable,
+  top-up friendly);
+* :mod:`repro.experiments.reports` — Series/tables rebuilt purely from
+  the store.
+
+Specs hash only their result-determining fields, and trial seeds derive
+from that hash through the runner's seed tree — so cached and fresh
+trials, cold and warm runs, serial and pooled execution, reference and
+array engines all produce bit-identical aggregates.
+"""
+
+from repro.experiments.reports import (
+    cover_run_from_store,
+    format_sweep_report,
+    regular_degree_series,
+    series_from_specs,
+    sweep_runs_from_store,
+)
+from repro.experiments.scheduler import (
+    PointResult,
+    SweepRunResult,
+    print_progress,
+    run_point,
+    run_sweep,
+)
+from repro.experiments.spec import (
+    FAMILY_BUILDERS,
+    WALK_BUILDERS,
+    ExperimentSpec,
+    SweepSpec,
+    family_params_from_size,
+    family_workload,
+)
+from repro.experiments.store import (
+    STORE_SCHEMA_VERSION,
+    GcStats,
+    ResultStore,
+    StoreEntry,
+    TrialRecord,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "SweepSpec",
+    "FAMILY_BUILDERS",
+    "WALK_BUILDERS",
+    "family_params_from_size",
+    "family_workload",
+    "ResultStore",
+    "TrialRecord",
+    "StoreEntry",
+    "GcStats",
+    "STORE_SCHEMA_VERSION",
+    "run_point",
+    "run_sweep",
+    "PointResult",
+    "SweepRunResult",
+    "print_progress",
+    "cover_run_from_store",
+    "sweep_runs_from_store",
+    "series_from_specs",
+    "regular_degree_series",
+    "format_sweep_report",
+]

@@ -1,0 +1,187 @@
+"""Sweep orchestrator: diff a sweep against the store, run only the gaps.
+
+The scheduler turns a :class:`~repro.experiments.spec.SweepSpec` into
+per-point :class:`~repro.sim.runner.CoverRun` results while touching the
+walk engines as little as possible:
+
+1. for each point, ask the store which trial cells ``0..trials-1`` already
+   hold a valid record;
+2. schedule only the missing cells through
+   :func:`repro.sim.runner.run_trials` (same seed tree, so a back-filled
+   trial is bit-identical to one computed in an uninterrupted cold run);
+3. persist each fresh trial *the moment it finishes* (the runner's
+   ``on_result`` hook), so an interrupt — Ctrl-C, OOM, a killed pool —
+   loses at most the trials in flight, and the next run resumes from the
+   completed cells;
+4. assemble cached + fresh outcomes, in trial order, into aggregates.
+
+Consequences worth spelling out: a warm re-run schedules zero trials; an
+interrupted sweep re-run with ``--resume`` (the default behaviour — the
+flag is documentation) finishes the gaps and reports aggregates
+bit-identical to the cold run; raising ``trials=5`` to ``trials=20`` is an
+incremental top-up of 15 cells per point, not a recompute.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+from repro.experiments.store import ResultStore
+from repro.sim.runner import CoverRun, TrialOutcome, aggregate_outcomes, run_trials
+
+__all__ = ["PointResult", "SweepRunResult", "run_point", "run_sweep", "print_progress"]
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One sweep point's aggregate plus its cache accounting."""
+
+    spec: ExperimentSpec
+    run: CoverRun
+    scheduled: int
+    cached: int
+
+
+@dataclass(frozen=True)
+class SweepRunResult:
+    """Everything a finished sweep produced."""
+
+    name: str
+    points: Tuple[PointResult, ...]
+
+    @property
+    def scheduled(self) -> int:
+        """Fresh trials computed in this run."""
+        return sum(p.scheduled for p in self.points)
+
+    @property
+    def cached(self) -> int:
+        """Trials served from the store without recomputation."""
+        return sum(p.cached for p in self.points)
+
+    @property
+    def total_trials(self) -> int:
+        return sum(p.spec.trials for p in self.points)
+
+    def run_for(self, spec: ExperimentSpec) -> CoverRun:
+        """The aggregate for one point of the sweep (by content hash)."""
+        for point in self.points:
+            if point.spec.spec_hash == spec.spec_hash:
+                return point.run
+        raise ReproError(f"sweep {self.name!r} has no point {spec.describe()!r}")
+
+    def summary(self) -> str:
+        """One-line accounting: 'N trials: S scheduled, C cached'."""
+        return (
+            f"{self.total_trials} trials across {len(self.points)} points: "
+            f"{self.scheduled} scheduled, {self.cached} cached"
+        )
+
+
+def run_point(
+    spec: ExperimentSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    use_cache: bool = True,
+    progress: Optional[Progress] = None,
+) -> PointResult:
+    """Run one experiment point, filling only the store's missing trials.
+
+    With ``store=None`` every trial is computed and nothing persists (the
+    orchestration path without the durability — what ephemeral commands
+    like ``repro figure1`` without ``--store`` use).  ``use_cache=False``
+    recomputes everything and records the fresh values in place of any
+    the store already held (the repair path for a store suspected stale).
+    """
+    cached: Dict[int, TrialOutcome] = {}
+    if store is not None and use_cache:
+        cached = {
+            trial: record.to_outcome()
+            for trial, record in store.trials_for(spec).items()
+            if trial < spec.trials
+        }
+    missing = [t for t in range(spec.trials) if t not in cached]
+    if progress is not None:
+        progress(
+            f"{spec.describe()} [{spec.spec_hash}]: "
+            f"{len(cached)} cached, {len(missing)} scheduled"
+        )
+    on_result = None
+    if store is not None:
+        if not use_cache:
+            # Forced recompute: the fresh values must supersede whatever
+            # the store holds, so drop those cells once up front (reads
+            # are first-record-wins, appending alone would change nothing).
+            store.clear_trials(spec, missing)
+        # Cached cells were excluded from `missing`, so from here every
+        # computed trial is a genuinely new cell: plain append.
+        def on_result(outcome: TrialOutcome, _spec=spec) -> None:
+            store.record(_spec, outcome)
+
+    fresh = run_trials(
+        workload=spec.workload(),
+        walk_factory=spec.runner_walk(),
+        trial_indices=missing,
+        root_seed=spec.root_seed,
+        target=spec.target,
+        start=spec.start,
+        max_steps=spec.max_steps,
+        label=spec.seed_label,
+        engine=spec.engine,
+        workers=workers,
+        on_result=on_result,
+    )
+    by_trial = dict(cached)
+    by_trial.update({outcome.trial: outcome for outcome in fresh})
+    ordered = [by_trial[t] for t in range(spec.trials)]
+    return PointResult(
+        spec=spec,
+        run=aggregate_outcomes(ordered),
+        scheduled=len(missing),
+        cached=len(cached),
+    )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    use_cache: bool = True,
+    progress: Optional[Progress] = None,
+) -> SweepRunResult:
+    """Run a whole sweep through :func:`run_point`, streaming progress.
+
+    ``progress`` (e.g. ``lambda msg: print(msg, file=sys.stderr)``)
+    receives one line per point as it is diffed against the store, so long
+    sweeps show where they are and how much the store saved.
+    """
+    points: List[PointResult] = []
+    total = len(sweep.specs)
+    for index, spec in enumerate(sweep.specs):
+        prefixed: Optional[Progress] = None
+        if progress is not None:
+            prefixed = lambda msg, _i=index: progress(f"[{_i + 1}/{total}] {msg}")
+        points.append(
+            run_point(
+                spec,
+                store=store,
+                workers=workers,
+                use_cache=use_cache,
+                progress=prefixed,
+            )
+        )
+    result = SweepRunResult(name=sweep.name, points=tuple(points))
+    if progress is not None:
+        progress(f"sweep {sweep.name!r}: {result.summary()}")
+    return result
+
+
+def print_progress(msg: str) -> None:
+    """Default progress sink: stderr, so tables on stdout stay diff-able."""
+    print(msg, file=sys.stderr)

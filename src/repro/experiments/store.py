@@ -1,0 +1,447 @@
+"""Persistent per-trial result store (sharded JSONL under one directory).
+
+Layout of a store rooted at ``.repro-store/``::
+
+    .repro-store/
+      meta.json                    # store-level schema + code version stamps
+      specs/<hash>.json            # identity payload of each known spec
+      trials/<hh>/<hash>.jsonl     # one JSON line per completed trial
+      quarantine/<hash>.jsonl      # lines that failed validation, with reasons
+
+Records are keyed by ``(spec_hash, trial)``: the hash pins *what* was
+measured (family, walk, target, root seed — see
+:mod:`repro.experiments.spec`), the trial index pins *which* cell of the
+seed tree produced it.  Because trials are seed-deterministic, a record is
+valid forever — re-running never changes it — so the store only ever
+appends; growth, resumption, and trial top-ups all reduce to "which cells
+are missing?" (:meth:`ResultStore.missing_trials`).
+
+Robustness contract: a corrupted or schema-mismatched line never crashes a
+read.  It is skipped, and a copy lands in ``quarantine/`` (with the reason
+attached, deduplicated by content), so one bad byte costs one trial, not
+the store.  Duplicate trials keep their first record — deterministic, and
+the first writer is as correct as any other.
+
+Concurrency: reads never modify shard files (they only append new lines to
+the quarantine), so any number of readers can overlap any number of
+appending writers without losing records.  The two compacting operations —
+``gc`` and ``clear_trials`` (forced-recompute preparation) — rewrite
+shards in place and assume no concurrent writer on the same store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.runner import TrialOutcome
+
+__all__ = ["STORE_SCHEMA_VERSION", "TrialRecord", "StoreEntry", "GcStats", "ResultStore"]
+
+#: Bump when the trial-record layout changes incompatibly; mismatched
+#: records are quarantined on read (never silently reinterpreted).
+STORE_SCHEMA_VERSION = 1
+
+_REQUIRED_FIELDS = ("schema", "spec_hash", "trial", "cover_time")
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One stored trial."""
+
+    spec_hash: str
+    trial: int
+    cover_time: int
+    extras: Dict[str, float]
+    wall_time: float
+    engine: str
+    code_version: str
+
+    def to_outcome(self) -> TrialOutcome:
+        """View as a runner outcome (so reports treat cached == fresh)."""
+        return TrialOutcome(
+            trial=self.trial,
+            steps=self.cover_time,
+            extras=dict(self.extras),
+            wall_time=self.wall_time,
+        )
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One spec's footprint in the store (`repro store ls` row)."""
+
+    spec_hash: str
+    identity: Dict
+    trials_cached: int
+    total_wall_time: float
+
+    def describe(self) -> str:
+        ident = self.identity
+        params = ident.get("family_params", {})
+        inner = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+        return (
+            f"{ident.get('family', '?')}({inner}) "
+            f"{ident.get('walk', '?')}/{ident.get('target', '?')} "
+            f"seed={ident.get('root_seed', '?')}"
+        )
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """What ``gc`` removed/kept."""
+
+    specs_kept: int
+    records_kept: int
+    duplicates_dropped: int
+    quarantined_purged: int
+    orphan_shards_removed: int
+
+
+class ResultStore:
+    """Append-only trial store under one directory.
+
+    Reads tolerate a missing/empty directory (fresh store); the directory
+    tree is created on first write.
+    """
+
+    def __init__(self, root: Union[str, Path], code_version: str = __version__):
+        self.root = Path(root)
+        self.code_version = code_version
+
+    # -- paths --------------------------------------------------------------
+
+    def _shard_path(self, spec_hash: str) -> Path:
+        return self.root / "trials" / spec_hash[:2] / f"{spec_hash}.jsonl"
+
+    def _spec_path(self, spec_hash: str) -> Path:
+        return self.root / "specs" / f"{spec_hash}.json"
+
+    def _quarantine_path(self, spec_hash: str) -> Path:
+        return self.root / "quarantine" / f"{spec_hash}.jsonl"
+
+    def _ensure_meta(self) -> None:
+        meta = self.root / "meta.json"
+        if not meta.exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            meta.write_text(
+                json.dumps(
+                    {
+                        "schema": STORE_SCHEMA_VERSION,
+                        "code_version": self.code_version,
+                        "created_at": time.time(),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+    # -- writes -------------------------------------------------------------
+
+    def record(self, spec: ExperimentSpec, outcome: TrialOutcome) -> TrialRecord:
+        """Append one finished trial (registers the spec on first write).
+
+        Reads are first-record-wins, so re-recording an existing cell is a
+        no-op until gc; to supersede stored cells (forced recompute), call
+        :meth:`clear_trials` first.
+        """
+        spec_hash = spec.spec_hash
+        self._ensure_meta()
+        spec_path = self._spec_path(spec_hash)
+        if not spec_path.exists():
+            spec_path.parent.mkdir(parents=True, exist_ok=True)
+            spec_path.write_text(
+                json.dumps(
+                    {
+                        "schema": STORE_SCHEMA_VERSION,
+                        "spec_hash": spec_hash,
+                        "identity": spec.identity(),
+                        "first_recorded_at": time.time(),
+                    },
+                    sort_keys=True,
+                    indent=2,
+                )
+                + "\n"
+            )
+        record = TrialRecord(
+            spec_hash=spec_hash,
+            trial=int(outcome.trial),
+            cover_time=int(outcome.steps),
+            extras={k: float(v) for k, v in outcome.extras.items()},
+            wall_time=float(outcome.wall_time),
+            engine=spec.engine,
+            code_version=self.code_version,
+        )
+        line = json.dumps(
+            {
+                "schema": STORE_SCHEMA_VERSION,
+                "spec_hash": record.spec_hash,
+                "trial": record.trial,
+                "cover_time": record.cover_time,
+                "extras": record.extras,
+                "wall_time": record.wall_time,
+                "engine": record.engine,
+                "code_version": record.code_version,
+                "recorded_at": time.time(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        shard = self._shard_path(spec_hash)
+        shard.parent.mkdir(parents=True, exist_ok=True)
+        with shard.open("a") as handle:
+            handle.write(line + "\n")
+        return record
+
+    def clear_trials(
+        self, spec: ExperimentSpec, trial_indices: Optional[Sequence[int]] = None
+    ) -> int:
+        """Drop the given trial cells (default: all of ``0..spec.trials-1``).
+
+        One shard rewrite regardless of how many cells are dropped — the
+        forced-recompute preparation: clear once, then plain-append the
+        fresh values.  Like ``gc``, assumes no concurrent writer on this
+        spec.  Returns the number of record lines removed.
+        """
+        shard = self._shard_path(spec.spec_hash)
+        if not shard.exists():
+            return 0
+        drop = set(range(spec.trials) if trial_indices is None else trial_indices)
+        kept: List[str] = []
+        removed = 0
+        for existing in shard.read_text().splitlines():
+            if not existing.strip():
+                continue
+            try:
+                if json.loads(existing).get("trial") in drop:
+                    removed += 1
+                    continue
+            except json.JSONDecodeError:
+                pass  # unreadable lines are the read path's problem
+            kept.append(existing)
+        if removed:
+            self._rewrite_shard(spec.spec_hash, kept)
+        return removed
+
+    # -- reads --------------------------------------------------------------
+
+    def _parse_line(self, spec_hash: str, line: str) -> TrialRecord:
+        """Validate one shard line; raise ReproError describing the defect."""
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"unparseable JSON: {exc}") from None
+        if not isinstance(obj, dict):
+            raise ReproError("record is not a JSON object")
+        for key in _REQUIRED_FIELDS:
+            if key not in obj:
+                raise ReproError(f"missing field {key!r}")
+        if obj["schema"] != STORE_SCHEMA_VERSION:
+            raise ReproError(
+                f"schema version {obj['schema']!r} != {STORE_SCHEMA_VERSION}"
+            )
+        if obj["spec_hash"] != spec_hash:
+            raise ReproError(
+                f"spec hash {obj['spec_hash']!r} does not match shard {spec_hash!r}"
+            )
+        trial = obj["trial"]
+        cover_time = obj["cover_time"]
+        if not isinstance(trial, int) or isinstance(trial, bool) or trial < 0:
+            raise ReproError(f"invalid trial index {trial!r}")
+        if not isinstance(cover_time, int) or isinstance(cover_time, bool) or cover_time < 0:
+            raise ReproError(f"invalid cover time {cover_time!r}")
+        extras = obj.get("extras", {})
+        if not isinstance(extras, dict):
+            raise ReproError(f"invalid extras {extras!r}")
+        try:
+            parsed_extras = {str(k): float(v) for k, v in extras.items()}
+            wall_time = float(obj.get("wall_time", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"non-numeric extras/wall_time: {exc}") from None
+        return TrialRecord(
+            spec_hash=spec_hash,
+            trial=trial,
+            cover_time=cover_time,
+            extras=parsed_extras,
+            wall_time=wall_time,
+            engine=str(obj.get("engine", "reference")),
+            code_version=str(obj.get("code_version", "unknown")),
+        )
+
+    def _quarantine_new(self, spec_hash: str, bad: List[Dict[str, str]]) -> None:
+        """Append bad lines to the quarantine, deduplicated by content.
+
+        Append-only (never rewrites the shard), so reads that discover bad
+        lines are safe against concurrent writers; dedupe keeps repeated
+        reads of a still-corrupt shard from growing the quarantine.
+        """
+        quarantine = self._quarantine_path(spec_hash)
+        already = set()
+        if quarantine.exists():
+            for line in quarantine.read_text().splitlines():
+                try:
+                    already.add(json.loads(line).get("line"))
+                except json.JSONDecodeError:
+                    continue
+        fresh = [entry for entry in bad if entry["line"] not in already]
+        if not fresh:
+            return
+        quarantine.parent.mkdir(parents=True, exist_ok=True)
+        with quarantine.open("a") as handle:
+            for entry in fresh:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def _load_shard(self, spec_hash: str) -> Dict[int, TrialRecord]:
+        """Read a shard, skipping (and quarantining a copy of) bad lines.
+
+        First record per trial wins.  The shard file itself is never
+        touched here — compaction is ``gc``'s job — so reads can overlap
+        concurrent appends without losing anything.
+        """
+        shard = self._shard_path(spec_hash)
+        if not shard.exists():
+            return {}
+        records: Dict[int, TrialRecord] = {}
+        bad: List[Dict[str, str]] = []
+        for line in shard.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = self._parse_line(spec_hash, line)
+            except ReproError as exc:
+                bad.append({"reason": str(exc), "line": line})
+                continue
+            if record.trial not in records:
+                records[record.trial] = record
+        if bad:
+            self._quarantine_new(spec_hash, bad)
+        return records
+
+    def _rewrite_shard(self, spec_hash: str, lines: List[str]) -> None:
+        shard = self._shard_path(spec_hash)
+        if not lines:
+            shard.unlink(missing_ok=True)
+            return
+        tmp = shard.with_suffix(".jsonl.tmp")
+        tmp.write_text("\n".join(lines) + "\n")
+        os.replace(tmp, shard)
+
+    def trials_for(self, spec: Union[ExperimentSpec, str]) -> Dict[int, TrialRecord]:
+        """All valid cached trials of a spec (or raw hash), keyed by index."""
+        spec_hash = spec if isinstance(spec, str) else spec.spec_hash
+        return self._load_shard(spec_hash)
+
+    def missing_trials(self, spec: ExperimentSpec) -> List[int]:
+        """Trial indices ``0..spec.trials-1`` with no valid cached record."""
+        cached = self.trials_for(spec)
+        return [t for t in range(spec.trials) if t not in cached]
+
+    def quarantined_count(self, spec: Union[ExperimentSpec, str, None] = None) -> int:
+        """Number of quarantined lines (for one spec, or store-wide)."""
+        if spec is not None:
+            spec_hash = spec if isinstance(spec, str) else spec.spec_hash
+            paths = [self._quarantine_path(spec_hash)]
+        else:
+            paths = sorted((self.root / "quarantine").glob("*.jsonl"))
+        total = 0
+        for path in paths:
+            if path.exists():
+                total += sum(1 for line in path.read_text().splitlines() if line.strip())
+        return total
+
+    # -- inventory ----------------------------------------------------------
+
+    def _known_hashes(self) -> List[str]:
+        hashes = {p.stem for p in (self.root / "specs").glob("*.json")}
+        hashes.update(p.stem for p in (self.root / "trials").glob("*/*.jsonl"))
+        return sorted(hashes)
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Everything in the store, one entry per known spec hash."""
+        for spec_hash in self._known_hashes():
+            identity: Dict = {}
+            spec_path = self._spec_path(spec_hash)
+            if spec_path.exists():
+                try:
+                    identity = json.loads(spec_path.read_text()).get("identity", {})
+                except (json.JSONDecodeError, AttributeError):
+                    identity = {}
+            records = self._load_shard(spec_hash)
+            yield StoreEntry(
+                spec_hash=spec_hash,
+                identity=identity,
+                trials_cached=len(records),
+                total_wall_time=sum(r.wall_time for r in records.values()),
+            )
+
+    def gc(self) -> GcStats:
+        """Compact the store: dedupe shards, drop orphans, purge quarantine."""
+        specs_kept = 0
+        records_kept = 0
+        duplicates_dropped = 0
+        orphan_shards_removed = 0
+        for spec_hash in self._known_hashes():
+            shard = self._shard_path(spec_hash)
+            raw_lines = (
+                [l for l in shard.read_text().splitlines() if l.strip()]
+                if shard.exists()
+                else []
+            )
+            kept: Dict[int, str] = {}
+            bad: List[Dict[str, str]] = []
+            for line in raw_lines:
+                try:
+                    record = self._parse_line(spec_hash, line)
+                except ReproError as exc:
+                    bad.append({"reason": str(exc), "line": line})
+                    continue
+                if record.trial in kept:
+                    duplicates_dropped += 1
+                    continue
+                kept[record.trial] = line
+            if bad:
+                self._quarantine_new(spec_hash, bad)
+            if not kept:
+                # No valid trials: drop the empty shard and its spec stub.
+                shard.unlink(missing_ok=True)
+                self._spec_path(spec_hash).unlink(missing_ok=True)
+                if raw_lines:
+                    orphan_shards_removed += 1
+                continue
+            self._rewrite_shard(spec_hash, [kept[t] for t in sorted(kept)])
+            specs_kept += 1
+            records_kept += len(kept)
+        # Counted after the shard pass so lines quarantined *during* this gc
+        # are included in the purge accounting.
+        quarantined_purged = self.quarantined_count()
+        quarantine_dir = self.root / "quarantine"
+        if quarantine_dir.exists():
+            for path in quarantine_dir.glob("*.jsonl"):
+                path.unlink()
+            try:
+                quarantine_dir.rmdir()
+            except OSError:
+                pass
+        # Prune now-empty shard subdirectories.
+        trials_dir = self.root / "trials"
+        if trials_dir.exists():
+            for sub in trials_dir.glob("*"):
+                if sub.is_dir():
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
+        return GcStats(
+            specs_kept=specs_kept,
+            records_kept=records_kept,
+            duplicates_dropped=duplicates_dropped,
+            quarantined_purged=quarantined_purged,
+            orphan_shards_removed=orphan_shards_removed,
+        )

@@ -98,7 +98,10 @@ def record_profile(
 
     points = [snap()]
     next_checkpoint = 1
-    growth = max(1.02, (budget / max(checkpoints, 2)) ** (1.0 / checkpoints))
+    # A geometric ladder from 1 to the full budget in ~`checkpoints` rungs:
+    # growth^checkpoints = budget.  (The early rungs degenerate to the +1
+    # linear ramp, which costs a few extra points but resolves the burst.)
+    growth = max(1.02, budget ** (1.0 / max(checkpoints, 2)))
 
     def done() -> bool:
         if until == "vertices":
@@ -110,7 +113,8 @@ def record_profile(
         if walk.steps >= next_checkpoint:
             points.append(snap())
             next_checkpoint = max(next_checkpoint + 1, int(next_checkpoint * growth))
-    points.append(snap())
+    if points[-1].step != walk.steps:
+        points.append(snap())
 
     # vertex cover step = latest first-visit time (valid in both modes)
     cover_step = max(walk.first_visit_time) if walk.vertices_covered else None

@@ -14,12 +14,25 @@ regardless of worker count or scheduling.  Likewise the ``engine`` switch
 ("reference" or "array", for walks named in
 :data:`repro.engine.NAMED_WALK_FACTORIES`) changes throughput, never
 numbers.
+
+Two layers:
+
+* :func:`run_trials` — the per-trial surface: takes an explicit list of
+  trial indices, returns one :class:`TrialOutcome` per index, and can
+  stream outcomes to a callback as they finish.  The experiment store
+  (:mod:`repro.experiments`) schedules *only missing* trials through this,
+  and because a trial's randomness depends only on its seed-tree path,
+  a trial computed in isolation is bit-identical to the same trial inside
+  a full run.
+* :func:`cover_time_trials` — the classic aggregate surface: trials
+  ``0..trials-1``, summarized into a :class:`CoverRun`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
@@ -29,10 +42,26 @@ from repro.sim.results import Aggregate, aggregate
 from repro.sim.rng import spawn
 from repro.walks.base import WalkProcess
 
-__all__ = ["CoverRun", "cover_time_trials", "sweep"]
+__all__ = [
+    "CoverRun",
+    "TrialOutcome",
+    "run_trials",
+    "cover_time_trials",
+    "aggregate_outcomes",
+    "sweep",
+]
 
 GraphFactory = Callable[[random.Random], Graph]
 WalkFactory = Callable[[Graph, int, random.Random], WalkProcess]
+
+
+class TrialOutcome(NamedTuple):
+    """Result of one trial: where it sat in the seed tree and what it measured."""
+
+    trial: int
+    steps: int
+    extras: Dict[str, float]
+    wall_time: float
 
 
 @dataclass(frozen=True)
@@ -69,8 +98,9 @@ class _TrialSpec(NamedTuple):
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]]
 
 
-def _run_trial(spec: _TrialSpec) -> Tuple[int, Dict[str, float]]:
+def _run_trial(spec: _TrialSpec) -> TrialOutcome:
     """Run one trial from its spec (serial path and pool workers alike)."""
+    t0 = time.perf_counter()
     graph_rng = spawn(spec.root_seed, spec.label, "graph", spec.trial)
     graph = spec.workload(graph_rng) if callable(spec.workload) else spec.workload
     start_rng = spawn(spec.root_seed, spec.label, "start", spec.trial)
@@ -92,7 +122,12 @@ def _run_trial(spec: _TrialSpec) -> Tuple[int, Dict[str, float]]:
     extras: Dict[str, float] = {}
     if spec.extra_metrics is not None:
         extras = {key: float(value) for key, value in spec.extra_metrics(walk).items()}
-    return steps, extras
+    return TrialOutcome(
+        trial=spec.trial,
+        steps=steps,
+        extras=extras,
+        wall_time=time.perf_counter() - t0,
+    )
 
 
 #: Per-worker trial template installed by the pool initializer, so the
@@ -107,7 +142,7 @@ def _init_pool_worker(spec: _TrialSpec) -> None:
     _POOL_SPEC = spec
 
 
-def _run_pool_trial(trial: int) -> Tuple[int, Dict[str, float]]:
+def _run_pool_trial(trial: int) -> TrialOutcome:
     return _run_trial(_POOL_SPEC._replace(trial=trial))
 
 
@@ -124,6 +159,101 @@ def _resolve_start(start: Union[int, str]) -> Optional[int]:
         return int(start)
     except (TypeError, ValueError):
         raise ReproError(f"start must be a vertex id or 'random', got {start!r}") from None
+
+
+def run_trials(
+    workload: Union[Graph, GraphFactory],
+    walk_factory: Union[str, WalkFactory],
+    trial_indices: Sequence[int],
+    root_seed: int,
+    target: str = "vertices",
+    start: Union[int, str] = "random",
+    max_steps: Optional[int] = None,
+    label: str = "cover",
+    extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]] = None,
+    engine: str = "reference",
+    workers: int = 1,
+    on_result: Optional[Callable[[TrialOutcome], None]] = None,
+) -> List[TrialOutcome]:
+    """Run an explicit set of trials; the per-trial core of the runner.
+
+    Every trial's graph, start vertex and walk noise derive from
+    ``(root_seed, label, kind, trial)``, so running trials ``[3, 7]`` here
+    yields outcomes bit-identical to trials 3 and 7 of a full
+    :func:`cover_time_trials` run with the same arguments — which is what
+    lets the experiment store (:mod:`repro.experiments`) fill in only the
+    missing cells of a sweep.
+
+    Parameters are those of :func:`cover_time_trials` except:
+
+    trial_indices:
+        The trial numbers to run (each >= 0; duplicates rejected).  The
+        returned list follows this order regardless of worker scheduling.
+    on_result:
+        Optional callback invoked in the calling process with each
+        :class:`TrialOutcome` as it completes (completion order, not index
+        order, under ``workers > 1``) — the hook persistent stores use to
+        checkpoint trials the moment they finish.
+    """
+    indices = [int(t) for t in trial_indices]
+    if any(t < 0 for t in indices):
+        raise ReproError(f"trial indices must be >= 0, got {sorted(indices)[0]}")
+    if len(set(indices)) != len(indices):
+        raise ReproError("duplicate trial indices")
+    if target not in ("vertices", "edges"):
+        raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    from repro.engine import resolve_walk_factory
+
+    factory = resolve_walk_factory(walk_factory, engine)
+    fixed_start = _resolve_start(start)
+    template = _TrialSpec(
+        workload=workload,
+        walk_factory=factory,
+        trial=-1,  # filled in per trial
+        root_seed=root_seed,
+        label=label,
+        target=target,
+        start=fixed_start,
+        max_steps=max_steps,
+        extra_metrics=extra_metrics,
+    )
+    if not indices:
+        return []
+    if workers == 1:
+        outcomes = []
+        for t in indices:
+            outcome = _run_trial(template._replace(trial=t))
+            if on_result is not None:
+                on_result(outcome)
+            outcomes.append(outcome)
+        return outcomes
+    with multiprocessing.get_context().Pool(
+        min(workers, len(indices)),
+        initializer=_init_pool_worker,
+        initargs=(template,),
+    ) as pool:
+        by_trial: Dict[int, TrialOutcome] = {}
+        for outcome in pool.imap_unordered(_run_pool_trial, indices):
+            if on_result is not None:
+                on_result(outcome)
+            by_trial[outcome.trial] = outcome
+    return [by_trial[t] for t in indices]
+
+
+def aggregate_outcomes(outcomes: Sequence[TrialOutcome]) -> CoverRun:
+    """Fold per-trial outcomes (in trial order) into a :class:`CoverRun`."""
+    cover_times: List[int] = []
+    extra_values: Dict[str, List[float]] = {}
+    for outcome in outcomes:
+        cover_times.append(outcome.steps)
+        for key, value in outcome.extras.items():
+            extra_values.setdefault(key, []).append(value)
+    extras_agg = {key: aggregate(vals) for key, vals in extra_values.items()}
+    return CoverRun(
+        cover_times=cover_times, stats=aggregate(cover_times), extras=extras_agg
+    )
 
 
 def cover_time_trials(
@@ -182,44 +312,20 @@ def cover_time_trials(
     """
     if trials < 1:
         raise ReproError(f"need at least one trial, got {trials}")
-    if target not in ("vertices", "edges"):
-        raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
-    if workers < 1:
-        raise ReproError(f"workers must be >= 1, got {workers}")
-    from repro.engine import resolve_walk_factory
-
-    factory = resolve_walk_factory(walk_factory, engine)
-    fixed_start = _resolve_start(start)
-    template = _TrialSpec(
+    outcomes = run_trials(
         workload=workload,
-        walk_factory=factory,
-        trial=-1,  # filled in per trial
+        walk_factory=walk_factory,
+        trial_indices=range(trials),
         root_seed=root_seed,
-        label=label,
         target=target,
-        start=fixed_start,
+        start=start,
         max_steps=max_steps,
+        label=label,
         extra_metrics=extra_metrics,
+        engine=engine,
+        workers=workers,
     )
-    if workers == 1:
-        outcomes = [_run_trial(template._replace(trial=t)) for t in range(trials)]
-    else:
-        with multiprocessing.get_context().Pool(
-            min(workers, trials),
-            initializer=_init_pool_worker,
-            initargs=(template,),
-        ) as pool:
-            outcomes = pool.map(_run_pool_trial, range(trials))
-    cover_times: List[int] = []
-    extra_values: Dict[str, List[float]] = {}
-    for steps, extras in outcomes:
-        cover_times.append(steps)
-        for key, value in extras.items():
-            extra_values.setdefault(key, []).append(value)
-    extras_agg = {key: aggregate(vals) for key, vals in extra_values.items()}
-    return CoverRun(
-        cover_times=cover_times, stats=aggregate(cover_times), extras=extras_agg
-    )
+    return aggregate_outcomes(outcomes)
 
 
 def sweep(

@@ -35,6 +35,134 @@ class TestFigure1Command:
         assert "Growth-model fits" in out
 
 
+class TestFigure1Orchestration:
+    def test_engine_and_workers_flags_accepted(self, capsys):
+        code = main(
+            [
+                "figure1",
+                "--sizes", "60", "120",
+                "--degrees", "4",
+                "--trials", "2",
+                "--seed", "7",
+                "--engine", "array",
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 1" in out
+        assert "scheduled" in out  # orchestrator accounting line
+
+    def test_array_engine_reproduces_reference_tables(self, capsys):
+        args = ["figure1", "--sizes", "60", "120", "--degrees", "3", "4",
+                "--trials", "2", "--seed", "13"]
+        assert main(args + ["--engine", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(args + ["--engine", "array"]) == 0
+        assert capsys.readouterr().out == reference_out
+
+    def test_store_reused_across_invocations(self, capsys, tmp_path):
+        store = str(tmp_path / "fig-store")
+        args = ["figure1", "--sizes", "60", "120", "--degrees", "4",
+                "--trials", "2", "--seed", "5", "--store", store]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "4 scheduled, 0 cached" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 scheduled, 4 cached" in warm
+        # identical tables modulo the accounting line
+        assert cold.split("\n\n")[:-1] == warm.split("\n\n")[:-1]
+
+
+class TestSweepCommand:
+    def _args(self, store, extra=()):
+        return [
+            "sweep", "--family", "cycle", "--sizes", "20", "40",
+            "--walk", "srw", "--trials", "2", "--seed", "3",
+            "--store", store, *extra,
+        ]
+
+    def test_cold_then_warm_counts(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        assert main(self._args(store)) == 0
+        out = capsys.readouterr().out
+        assert "4 scheduled, 0 cached" in out
+        assert "cycle(n=20)" in out
+        assert main(self._args(store)) == 0
+        assert "0 scheduled, 4 cached" in capsys.readouterr().out
+
+    def test_resume_flag_accepted(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        assert main(self._args(store)) == 0
+        capsys.readouterr()
+        assert main(self._args(store, extra=["--resume"])) == 0
+        assert "0 scheduled" in capsys.readouterr().out
+
+    def test_trial_topup_is_incremental(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        assert main(self._args(store)) == 0
+        capsys.readouterr()
+        args = self._args(store)
+        args[args.index("--trials") + 1] = "5"
+        assert main(args) == 0
+        assert "6 scheduled, 4 cached" in capsys.readouterr().out
+
+    def test_degrees_rejected_for_non_regular(self, capsys, tmp_path):
+        code = main(["sweep", "--family", "cycle", "--sizes", "20", "--degrees", "3",
+                     "--walk", "srw", "--trials", "1", "--store", str(tmp_path / "s")])
+        assert code == 2
+        assert "--degrees applies only" in capsys.readouterr().err
+
+    def test_sizes_rejected_for_lps(self, capsys, tmp_path):
+        code = main(["sweep", "--family", "lps", "--sizes", "1000",
+                     "--walk", "srw", "--trials", "1", "--store", str(tmp_path / "s")])
+        assert code == 2
+        assert "--sizes does not apply" in capsys.readouterr().err
+
+    def test_force_recomputes(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        assert main(self._args(store)) == 0
+        capsys.readouterr()
+        assert main(self._args(store, extra=["--force"])) == 0
+        assert "4 scheduled, 0 cached" in capsys.readouterr().out
+
+
+class TestReportAndStoreCommands:
+    def test_report_runs_nothing_and_matches_sweep_table(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        sweep_args = ["sweep", "--family", "cycle", "--sizes", "20",
+                      "--walk", "srw", "--trials", "2", "--seed", "3",
+                      "--store", store]
+        assert main(sweep_args) == 0
+        sweep_out = capsys.readouterr().out
+        report_args = ["report", "--family", "cycle", "--sizes", "20",
+                       "--walk", "srw", "--trials", "2", "--seed", "3",
+                       "--store", store]
+        assert main(report_args) == 0
+        report_out = capsys.readouterr().out
+        assert report_out.strip() in sweep_out
+
+    def test_report_on_cold_store_errors(self, capsys, tmp_path):
+        args = ["report", "--family", "cycle", "--sizes", "20", "--walk", "srw",
+                "--trials", "2", "--seed", "3", "--store", str(tmp_path / "empty")]
+        assert main(args) == 2
+        assert "missing trials" in capsys.readouterr().err
+
+    def test_store_ls_and_gc(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        assert main(["sweep", "--family", "cycle", "--sizes", "20", "--walk", "srw",
+                     "--trials", "2", "--seed", "3", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cycle(n=20)" in out
+        assert "quarantined lines : 0" in out
+        assert main(["store", "gc", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "records kept" in out
+
+
 class TestCoverCommand:
     def test_eprocess_on_regular(self, capsys):
         code = main(
@@ -77,6 +205,16 @@ class TestCoverCommand:
         )
         assert code == 0
         assert "mean steps" in capsys.readouterr().out
+
+    def test_workers_supported_for_reference_only_walks(self, capsys):
+        # Registry factories are module-level (picklable), so walks without
+        # array twins still fan out across a pool.
+        args = ["cover", "--family", "cycle", "--n", "20", "--walk", "rotor",
+                "--trials", "4", "--seed", "2"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
 
     def test_array_engine_rejects_unsupported_walk(self, capsys):
         code = main(

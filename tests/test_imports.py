@@ -12,6 +12,8 @@ SUBPACKAGES = [
     "repro.walks",
     "repro.core",
     "repro.sim",
+    "repro.engine",
+    "repro.experiments",
 ]
 
 
@@ -65,6 +67,10 @@ class TestLeafModules:
             "repro.sim.blanket",
             "repro.sim.profiles",
             "repro.sim.plot",
+            "repro.experiments.spec",
+            "repro.experiments.store",
+            "repro.experiments.scheduler",
+            "repro.experiments.reports",
             "repro.cli",
         ],
     )

@@ -77,3 +77,23 @@ class TestRecordProfile:
         walk = SimpleRandomWalk(cycle_graph(6), 0, rng=rng)
         with pytest.raises(ReproError):
             record_profile(walk, until="faces")
+
+    def test_no_duplicate_final_checkpoint(self, rng):
+        # Every step of a small cover gets checkpointed, so the old code
+        # appended the final snapshot twice; steps must be strictly unique.
+        walk = EdgeProcess(cycle_graph(12), 0, rng=rng)
+        profile = record_profile(walk)
+        steps = [p.step for p in profile.points]
+        assert len(steps) == len(set(steps))
+        assert steps[-1] == profile.vertex_cover_step
+
+    def test_checkpoint_count_tracks_request_on_large_budgets(self, rng):
+        # A budget-bound run (cover far beyond max_steps) must produce
+        # roughly `checkpoints` points: growth^checkpoints = budget, so the
+        # ladder reaches the budget in about that many rungs (plus the
+        # short linear ramp), not the ~50% overshoot of the old exponent.
+        checkpoints = 64
+        walk = SimpleRandomWalk(cycle_graph(2000), 0, rng=rng)
+        profile = record_profile(walk, checkpoints=checkpoints, max_steps=50_000)
+        count = len(profile.points)
+        assert 0.7 * checkpoints <= count <= 1.3 * checkpoints, count

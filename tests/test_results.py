@@ -12,6 +12,7 @@ from repro.sim.results import (
     aggregate,
     series_from_json,
     series_to_json,
+    t_critical_975,
 )
 
 
@@ -22,8 +23,14 @@ class TestAggregate:
         assert stats.mean == pytest.approx(4.0)
         assert stats.std == pytest.approx(2.0)
         assert stats.sem == pytest.approx(2.0 / math.sqrt(3))
-        assert stats.ci95 == pytest.approx(1.96 * stats.sem)
+        # 3 samples -> 2 degrees of freedom -> t = 4.303, not z = 1.96
+        assert stats.ci95 == pytest.approx(4.303 * stats.sem)
         assert (stats.minimum, stats.maximum) == (2.0, 6.0)
+
+    def test_paper_five_trials_use_student_t(self):
+        stats = aggregate([10.0, 12.0, 11.0, 14.0, 13.0])
+        assert stats.ci95 == pytest.approx(2.776 * stats.sem)
+        assert stats.ci95 > 1.96 * stats.sem  # normal approx understates
 
     def test_single_sample(self):
         stats = aggregate([5.0])
@@ -42,6 +49,27 @@ class TestAggregate:
     def test_scale_validation(self):
         with pytest.raises(ReproError):
             aggregate([1.0]).scaled(0.0)
+
+
+class TestTCritical:
+    def test_table_values(self):
+        assert t_critical_975(1) == pytest.approx(12.706)
+        assert t_critical_975(4) == pytest.approx(2.776)
+        assert t_critical_975(30) == pytest.approx(2.042)
+
+    def test_large_df_approaches_normal(self):
+        assert t_critical_975(40) == pytest.approx(2.021, abs=2e-3)
+        assert t_critical_975(60) == pytest.approx(2.000, abs=2e-3)
+        assert t_critical_975(120) == pytest.approx(1.980, abs=2e-3)
+        assert t_critical_975(10**6) == pytest.approx(1.96, abs=1e-4)
+
+    def test_monotone_decreasing(self):
+        values = [t_critical_975(df) for df in range(1, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_df(self):
+        with pytest.raises(ReproError):
+            t_critical_975(0)
 
 
 class TestSeries:
