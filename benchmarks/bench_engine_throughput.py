@@ -10,17 +10,29 @@ Two modes:
 * under pytest (``pytest benchmarks/ --benchmark-only``): the classic
   per-engine chunk benches below;
 * standalone (``python benchmarks/bench_engine_throughput.py``): a
-  reference-vs-array comparison on a 10k-vertex random 4-regular graph
-  that writes ``benchmarks/out/BENCH_engine.json`` so the perf trajectory
-  is tracked across PRs.  Steady-state throughput is the headline number
-  (walks warmed past cover, so both engines step the same saturated
-  state); cold numbers (fresh walk, cover bookkeeping live) are reported
-  alongside.
+  reference-vs-array comparison of every engine pair (srw, eprocess,
+  rotor, rwc2) on a 10k-vertex random 4-regular graph, plus the fleet
+  engine's aggregate cover throughput against per-trial ``ArraySRW``,
+  written to ``benchmarks/out/BENCH_engine.json`` and appended (one JSON
+  line per run) to ``benchmarks/out/BENCH_engine_history.jsonl`` so the
+  perf trajectory accumulates across PRs — see ``benchmarks/README.md``
+  for how to read it.
+
+Steady-state throughput is the headline number (walks warmed past cover,
+so both engines step the same saturated state); cold numbers (fresh walk,
+cover bookkeeping live) are reported alongside.
+
+``--smoke`` (used by CI) swaps timing for correctness: on a small graph
+it asserts every engine pair — array twins and the fleet — stays
+bit-identical to its reference, and exits non-zero on any mismatch.  No
+timing assertions, no files written.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import random
 import time
 from pathlib import Path
 
@@ -30,9 +42,17 @@ except ImportError:  # standalone: not running under pytest's rootdir
     from repro.sim.rng import DEFAULT_ROOT_SEED as ROOT_SEED
 
 from repro.core.eprocess import EdgeProcess
-from repro.engine import ArrayEdgeProcess, ArraySRW
+from repro.engine import (
+    ArrayEdgeProcess,
+    ArrayRotorRouter,
+    ArrayRWC,
+    ArraySRW,
+    FleetSRW,
+    NAMED_WALK_FACTORIES,
+)
 from repro.graphs.random_regular import random_connected_regular_graph
 from repro.sim.rng import spawn
+from repro.walks.choice import RandomWalkWithChoice
 from repro.walks.rotor import RotorRouterWalk
 from repro.walks.srw import SimpleRandomWalk
 
@@ -44,7 +64,10 @@ CHUNK = 50_000
 JSON_N = 10_000
 JSON_CHUNK = 400_000
 JSON_ROUNDS = 5
-OUTPUT_PATH = Path(__file__).parent / "out" / "BENCH_engine.json"
+FLEET_SIZES = (32, 64)
+OUT_DIR = Path(__file__).parent / "out"
+OUTPUT_PATH = OUT_DIR / "BENCH_engine.json"
+HISTORY_PATH = OUT_DIR / "BENCH_engine_history.jsonl"
 
 
 def _graph():
@@ -84,6 +107,17 @@ def bench_rotor_steps(benchmark):
     benchmark.extra_info["steps_per_round"] = CHUNK
 
 
+def bench_rwc_steps(benchmark):
+    graph = _graph()
+    walk = RandomWalkWithChoice(graph, 0, d=2, rng=spawn(ROOT_SEED, "E12-c"))
+
+    def chunk():
+        walk.run(CHUNK)
+
+    benchmark.pedantic(chunk, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_round"] = CHUNK
+
+
 def bench_array_srw_steps(benchmark):
     graph = _graph()
     walk = ArraySRW(graph, 0, rng=spawn(ROOT_SEED, "E12-s"))
@@ -106,38 +140,68 @@ def bench_array_eprocess_steps(benchmark):
     benchmark.extra_info["steps_per_round"] = CHUNK
 
 
+def bench_array_rotor_steps(benchmark):
+    graph = _graph()
+    walk = ArrayRotorRouter(graph, 0, rng=spawn(ROOT_SEED, "E12-r"))
+
+    def chunk():
+        walk.run_chunk(CHUNK)
+
+    benchmark.pedantic(chunk, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_round"] = CHUNK
+
+
+def bench_array_rwc_steps(benchmark):
+    graph = _graph()
+    walk = ArrayRWC(graph, 0, d=2, rng=spawn(ROOT_SEED, "E12-c"))
+
+    def chunk():
+        walk.run_chunk(CHUNK)
+
+    benchmark.pedantic(chunk, rounds=3, iterations=1)
+    benchmark.extra_info["steps_per_round"] = CHUNK
+
+
 # ----------------------------------------------------------------------
 # Standalone BENCH_engine.json emitter
 # ----------------------------------------------------------------------
-def _steps_per_sec(make_walk, warm: bool, chunk_steps: int, rounds: int) -> float:
-    """Best-of-rounds stepping throughput.
+def _warmed(make_walk, warm: bool):
+    walk = make_walk()
+    if warm:
+        walk.run_until_vertex_cover()
+        walk.run_until_edge_cover()
+        walk.run(1024)
+    return walk
 
-    ``warm`` measures steady state: one walk, saturated (vertex + edge
-    cover plus a settling chunk) before timing, reused across rounds.
-    Cold constructs a **fresh walk per round** so every round pays the
-    live cover bookkeeping — reusing one walk would silently measure
-    steady state from round 2 on.
+
+def _timed_chunk(walk, chunk_steps: int) -> float:
+    t0 = time.perf_counter()
+    walk.run(chunk_steps)
+    return chunk_steps / (time.perf_counter() - t0)
+
+
+def _measure_pair(make_reference, make_array, warm: bool, chunk_steps: int, rounds: int) -> dict:
+    """Throughput of a reference/array walk pair on identical seeds.
+
+    Rounds are *interleaved* (reference chunk, then array chunk, per
+    round) so slow thermal/load drift hits both sides alike instead of
+    whichever engine is measured second; best-of-rounds per side.
+
+    ``warm`` measures steady state: one walk per side, saturated (vertex
+    + edge cover plus a settling chunk) before timing, reused across
+    rounds.  Cold constructs **fresh walks per round** so every round
+    pays the live cover bookkeeping — reusing one walk would silently
+    measure steady state from round 2 on.
     """
-    best = 0.0
-    walk = None
+    ref_sps = arr_sps = 0.0
+    reference = _warmed(make_reference, warm) if warm else None
+    array = _warmed(make_array, warm) if warm else None
     for _ in range(rounds):
-        if walk is None or not warm:
-            walk = make_walk()
-            if warm:
-                walk.run_until_vertex_cover()
-                walk.run_until_edge_cover()
-                walk.run(1024)
-        t0 = time.perf_counter()
-        walk.run(chunk_steps)
-        elapsed = time.perf_counter() - t0
-        best = max(best, chunk_steps / elapsed)
-    return best
-
-
-def _measure_pair(make_reference, make_array, warm: bool, chunk_steps: int) -> dict:
-    """Throughput of a reference/array walk pair on identical seeds."""
-    ref_sps = _steps_per_sec(make_reference, warm, chunk_steps, JSON_ROUNDS)
-    arr_sps = _steps_per_sec(make_array, warm, chunk_steps, JSON_ROUNDS)
+        if not warm:
+            reference = _warmed(make_reference, warm)
+            array = _warmed(make_array, warm)
+        ref_sps = max(ref_sps, _timed_chunk(reference, chunk_steps))
+        arr_sps = max(arr_sps, _timed_chunk(array, chunk_steps))
     return {
         "reference_steps_per_sec": round(ref_sps),
         "array_steps_per_sec": round(arr_sps),
@@ -145,49 +209,168 @@ def _measure_pair(make_reference, make_array, warm: bool, chunk_steps: int) -> d
     }
 
 
-def main() -> int:
-    graph = random_connected_regular_graph(JSON_N, DEGREE, spawn(ROOT_SEED, "E12-json"))
+def _measure_fleet(graph, fleet_size: int, rounds: int) -> dict:
+    """Aggregate cover throughput: one fleet vs. the same trials on
+    per-trial ``ArraySRW`` (total cover steps / wall seconds, both).
 
-    def srw_ref():
-        return SimpleRandomWalk(graph, 0, rng=spawn(ROOT_SEED, "E12-json-s"), track_edges=True)
+    The reported speedup is the *median of per-round ratios* — each round
+    times fleet and sequential back to back, so slow machine-load drift
+    cancels inside a round instead of biasing whichever side a
+    best-of-runs comparison happened to favour.
+    """
+    starts = [random.Random(100 + k).randrange(graph.n) for k in range(fleet_size)]
+    fleet_best = seq_best = 0.0
+    ratios = []
+    total = 0
+    for _ in range(rounds):
+        rngs = [random.Random(1000 + k) for k in range(fleet_size)]
+        t0 = time.perf_counter()
+        fleet = FleetSRW([graph] * fleet_size, starts, rngs)
+        cover = fleet.run_until_cover("vertices")
+        fleet_sps = sum(cover) / (time.perf_counter() - t0)
+        total = sum(cover)
+        t0 = time.perf_counter()
+        seq_total = 0
+        for k in range(fleet_size):
+            walk = ArraySRW(graph, starts[k], rng=random.Random(1000 + k), track_edges=True)
+            seq_total += walk.run_until_vertex_cover()
+        seq_sps = seq_total / (time.perf_counter() - t0)
+        assert seq_total == total, "fleet and sequential cover totals diverged"
+        fleet_best = max(fleet_best, fleet_sps)
+        seq_best = max(seq_best, seq_sps)
+        ratios.append(fleet_sps / seq_sps)
+    ratios.sort()
+    median = ratios[len(ratios) // 2]
+    return {
+        "trials": fleet_size,
+        "total_cover_steps": total,
+        "fleet_steps_per_sec": round(fleet_best),
+        "array_steps_per_sec": round(seq_best),
+        "speedup": round(median, 2),
+    }
 
-    def srw_arr():
-        return ArraySRW(graph, 0, rng=spawn(ROOT_SEED, "E12-json-s"), track_edges=True)
 
-    def ep_ref():
-        return EdgeProcess(graph, 0, rng=spawn(ROOT_SEED, "E12-json-e"), record_phases=False)
+#: (name, reference seed-suffix) for the four reference/array pairs; the
+#: factories come from the engine registry, so the bench measures exactly
+#: what `cover_time_trials(engine=...)` runs.
+_PAIRS = ("srw", "eprocess", "rotor", "rwc2")
 
-    def ep_arr():
-        return ArrayEdgeProcess(graph, 0, rng=spawn(ROOT_SEED, "E12-json-e"), record_phases=False)
 
+def _pair_factories(name: str, graph, seed_label: str):
+    variants = NAMED_WALK_FACTORIES[name]
+
+    def make_reference():
+        return variants["reference"](graph, 0, spawn(ROOT_SEED, seed_label))
+
+    def make_array():
+        return variants["array"](graph, 0, spawn(ROOT_SEED, seed_label))
+
+    return make_reference, make_array
+
+
+def run_smoke(n: int) -> int:
+    """Correctness-only pass: every engine pair bit-identical on a small
+    graph (array twins: full state; fleet: cover times + RNG end-state).
+    Returns a process exit code."""
+    graph = random_connected_regular_graph(n, DEGREE, spawn(ROOT_SEED, "E12-smoke"))
+    failures = []
+    for name in _PAIRS:
+        variants = NAMED_WALK_FACTORIES[name]
+        reference = variants["reference"](graph, 0, random.Random(99))
+        array = variants["array"](graph, 0, random.Random(99))
+        reference.run(20_000)
+        array.run(20_000)
+        state_ref = (
+            reference.current,
+            reference.steps,
+            list(reference.first_visit_time),
+            list(reference.first_edge_visit_time),
+            reference.rng.getstate(),
+        )
+        state_arr = (
+            array.current,
+            array.steps,
+            list(array.first_visit_time),
+            list(array.first_edge_visit_time),
+            array.rng.getstate(),
+        )
+        if state_ref != state_arr:
+            failures.append(f"{name}: array state diverged from reference")
+        else:
+            print(f"smoke {name}: array == reference over 20k steps")
+    K = 7
+    starts = [random.Random(100 + k).randrange(graph.n) for k in range(K)]
+    rngs = [random.Random(1000 + k) for k in range(K)]
+    twins = [random.Random(1000 + k) for k in range(K)]
+    fleet = FleetSRW([graph] * K, starts, rngs)
+    cover = fleet.run_until_cover("vertices")
+    for k in range(K):
+        walk = SimpleRandomWalk(graph, starts[k], rng=twins[k], track_edges=True)
+        if cover[k] != walk.run_until_vertex_cover() or rngs[k].getstate() != twins[k].getstate():
+            failures.append(f"fleet lane {k}: diverged from sequential walk")
+    if not any(f.startswith("fleet") for f in failures):
+        print(f"smoke fleet: {K} lanes == sequential walks (covers + RNG state)")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=JSON_ROUNDS,
+                        help="best-of rounds per measurement")
+    parser.add_argument("--n", type=int, default=JSON_N,
+                        help="benchmark graph size (4-regular)")
+    parser.add_argument("--chunk", type=int, default=JSON_CHUNK,
+                        help="steps per timed chunk")
+    parser.add_argument("--smoke", action="store_true",
+                        help="correctness-only: assert every engine pair "
+                        "bit-identical on a small graph; write nothing")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(min(args.n, 600))
+
+    graph = random_connected_regular_graph(args.n, DEGREE, spawn(ROOT_SEED, "E12-json"))
+    engines = {}
+    for name in _PAIRS:
+        make_reference, make_array = _pair_factories(name, graph, f"E12-json-{name}")
+        engines[name] = {
+            "steady": _measure_pair(make_reference, make_array, True, args.chunk, args.rounds),
+            "cold": _measure_pair(make_reference, make_array, False, args.chunk, args.rounds),
+        }
+    fleet = {f"k{K}": _measure_fleet(graph, K, args.rounds) for K in FLEET_SIZES}
     report = {
         "benchmark": "engine_throughput",
-        "n": JSON_N,
+        "n": args.n,
         "degree": DEGREE,
-        "chunk_steps": JSON_CHUNK,
-        "rounds": JSON_ROUNDS,
+        "chunk_steps": args.chunk,
+        "rounds": args.rounds,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "engines": {
-            "srw": {
-                "steady": _measure_pair(srw_ref, srw_arr, True, JSON_CHUNK),
-                "cold": _measure_pair(srw_ref, srw_arr, False, JSON_CHUNK),
-            },
-            "eprocess": {
-                "steady": _measure_pair(ep_ref, ep_arr, True, JSON_CHUNK),
-                "cold": _measure_pair(ep_ref, ep_arr, False, JSON_CHUNK),
-            },
-        },
+        "engines": engines,
+        "fleet": fleet,
         "methodology": (
             "best-of-rounds run() throughput on one shared graph; 'steady' "
             "warms each walk past vertex+edge cover first, 'cold' starts "
-            "from a fresh walk with cover bookkeeping live"
+            "from a fresh walk with cover bookkeeping live; 'fleet' compares "
+            "aggregate cover-trial throughput (total cover steps / wall) of "
+            "one FleetSRW against the same trials on per-trial ArraySRW"
         ),
     }
     report["speedup"] = report["engines"]["srw"]["steady"]["speedup"]
-    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(exist_ok=True)
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    # Append the run to the across-PRs trajectory (one JSON line per run).
+    summary = {
+        "timestamp": report["timestamp"],
+        "n": args.n,
+        "steady_speedups": {k: v["steady"]["speedup"] for k, v in engines.items()},
+        "cold_speedups": {k: v["cold"]["speedup"] for k, v in engines.items()},
+        "fleet_speedups": {k: v["speedup"] for k, v in fleet.items()},
+    }
+    with HISTORY_PATH.open("a") as fh:
+        fh.write(json.dumps(summary, sort_keys=True) + "\n")
     print(json.dumps(report, indent=2))
-    print(f"\nwrote {OUTPUT_PATH}")
+    print(f"\nwrote {OUTPUT_PATH} and appended {HISTORY_PATH}")
     return 0
 
 

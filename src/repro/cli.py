@@ -32,7 +32,6 @@ from repro.core.eprocess import EdgeProcess
 from repro.core.components import isolated_blue_stars
 from repro.core.goodness import ell_goodness_exact
 from repro.core.stars import expected_isolated_stars
-from repro.engine import NAMED_WALK_FACTORIES
 from repro.errors import ReproError
 from repro.experiments import (
     ExperimentSpec,
@@ -103,6 +102,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         store=store,
         workers=args.workers,
         progress=print_progress,
+        fleet_size=args.fleet_size,
     )
     runs = [(p.spec, p.run) for p in result.points]
     series: List[Series] = regular_degree_series(runs, normalize_by_n=True)
@@ -187,6 +187,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             use_cache=not args.force,
             progress=print_progress,
+            fleet_size=args.fleet_size,
         )
     except KeyboardInterrupt:
         print(
@@ -263,28 +264,21 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         raise ReproError(f"unknown walk {args.walk!r}; choose from {sorted(WALKS)}")
     engine = getattr(args, "engine", "reference")
     workers = getattr(args, "workers", 1)
-    if args.walk in NAMED_WALK_FACTORIES:
-        walk_factory = args.walk  # let the runner resolve the engine
-    elif engine == "array":
-        raise ReproError(
-            f"--engine array supports walks with array twins "
-            f"{sorted(NAMED_WALK_FACTORIES)}; got {args.walk!r}"
-        )
-    else:
-        # Module-level registry factories: picklable, so any worker count
-        # works for every walk.
-        walk_factory = WALKS[args.walk]
     build_rng = spawn(args.seed, "cli-cover-graph")
     graph = _build_family_graph(args, build_rng)
+    # Walks go by name: the runner resolves the engine from the registry
+    # and raises the explicit no-such-engine error for walks without the
+    # requested twin (never a silent reference fallback).
     run = cover_time_trials(
         workload=graph,
-        walk_factory=walk_factory,
+        walk_factory=args.walk,
         trials=args.trials,
         root_seed=args.seed,
         target=args.target,
         label=f"cli-cover-{args.walk}",
         engine=engine,
         workers=workers,
+        fleet_size=getattr(args, "fleet_size", None),
     )
     denom = graph.n if args.target == "vertices" else graph.m
     print(
@@ -477,9 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--engine",
             default="reference",
-            choices=["reference", "array"],
-            help="walk engine: reference per-step classes or the chunked "
-            "flat-array fast path (identical results, higher throughput)",
+            choices=["reference", "array", "fleet"],
+            help="walk engine: reference per-step classes, the chunked "
+            "flat-array fast path, or lockstep fleet stepping of whole "
+            "trial batches (identical results, rising throughput)",
         )
         p.add_argument(
             "--workers",
@@ -487,6 +482,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             help="processes to spread trials over (results are identical "
             "for any worker count)",
+        )
+        p.add_argument(
+            "--fleet-size",
+            type=int,
+            default=None,
+            metavar="K",
+            help="trials per lockstep fleet under --engine fleet "
+            "(default 64; identical results for any K)",
         )
 
     fig1 = sub.add_parser("figure1", help="regenerate Figure 1 at a chosen scale")
@@ -565,20 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--target", default="vertices", choices=["vertices", "edges"])
     cover.add_argument("--trials", type=int, default=5)
     cover.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
-    cover.add_argument(
-        "--engine",
-        default="reference",
-        choices=["reference", "array"],
-        help="walk engine: reference per-step classes or the chunked "
-        "flat-array fast path (identical results, higher throughput)",
-    )
-    cover.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="processes to spread trials over (results are identical "
-        "for any worker count)",
-    )
+    _add_engine_arguments(cover)
     cover.set_defaults(fn=_cmd_cover)
 
     spectral = sub.add_parser("spectral", help="eigenvalue gap / conductance")

@@ -5,13 +5,28 @@ engines here optimize for throughput.  Both expose the same stepping and
 cover-time surface and draw the same Mersenne-Twister stream, so for a
 given seed an array engine reproduces its reference twin's trajectory and
 cover time bit for bit — the parity tests in ``tests/test_engine.py``
-assert exactly that.
+(and ``tests/test_engine_rotor_rwc.py``, ``tests/test_fleet.py``) assert
+exactly that.
 
-The registry at the bottom names the walks that exist in both engines so
-the experiment runner (:func:`repro.sim.runner.cover_time_trials`) and the
-CLI can select ``engine="reference"`` or ``engine="array"`` by walk name.
-The factories are module-level functions (not lambdas) so trial
-specifications stay picklable for the multiprocessing runner.
+Three engines exist:
+
+* ``"reference"`` — the per-step walk classes; every walk has one.
+* ``"array"``     — chunked flat-array twins (:class:`ArraySRW`,
+  :class:`ArrayEdgeProcess`, :class:`ArrayRotorRouter`,
+  :class:`ArrayRWC`).
+* ``"fleet"``     — lockstep many-trial stepping
+  (:class:`~repro.engine.fleet.FleetSRW`); SRW only, because fleet
+  prefiltering needs state-independent RNG consumption (see
+  :mod:`repro.engine.fleet`).  The registry's ``"fleet"`` factory is the
+  per-trial *array* twin: the runner batches eligible trials through
+  :class:`FleetSRW` and uses the factory for the per-trial fallback.
+
+The registry at the bottom is the single source of truth for every walk
+the CLI and experiment specs can name — one entry per walk, mapping each
+supported engine to a module-level factory (picklable for the
+multiprocessing runner).  Walks without a fast twin simply have only the
+``"reference"`` entry; asking for a missing engine is an explicit
+:class:`~repro.errors.ReproError`, never a silent reference fallback.
 """
 
 from __future__ import annotations
@@ -19,23 +34,35 @@ from __future__ import annotations
 from typing import Callable, Dict, Union
 
 from repro.core.eprocess import EdgeProcess
-from repro.engine.base import DEFAULT_CHUNK_SIZE, ArrayWalkEngine
+from repro.engine.base import DEFAULT_CHUNK_SIZE, ArrayWalkEngine, MTWordStream
 from repro.engine.eprocess import ArrayEdgeProcess
+from repro.engine.fleet import DEFAULT_FLEET_SIZE, FleetSRW, fleet_supported
+from repro.engine.rotor import ArrayRotorRouter
+from repro.engine.rwc import ArrayRWC
 from repro.engine.srw import ArraySRW
 from repro.errors import ReproError
+from repro.walks.choice import RandomWalkWithChoice, UnvisitedVertexWalk
+from repro.walks.fair import LeastUsedFirstWalk, OldestFirstWalk
+from repro.walks.rotor import RotorRouterWalk
 from repro.walks.srw import SimpleRandomWalk
 
 __all__ = [
     "ArrayWalkEngine",
     "ArraySRW",
     "ArrayEdgeProcess",
+    "ArrayRotorRouter",
+    "ArrayRWC",
+    "FleetSRW",
+    "fleet_supported",
+    "MTWordStream",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_FLEET_SIZE",
     "ENGINES",
     "NAMED_WALK_FACTORIES",
     "resolve_walk_factory",
 ]
 
-ENGINES = ("reference", "array")
+ENGINES = ("reference", "array", "fleet")
 
 
 def _srw_reference(graph, start, rng):
@@ -54,12 +81,46 @@ def _eprocess_array(graph, start, rng):
     return ArrayEdgeProcess(graph, start, rng=rng, record_phases=False)
 
 
-#: Walks constructible in either engine, by name.  Both variants of a name
-#: take (graph, start, rng), track edges (so either cover target works),
-#: and consume randomness identically.
+def _rotor_reference(graph, start, rng):
+    return RotorRouterWalk(graph, start, rng=rng, randomize_rotors=True, track_edges=True)
+
+
+def _rotor_array(graph, start, rng):
+    return ArrayRotorRouter(graph, start, rng=rng, randomize_rotors=True, track_edges=True)
+
+
+def _rwc2_reference(graph, start, rng):
+    return RandomWalkWithChoice(graph, start, d=2, rng=rng, track_edges=True)
+
+
+def _rwc2_array(graph, start, rng):
+    return ArrayRWC(graph, start, d=2, rng=rng, track_edges=True)
+
+
+def _vprocess_reference(graph, start, rng):
+    return UnvisitedVertexWalk(graph, start, rng=rng, track_edges=True)
+
+
+def _least_used_reference(graph, start, rng):
+    return LeastUsedFirstWalk(graph, start, rng=rng, track_edges=True)
+
+
+def _oldest_first_reference(graph, start, rng):
+    return OldestFirstWalk(graph, start, rng=rng, track_edges=True)
+
+
+#: Every nameable walk, mapping each supported engine to its factory.
+#: All variants of a name take ``(graph, start, rng)``, track edges (so
+#: either cover target works), and consume randomness identically —
+#: switching engines changes throughput, never numbers.
 NAMED_WALK_FACTORIES: Dict[str, Dict[str, Callable]] = {
-    "srw": {"reference": _srw_reference, "array": _srw_array},
+    "srw": {"reference": _srw_reference, "array": _srw_array, "fleet": _srw_array},
     "eprocess": {"reference": _eprocess_reference, "array": _eprocess_array},
+    "rotor": {"reference": _rotor_reference, "array": _rotor_array},
+    "rwc2": {"reference": _rwc2_reference, "array": _rwc2_array},
+    "vprocess": {"reference": _vprocess_reference},
+    "least-used": {"reference": _least_used_reference},
+    "oldest-first": {"reference": _oldest_first_reference},
 }
 
 
@@ -69,8 +130,13 @@ def resolve_walk_factory(walk: Union[str, Callable], engine: str = "reference") 
     ``walk`` may be a name from :data:`NAMED_WALK_FACTORIES` (resolved for
     the requested engine) or an explicit ``f(graph, start, rng)`` factory
     (allowed only with ``engine="reference"`` — a callable already commits
-    to a concrete walk class, so asking for the array engine on top of it
+    to a concrete walk class, so asking for a fast engine on top of it
     would be silently ignored at best).
+
+    Requesting an engine a walk does not implement raises
+    :class:`~repro.errors.ReproError` naming the walk, its available
+    engines, and the walks that do implement the requested engine — the
+    reference path is never substituted silently.
     """
     if engine not in ENGINES:
         raise ReproError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -79,12 +145,20 @@ def resolve_walk_factory(walk: Union[str, Callable], engine: str = "reference") 
             raise ReproError(
                 f"engine={engine!r} needs a named walk "
                 f"({sorted(NAMED_WALK_FACTORIES)}); got a callable factory — "
-                "construct the array walk inside the factory instead"
+                "construct the fast walk inside the factory instead"
             )
         return walk
-    try:
-        return NAMED_WALK_FACTORIES[walk][engine]
-    except (KeyError, TypeError):
+    variants = NAMED_WALK_FACTORIES.get(walk)
+    if variants is None:
         raise ReproError(
             f"unknown walk {walk!r}; named walks: {sorted(NAMED_WALK_FACTORIES)}"
-        ) from None
+        )
+    factory = variants.get(engine)
+    if factory is None:
+        capable = sorted(n for n, v in NAMED_WALK_FACTORIES.items() if engine in v)
+        raise ReproError(
+            f"walk {walk!r} has no {engine!r} engine (available: "
+            f"{sorted(variants)}); walks with a {engine!r} engine: {capable}. "
+            "Use engine='reference' for this walk."
+        )
+    return factory

@@ -51,6 +51,8 @@ from repro.errors import ReproError
 __all__ = [
     "ArrayWalkEngine",
     "MTWordStream",
+    "mt_state_to_numpy",
+    "mt_state_from_numpy",
     "DEFAULT_CHUNK_SIZE",
     "STOP_NONE",
     "STOP_VERTICES",
@@ -80,6 +82,28 @@ COMP_TABLE_MAX_ENTRIES = 1_000_000
 STOP_NONE = 0  # take exactly num_steps steps
 STOP_VERTICES = 1  # additionally stop the instant all vertices are visited
 STOP_EDGES = 2  # additionally stop the instant all edges are visited
+
+
+def mt_state_to_numpy(internal) -> dict:
+    """A numpy ``MT19937.state`` dict from ``random.Random.getstate()[1]``
+    (the 625-word internal tuple: 624 key words plus the position)."""
+    import numpy as np
+
+    return {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": np.asarray(internal[:-1], dtype=np.uint32),
+            "pos": internal[-1],
+        },
+    }
+
+
+def mt_state_from_numpy(mt, base) -> tuple:
+    """A ``random.Random.setstate`` tuple from a numpy ``MT19937``'s
+    current state, carrying ``base``'s version and cached-gauss fields."""
+    version, _internal, gauss = base
+    state = mt.state["state"]
+    return (version, tuple(map(int, state["key"])) + (int(state["pos"]),), gauss)
 
 
 class MTWordStream:
@@ -127,16 +151,9 @@ class MTWordStream:
         import numpy as np
 
         self._base = self._rng.getstate()
-        internal = self._base[1]
         if self._mt is None:
             self._mt = np.random.MT19937(0)
-        self._mt.state = {
-            "bit_generator": "MT19937",
-            "state": {
-                "key": np.asarray(internal[:-1], dtype=np.uint32),
-                "pos": internal[-1],
-            },
-        }
+        self._mt.state = mt_state_to_numpy(self._base[1])
         self._handed = 0
         self._pre_take_state = None
         self._last_count = 0
@@ -158,7 +175,6 @@ class MTWordStream:
         consumed); those word positions will be re-handed next time.
         """
         consumed = self._handed - unused
-        version, internal, gauss = self._base
         if consumed:
             mt = self._mt
             if unused:
@@ -166,10 +182,28 @@ class MTWordStream:
                 # consumed prefix.
                 mt.state = self._pre_take_state
                 mt.random_raw(self._last_count - unused)
-            state = mt.state["state"]
-            self._rng.setstate(
-                (version, tuple(map(int, state["key"])) + (int(state["pos"]),), gauss)
-            )
+            self._rng.setstate(mt_state_from_numpy(mt, self._base))
+        self._base = None
+        self._handed = 0
+        self._pre_take_state = None
+        self._last_count = 0
+
+    def sync_to(self, consumed: int) -> None:
+        """Advance the wrapped generator exactly ``consumed`` words past the
+        :meth:`begin` state, regardless of batching.
+
+        Unlike :meth:`end` — which can only return words from the *final*
+        :meth:`take` batch — this supports rewinding across batch
+        boundaries by replaying the consumed prefix from the captured base
+        state (MT cannot run backwards).  The fleet engine uses it: lanes
+        buffer draws several batches ahead and a lane may cover mid-way
+        through an old batch.  Closes the stream like :meth:`end`.
+        """
+        if consumed:
+            mt = self._mt
+            mt.state = mt_state_to_numpy(self._base[1])
+            mt.random_raw(consumed)
+            self._rng.setstate(mt_state_from_numpy(mt, self._base))
         self._base = None
         self._handed = 0
         self._pre_take_state = None

@@ -1,0 +1,527 @@
+"""Fleet stepping: K independent SRW cover trials per numpy gather.
+
+The scalar engines (:class:`~repro.engine.srw.ArraySRW`) run one walk at a
+time: however tight the loop, every step costs a handful of interpreter
+operations.  :class:`FleetSRW` turns the per-step cost into a per-*fleet*
+cost — positions of K independent trials advance with one vectorized
+gather per step — so the interpreter overhead amortizes across the whole
+fleet.
+
+What makes this possible for the SRW (and not, say, the E-process) is
+that on a regular graph its RNG consumption is *state-independent*:
+``randrange(d)`` consumes tempered Mersenne-Twister words until one
+passes the rejection filter, and the filter depends only on the word
+values, never on the walk's position.  Each lane's entire draw sequence
+can therefore be prefiltered vectorized from its own
+:class:`~repro.engine.base.MTWordStream`, and after a lane covers, its
+``random.Random`` is advanced to exactly the words the reference walk
+would have consumed (:meth:`MTWordStream.sync_to`) — so fleet trials are
+bit-identical to sequential ones, generator end-state included.  The
+E-process has no fleet twin for the same reason inverted: a blue step's
+modulus is the current vertex's *unvisited-edge count*, so word roles
+depend on walk state and the per-lane split cannot be precomputed.
+
+Lanes step in lockstep.  Per block of ``T`` steps the kernel computes
+every active lane's trajectory (one gather per step over the lanes), then
+does visitation bookkeeping on the whole ``(T, A)`` block at once: a
+vectorized "which visits are first visits" gather, with only the fresh
+entries — a set that empties out fast — touched scalar, in time order.
+A lane that covers mid-block is rewound to its cover instant (position
+and RNG; the overshoot trajectory only revisits covered ids, so block
+bookkeeping needs no undo) and leaves the fleet.
+
+Graphs may be one shared :class:`~repro.graphs.graph.Graph` (fixed
+workloads; the tiled index arrays are cached in ``scratch_cache()``) or K
+structurally distinct same-shape regular graphs (factory workloads, e.g.
+a fresh random d-regular graph per trial): lane k's vertex ``v`` becomes
+global id ``k*n + v`` and the concatenated neighbour array is globalized
+the same way, so the inner gather is identical in both cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.base import MTWordStream, mt_state_from_numpy, mt_state_to_numpy
+from repro.errors import CoverTimeout, GraphError, ReproError
+from repro.graphs.graph import Graph
+from repro.walks.base import default_step_budget
+
+__all__ = ["DEFAULT_FLEET_SIZE", "DEFAULT_BLOCK_STEPS", "FleetSRW", "fleet_supported"]
+
+#: Trials advanced together per fleet; the runner's batch size for
+#: ``engine="fleet"``.  A fleet step costs roughly two numpy dispatches
+#: however many lanes ride it, so wider fleets amortize better — 64 is
+#: past the knee (measured ~3.2x aggregate over per-trial ``ArraySRW``
+#: vs ~2.9x at 32 on the 10k-vertex benchmark graph) while one batch's
+#: lane state stays a few tens of MB.
+DEFAULT_FLEET_SIZE = 64
+
+#: Steps per kernel block: trajectories are computed (and bookkeeping
+#: batched) in pieces of this size.
+DEFAULT_BLOCK_STEPS = 2048
+
+#: When this few lanes remain, the fleet hands them to per-trial
+#: :class:`~repro.engine.srw.ArraySRW` (state transplanted exactly): a
+#: fleet step costs the same however few lanes ride it, so below the
+#: crossover the scalar engine finishes the stragglers faster.
+TAIL_LANES = 6
+
+
+def fleet_supported(
+    graphs: Sequence[Graph], rngs: Sequence[random.Random]
+) -> Tuple[bool, str]:
+    """Whether these lanes can step as one fleet; ``(ok, reason)``.
+
+    Requirements: at least one lane, every graph regular with one shared
+    ``(n, degree)`` (positive degree unless the graph is the trivial
+    single-vertex one, which covers at step 0), and every RNG a plain
+    Mersenne-Twister ``random.Random`` (the word-stream transplant needs
+    its state layout).
+    """
+    if not graphs:
+        return False, "empty fleet"
+    first = graphs[0]
+    n = first.n
+    if not first.is_regular():
+        return False, f"graph {first!r} is not regular"
+    d = first.regularity()
+    if d == 0 and n > 1:
+        return False, f"graph {first!r} has isolated vertices"
+    for g in graphs:
+        if g is first:
+            continue
+        if not g.is_regular() or g.n != n or g.regularity() != d:
+            return False, (
+                f"lane graphs differ in shape: {first!r} vs {g!r} "
+                "(a fleet needs one (n, degree) across all lanes)"
+            )
+    for rng in rngs:
+        if not MTWordStream.supports(rng):
+            return False, f"rng {type(rng).__name__} is not a plain Mersenne Twister"
+    if len({id(rng) for rng in rngs}) != len(rngs):
+        # One generator shared by two lanes would replay the same draw
+        # stream twice (fully correlated "independent" trials) and the
+        # later lane's end-state sync would clobber the earlier's.
+        return False, "lanes share a random.Random instance (need one per lane)"
+    return True, ""
+
+
+class _LaneDraws:
+    """One lane's prefiltered draw stream with exact word accounting.
+
+    ``moves[i]`` is the walk's i-th accepted draw (incidence index).  Raw
+    words come from a scratch numpy ``MT19937`` transplanted from the
+    wrapped ``random.Random``; per bulk pull the lane records ``(draws
+    before, state before, words pulled)``, so :meth:`sync` can place the
+    ``random.Random`` after exactly ``c`` draws by re-deriving — within
+    one pull — which raw word accepted draw ``c``.  Keeping positions per
+    *pull* instead of per *draw* keeps the per-lane footprint at one byte
+    per draw; with dozens of lanes buffered hundreds of thousands of
+    steps ahead, that is the difference between cache-resident state and
+    a page-fault storm.
+    """
+
+    __slots__ = ("rng", "mt", "base", "pulls", "moves", "count", "taken", "factor", "shift", "lim", "d")
+
+    def __init__(self, rng: random.Random, d: int):
+        import numpy as np
+
+        self.rng = rng
+        self.base = rng.getstate()  # (version, 625-tuple, gauss)
+        self.mt = np.random.MT19937(0)
+        self.mt.state = mt_state_to_numpy(self.base[1])
+        #: per bulk pull: (draws buffered before it, MT state before it,
+        #: words pulled)
+        self.pulls: List[Tuple[int, dict, int]] = []
+        self.d = d
+        k = d.bit_length()
+        self.shift = 32 - k
+        self.factor = (1 << k) / d
+        # randrange(d) accepts word w iff (w >> shift) < d iff w < d << shift.
+        self.lim = d << self.shift
+        dtype = np.uint8 if d <= 0xFF else (np.uint16 if d <= 0xFFFF else np.uint32)
+        self.moves = np.empty(8192, dtype=dtype)
+        self.count = 0
+        self.taken = 0
+
+    def ensure(self, need: int) -> None:
+        """Buffer at least ``need`` accepted draws (amortized growth)."""
+        import numpy as np
+
+        while self.count < need:
+            est = int((need - self.count) * self.factor) + 64
+            self.pulls.append((self.count, self.mt.state, est))
+            raw = self.mt.random_raw(est)
+            acc = np.nonzero(raw < self.lim)[0]
+            new = len(acc)
+            if self.count + new > len(self.moves):
+                cap = len(self.moves)
+                while cap < self.count + new:
+                    cap *= 2
+                moves = np.empty(cap, dtype=self.moves.dtype)
+                moves[: self.count] = self.moves[: self.count]
+                self.moves = moves
+            self.moves[self.count : self.count + new] = raw[acc] >> self.shift
+            self.count += new
+            self.taken += est
+
+    def sync(self, steps_consumed: int) -> None:
+        """Set the lane's ``random.Random`` past exactly ``steps_consumed``
+        draws — the state its reference twin would leave behind."""
+        import numpy as np
+
+        if not steps_consumed:
+            self.rng.setstate(self.base)
+            return
+        # The pull that produced draw number `steps_consumed`.
+        before, state, est = self.pulls[0]
+        for rec in self.pulls:
+            if rec[0] >= steps_consumed:
+                break
+            before, state, est = rec
+        mt = self.mt
+        mt.state = state
+        raw = mt.random_raw(est)
+        acc = np.nonzero(raw < self.lim)[0]
+        words = int(acc[steps_consumed - before - 1]) + 1
+        mt.state = state
+        mt.random_raw(words)
+        self.rng.setstate(mt_state_from_numpy(mt, self.base))
+
+
+class FleetSRW:
+    """K lockstep SRW cover trials; bit-identical to K sequential walks.
+
+    Parameters
+    ----------
+    graphs:
+        One graph per lane (repeat the same object for a shared fixed
+        workload).  All must be regular with the same ``(n, degree)``.
+    starts:
+        Start vertex per lane; time 0 counts as a visit, as in
+        :class:`~repro.walks.base.WalkProcess`.
+    rngs:
+        One plain Mersenne-Twister ``random.Random`` per lane.  After
+        :meth:`run_until_cover`, each generator's state equals what the
+        reference walk's would be at that lane's cover instant.
+
+    After a run, :attr:`cover_steps` holds per-lane cover times,
+    :meth:`first_visit_time` the per-lane first-visit tables (vertex or
+    edge ids, matching the run's target), and :attr:`positions` the
+    per-lane cover-instant vertices.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[Graph],
+        starts: Sequence[int],
+        rngs: Sequence[random.Random],
+        block_steps: int = DEFAULT_BLOCK_STEPS,
+    ):
+        if not (len(graphs) == len(starts) == len(rngs)):
+            raise ReproError(
+                f"fleet lanes disagree: {len(graphs)} graphs, "
+                f"{len(starts)} starts, {len(rngs)} rngs"
+            )
+        ok, reason = fleet_supported(graphs, rngs)
+        if not ok:
+            raise ReproError(f"fleet unsupported: {reason}")
+        if block_steps < 1:
+            raise ReproError(f"block_steps must be >= 1, got {block_steps}")
+        for k, (g, s) in enumerate(zip(graphs, starts)):
+            if not (0 <= s < g.n):
+                raise GraphError(f"lane {k}: start vertex {s} out of range 0..{g.n - 1}")
+            if g.degree(s) == 0 and g.n > 1:
+                raise GraphError(f"lane {k}: start vertex {s} is isolated")
+        self.graphs = list(graphs)
+        self.starts = list(starts)
+        self.rngs = list(rngs)
+        self.block_steps = block_steps
+        self.K = len(graphs)
+        self.n = graphs[0].n
+        self.m = graphs[0].m
+        self.d = graphs[0].regularity()
+        self.cover_steps: List[Optional[int]] = [None] * self.K
+        self._fv: List[int] = []
+        self._fv_stride = 0
+        self._pos: List[int] = list(starts)
+
+    # -- lane array assembly -------------------------------------------------
+
+    def _globalized(self, attr: str, stride: int):
+        """Concatenated per-lane CSR array with lane-globalized values
+        (``attr`` values offset by ``k * stride`` for lane k; lane k's
+        entries live at ``[k*2m : (k+1)*2m]``).  Shared-graph fleets cache
+        the tiled result in the graph's ``scratch_cache()``.
+        """
+        import numpy as np
+
+        shared = all(g is self.graphs[0] for g in self.graphs)
+        if shared:
+            cache = self.graphs[0].scratch_cache()
+            key = ("fleet", attr, self.K)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            base = getattr(self.graphs[0], attr)
+            out = (
+                base[None, :] + (np.arange(self.K, dtype=np.int64) * stride)[:, None]
+            ).reshape(-1)
+            cache[key] = out
+            return out
+        return np.concatenate(
+            [getattr(g, attr) + k * stride for k, g in enumerate(self.graphs)]
+        )
+
+    def _scaled_neighbors(self):
+        """Globalized neighbour array pre-multiplied by the degree.
+
+        With values pre-scaled, the inner kernel's gather chain is two
+        numpy calls per step: ``idx = cur_scaled + move`` and
+        ``cur_scaled = nbrs_scaled[idx]`` — the division back to vertex
+        ids happens once per block, vectorized.  Built directly (lane k's
+        entry is ``(nbr + k*n) * d = nbr*d + k*n*d``) so no intermediate
+        unscaled tile gets pinned in the cache.
+        """
+        import numpy as np
+
+        stride = self.n * self.d
+        shared = all(g is self.graphs[0] for g in self.graphs)
+        if shared:
+            cache = self.graphs[0].scratch_cache()
+            key = ("fleet", "scaled_neighbors", self.K, self.d)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            base = self.graphs[0].csr_neighbors * self.d
+            out = (
+                base[None, :] + (np.arange(self.K, dtype=np.int64) * stride)[:, None]
+            ).reshape(-1)
+            cache[key] = out
+            return out
+        return np.concatenate(
+            [g.csr_neighbors * self.d + k * stride for k, g in enumerate(self.graphs)]
+        )
+
+    # -- the kernel ----------------------------------------------------------
+
+    def run_until_cover(
+        self,
+        target: str = "vertices",
+        max_steps: Optional[int] = None,
+        labels: Optional[Sequence[object]] = None,
+    ) -> List[int]:
+        """Run every lane to its cover instant; returns per-lane cover steps.
+
+        Raises :class:`~repro.errors.CoverTimeout` (naming the first
+        affected lane, via ``labels`` when given) if the budget — shared
+        by construction, every lane has the same ``(n, m)`` — runs out
+        with lanes still uncovered.
+        """
+        import numpy as np
+
+        if target not in ("vertices", "edges"):
+            raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+        K, n, m, d = self.K, self.n, self.m, self.d
+        names = list(labels) if labels is not None else list(range(K))
+        budget = (
+            max_steps if max_steps is not None else default_step_budget(self.graphs[0])
+        )
+        by_vertices = target == "vertices"
+        full = n if by_vertices else m
+        stride = n if by_vertices else m
+        nbrs_s = self._scaled_neighbors()  # globalized neighbour id * d
+        eids_g = None if by_vertices else self._globalized("csr_edge_ids", m)
+        pow2 = d & (d - 1) == 0
+        lsh = d.bit_length() - 1
+
+        # First-visit state over globalized target ids (vertices or edges).
+        visited = bytearray(K * stride)
+        vis_np = np.frombuffer(visited, dtype=np.uint8)
+        fv = [-1] * (K * stride)
+        counts = [0] * K
+        cover: List[Optional[int]] = [None] * K
+        cur_g = np.array([k * n + s for k, s in enumerate(self.starts)], dtype=np.int64)
+        if by_vertices:
+            for k, s in enumerate(self.starts):
+                visited[k * n + s] = 1
+                fv[k * n + s] = 0
+                counts[k] = 1
+
+        lanes: List[int] = []
+        draws: List[Optional[_LaneDraws]] = [None] * K
+        for k in range(K):
+            if counts[k] == full:  # n == 1 (or m == 0): covered at time 0
+                cover[k] = 0
+            else:
+                draws[k] = _LaneDraws(self.rngs[k], d)
+                lanes.append(k)
+
+        steps = 0
+        block = self.block_steps
+        try:
+            while lanes:
+                if len(lanes) <= TAIL_LANES:
+                    self._finish_scalar(
+                        lanes, draws, steps, budget, target, cur_g,
+                        visited, fv, counts, cover,
+                    )
+                    lanes = []
+                    break
+                if steps >= budget:
+                    k = lanes[0]
+                    raise CoverTimeout(
+                        f"fleet lane {names[k]!r} did not cover all {target} "
+                        f"within {budget} steps ({full - counts[k]} left)",
+                        steps=steps,
+                        remaining=full - counts[k],
+                    )
+                T = min(block, budget - steps)
+                A = len(lanes)
+                lanes_np = np.array(lanes, dtype=np.int64)
+                M = np.empty((T, A), dtype=np.int64)
+                for i, k in enumerate(lanes):
+                    lane = draws[k]
+                    # Look ahead several blocks per pull so the MT state
+                    # snapshots and prefilter passes amortize.
+                    if lane.count < steps + T:
+                        lane.ensure(steps + 8 * block)
+                    M[:, i] = lane.moves[steps : steps + T]
+                straj = np.empty((T, A), dtype=np.int64)  # scaled vertex ids
+                keys = None if by_vertices else np.empty((T, A), dtype=np.int64)
+                idx = np.empty(A, dtype=np.int64)
+                cur = cur_g[lanes_np] * d
+                add = np.add
+                take = nbrs_s.take
+                if keys is None:
+                    # Iterating the matrices yields their row views straight
+                    # from C — two numpy calls per fleet step total.
+                    for mrow, srow in zip(M, straj):
+                        add(cur, mrow, out=idx)
+                        take(idx, out=srow)
+                        cur = srow
+                else:
+                    etake = eids_g.take
+                    for mrow, srow, krow in zip(M, straj, keys):
+                        add(cur, mrow, out=idx)
+                        etake(idx, out=krow)
+                        take(idx, out=srow)
+                        cur = srow
+                # One vectorized un-scaling per block recovers vertex ids.
+                vtraj = (straj >> lsh) if pow2 else (straj // d)
+                cur_g[lanes_np] = vtraj[T - 1]
+                # Block bookkeeping: fresh first visits only, in time order
+                # (C-order ravel of the time-major matrix is time order).
+                flat = (vtraj if by_vertices else keys).reshape(-1)
+                fresh = (vis_np[flat] == 0).nonzero()[0]
+                if fresh.size > 512:
+                    # Early phase: the block floods with first visits (and
+                    # within-block revisits of them) — dedup vectorized to
+                    # each id's first occurrence before going scalar.
+                    _, first_occ = np.unique(flat[fresh], return_index=True)
+                    fresh = fresh[np.sort(first_occ)]
+                if fresh.size:
+                    ids = flat[fresh].tolist()
+                    for p, gid in zip(fresh.tolist(), ids):
+                        if visited[gid]:
+                            continue  # revisit within this block
+                        visited[gid] = 1
+                        t = p // A
+                        k = lanes[p - t * A]
+                        step_no = steps + t + 1
+                        fv[gid] = step_no
+                        c = counts[k] + 1
+                        counts[k] = c
+                        if c == full:
+                            cover[k] = step_no
+                steps += T
+                if any(cover[k] is not None for k in lanes):
+                    # Rewind finished lanes to their cover instant: position
+                    # and RNG.  The overshoot trajectory needs no undo — a
+                    # covered lane can only revisit covered ids.
+                    for i, k in enumerate(lanes):
+                        if cover[k] is None:
+                            continue
+                        t_cov = cover[k] - (steps - T) - 1
+                        cur_g[k] = vtraj[t_cov, i]
+                        draws[k].sync(cover[k])
+                    lanes = [k for k in lanes if cover[k] is None]
+        finally:
+            # Lanes still live on an abnormal exit (budget timeout): their
+            # reference twins would have consumed exactly `steps` draws
+            # (already buffered — every completed block ensured them).
+            for k in lanes:
+                if draws[k] is not None:
+                    draws[k].sync(steps)
+        self.cover_steps = cover
+        self._fv_stride = stride
+        self._fv = fv
+        self._pos = [int(cur_g[k]) - k * n for k in range(K)]
+        return [int(c) for c in cover]  # type: ignore[arg-type]
+
+    def _finish_scalar(
+        self, lanes, draws, steps, budget, target, cur_g, visited, fv, counts, cover
+    ) -> None:
+        """Finish straggler lanes on per-trial :class:`ArraySRW` engines.
+
+        Each lane's exact mid-run state — position, step count, visitation
+        table, and an RNG advanced past exactly ``steps`` draws — is
+        transplanted into a scalar walk, which continues bit-identically
+        (the array engine's own parity contract) to its cover instant.
+        """
+        from repro.engine.srw import ArraySRW
+
+        n, m = self.n, self.m
+        by_vertices = target == "vertices"
+        stride = n if by_vertices else m
+        for k in list(lanes):
+            draws[k].sync(steps)
+            walk = ArraySRW(
+                self.graphs[k],
+                self.starts[k],
+                rng=self.rngs[k],
+                track_edges=not by_vertices,
+            )
+            walk.current = int(cur_g[k]) - k * n
+            walk.steps = steps
+            lo = k * stride
+            if by_vertices:
+                walk.visited_vertices = bytearray(visited[lo : lo + stride])
+                walk.num_visited_vertices = counts[k]
+                walk.first_visit_time = fv[lo : lo + stride]
+                cover[k] = walk.run_until_vertex_cover(max_steps=budget)
+                fv[lo : lo + stride] = walk.first_visit_time
+                visited[lo : lo + stride] = walk.visited_vertices
+            else:
+                walk.visited_edges = bytearray(visited[lo : lo + stride])
+                walk.num_visited_edges = counts[k]
+                walk.first_edge_visit_time = fv[lo : lo + stride]
+                # The fleet does not track vertex visitation on edge runs,
+                # and edge cover needs none of it: mark everything visited
+                # so the kernel's vertex bookkeeping stays inert.
+                walk.visited_vertices = bytearray(b"\x01") * n
+                walk.num_visited_vertices = n
+                cover[k] = walk.run_until_edge_cover(max_steps=budget)
+                fv[lo : lo + stride] = walk.first_edge_visit_time
+                visited[lo : lo + stride] = walk.visited_edges
+            cur_g[k] = walk.current + k * n
+            lanes.remove(k)
+
+    # -- post-run introspection ----------------------------------------------
+
+    def first_visit_time(self, lane: int) -> List[int]:
+        """Lane's first-visit times over the run's target ids.
+
+        Vertex ids for a ``"vertices"`` run, edge ids for ``"edges"`` —
+        matching ``first_visit_time`` / ``first_edge_visit_time`` of the
+        reference walk at its cover instant.
+        """
+        s = self._fv_stride
+        return self._fv[lane * s : (lane + 1) * s]
+
+    @property
+    def positions(self) -> List[int]:
+        """Per-lane current vertex (local ids; cover instants after a run)."""
+        return list(self._pos)

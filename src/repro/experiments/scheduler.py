@@ -90,6 +90,7 @@ def run_point(
     workers: int = 1,
     use_cache: bool = True,
     progress: Optional[Progress] = None,
+    fleet_size: Optional[int] = None,
 ) -> PointResult:
     """Run one experiment point, filling only the store's missing trials.
 
@@ -98,6 +99,11 @@ def run_point(
     like ``repro figure1`` without ``--store`` use).  ``use_cache=False``
     recomputes everything and records the fresh values in place of any
     the store already held (the repair path for a store suspected stale).
+
+    Under ``spec.engine == "fleet"`` the runner cuts the *missing* cells
+    into fleet-sized lockstep batches — so a partially cached point
+    fleets only its gaps, and the fleet/array/reference engines all land
+    in the same store bucket (the spec hash excludes the engine).
     """
     cached: Dict[int, TrialOutcome] = {}
     if store is not None and use_cache:
@@ -135,6 +141,7 @@ def run_point(
         label=spec.seed_label,
         engine=spec.engine,
         workers=workers,
+        fleet_size=fleet_size,
         on_result=on_result,
     )
     by_trial = dict(cached)
@@ -154,6 +161,7 @@ def run_sweep(
     workers: int = 1,
     use_cache: bool = True,
     progress: Optional[Progress] = None,
+    fleet_size: Optional[int] = None,
 ) -> SweepRunResult:
     """Run a whole sweep through :func:`run_point`, streaming progress.
 
@@ -174,6 +182,7 @@ def run_sweep(
                 workers=workers,
                 use_cache=use_cache,
                 progress=prefixed,
+                fleet_size=fleet_size,
             )
         )
     result = SweepRunResult(name=sweep.name, points=tuple(points))

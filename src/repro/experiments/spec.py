@@ -41,13 +41,6 @@ from repro.graphs import (
     torus_grid,
 )
 from repro.sim.rng import DEFAULT_ROOT_SEED
-from repro.walks import (
-    LeastUsedFirstWalk,
-    OldestFirstWalk,
-    RandomWalkWithChoice,
-    RotorRouterWalk,
-    UnvisitedVertexWalk,
-)
 
 __all__ = [
     "FAMILY_BUILDERS",
@@ -129,39 +122,14 @@ def family_workload(family: str, params: Mapping[str, Any]) -> _FamilyWorkload:
 
 
 # --------------------------------------------------------------------------
-# Walk registry: module-level factories (picklable) for every CLI walk.
-# srw/eprocess delegate to repro.engine's reference factories (one source of
-# truth for walks that also have array twins); the rest are reference-only.
+# Walk registry: one source of truth lives in repro.engine — every nameable
+# walk with its per-engine factories (module-level functions, picklable).
+# Specs address walks by name; the reference views below exist for callers
+# that want a concrete factory.
 # --------------------------------------------------------------------------
 
-def _walk_rotor(graph, start, rng):
-    return RotorRouterWalk(graph, start, rng=rng, randomize_rotors=True, track_edges=True)
-
-
-def _walk_rwc2(graph, start, rng):
-    return RandomWalkWithChoice(graph, start, d=2, rng=rng)
-
-
-def _walk_vprocess(graph, start, rng):
-    return UnvisitedVertexWalk(graph, start, rng=rng)
-
-
-def _walk_least_used(graph, start, rng):
-    return LeastUsedFirstWalk(graph, start, rng=rng)
-
-
-def _walk_oldest_first(graph, start, rng):
-    return OldestFirstWalk(graph, start, rng=rng)
-
-
 WALK_BUILDERS: Dict[str, Callable] = {
-    "eprocess": NAMED_WALK_FACTORIES["eprocess"]["reference"],
-    "srw": NAMED_WALK_FACTORIES["srw"]["reference"],
-    "rotor": _walk_rotor,
-    "rwc2": _walk_rwc2,
-    "vprocess": _walk_vprocess,
-    "least-used": _walk_least_used,
-    "oldest-first": _walk_oldest_first,
+    name: variants["reference"] for name, variants in NAMED_WALK_FACTORIES.items()
 }
 
 
@@ -219,10 +187,14 @@ class ExperimentSpec:
             raise ReproError(f"need at least one trial, got {self.trials}")
         if self.engine not in ENGINES:
             raise ReproError(f"engine must be one of {ENGINES}, got {self.engine!r}")
-        if self.engine != "reference" and self.walk not in NAMED_WALK_FACTORIES:
+        if self.engine not in NAMED_WALK_FACTORIES[self.walk]:
+            capable = sorted(
+                n for n, v in NAMED_WALK_FACTORIES.items() if self.engine in v
+            )
             raise ReproError(
-                f"engine {self.engine!r} supports walks "
-                f"{sorted(NAMED_WALK_FACTORIES)}; got {self.walk!r}"
+                f"walk {self.walk!r} has no {self.engine!r} engine (available: "
+                f"{sorted(NAMED_WALK_FACTORIES[self.walk])}); walks with a "
+                f"{self.engine!r} engine: {capable}"
             )
         if self.start != "random":
             try:
@@ -291,13 +263,11 @@ class ExperimentSpec:
     def runner_walk(self) -> Union[str, Callable]:
         """What to hand the runner as ``walk_factory``.
 
-        Walks with array twins go by *name* (so the runner can resolve the
-        spec's engine); reference-only walks go as their module-level
-        factory (picklable, but pinned to ``engine="reference"``).
+        Always the walk *name*: every spec walk lives in the engine
+        registry, so the runner resolves the spec's engine itself (and
+        names always pickle for the worker pool).
         """
-        if self.walk in NAMED_WALK_FACTORIES:
-            return self.walk
-        return WALK_BUILDERS[self.walk]
+        return self.walk
 
     def with_trials(self, trials: int) -> "ExperimentSpec":
         """Same point, different trial count (same store bucket)."""

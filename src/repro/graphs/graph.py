@@ -144,6 +144,15 @@ class Graph:
         """
         return self._incidence[vertex]
 
+    def incidence_table(self) -> Tuple[Tuple[IncidenceEntry, ...], ...]:
+        """The whole incidence structure, vertex-indexed (shared, immutable).
+
+        The walk framework keeps a reference to this instead of building a
+        per-walk copy — sharing one graph across thousands of trials then
+        costs no per-trial allocation.
+        """
+        return self._incidence
+
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
         """Distinct neighbours of ``vertex`` in ascending order.
 

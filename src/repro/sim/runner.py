@@ -11,9 +11,10 @@ start vertex, and walk noise from ``(root_seed, label, kind, trial)``
 through the seed tree — so the runner can fan them out across a
 ``multiprocessing`` pool (``workers=N``) and the results are bit-identical
 regardless of worker count or scheduling.  Likewise the ``engine`` switch
-("reference" or "array", for walks named in
+("reference", "array", or "fleet", per walk availability in
 :data:`repro.engine.NAMED_WALK_FACTORIES`) changes throughput, never
-numbers.
+numbers — ``engine="fleet"`` additionally regroups trials into lockstep
+batches (``fleet_size`` per fleet, whole batches per pool worker).
 
 Two layers:
 
@@ -30,6 +31,7 @@ Two layers:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import random
 import time
@@ -41,6 +43,8 @@ from repro.graphs.graph import Graph
 from repro.sim.results import Aggregate, aggregate
 from repro.sim.rng import spawn
 from repro.walks.base import WalkProcess
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CoverRun",
@@ -98,9 +102,8 @@ class _TrialSpec(NamedTuple):
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]]
 
 
-def _run_trial(spec: _TrialSpec) -> TrialOutcome:
-    """Run one trial from its spec (serial path and pool workers alike)."""
-    t0 = time.perf_counter()
+def _trial_inputs(spec: _TrialSpec) -> Tuple[Graph, int, random.Random]:
+    """Derive one trial's (graph, start, walk rng) from the seed tree."""
     graph_rng = spawn(spec.root_seed, spec.label, "graph", spec.trial)
     graph = spec.workload(graph_rng) if callable(spec.workload) else spec.workload
     start_rng = spawn(spec.root_seed, spec.label, "start", spec.trial)
@@ -114,6 +117,13 @@ def _run_trial(spec: _TrialSpec) -> TrialOutcome:
                 f"range 0..{graph.n - 1} for graph {graph!r}"
             )
     walk_rng = spawn(spec.root_seed, spec.label, "walk", spec.trial)
+    return graph, start_vertex, walk_rng
+
+
+def _run_trial(spec: _TrialSpec) -> TrialOutcome:
+    """Run one trial from its spec (serial path and pool workers alike)."""
+    t0 = time.perf_counter()
+    graph, start_vertex, walk_rng = _trial_inputs(spec)
     walk = spec.walk_factory(graph, start_vertex, walk_rng)
     if spec.target == "vertices":
         steps = walk.run_until_vertex_cover(spec.max_steps)
@@ -130,6 +140,45 @@ def _run_trial(spec: _TrialSpec) -> TrialOutcome:
     )
 
 
+def _run_fleet_batch(template: _TrialSpec, trials: Sequence[int]) -> List[TrialOutcome]:
+    """Run a batch of trials as one lockstep fleet (or fall back per trial).
+
+    Fleet eligibility is a property of the *data*, not the request: the
+    lanes must share a regular graph shape and carry plain MT generators
+    (see :func:`repro.engine.fleet.fleet_supported`).  Ineligible batches
+    log the reason and run each trial through the per-trial array twin —
+    same numbers either way, only the stepping strategy changes.
+    """
+    from repro.engine.fleet import FleetSRW, fleet_supported
+
+    t0 = time.perf_counter()
+    graphs: List[Graph] = []
+    starts: List[int] = []
+    rngs: List[random.Random] = []
+    for trial in trials:
+        graph, start_vertex, walk_rng = _trial_inputs(template._replace(trial=trial))
+        graphs.append(graph)
+        starts.append(start_vertex)
+        rngs.append(walk_rng)
+    ok, reason = fleet_supported(graphs, rngs)
+    if not ok:
+        logger.info(
+            "fleet batch %s falling back to per-trial array stepping: %s",
+            list(trials),
+            reason,
+        )
+        return [_run_trial(template._replace(trial=t)) for t in trials]
+    fleet = FleetSRW(graphs, starts, rngs)
+    cover = fleet.run_until_cover(
+        target=template.target, max_steps=template.max_steps, labels=list(trials)
+    )
+    wall = (time.perf_counter() - t0) / len(trials)
+    return [
+        TrialOutcome(trial=trial, steps=steps, extras={}, wall_time=wall)
+        for trial, steps in zip(trials, cover)
+    ]
+
+
 #: Per-worker trial template installed by the pool initializer, so the
 #: workload (possibly a large Graph) is shipped once per worker process —
 #: not once per trial — and each worker's copy keeps its lazy caches
@@ -144,6 +193,10 @@ def _init_pool_worker(spec: _TrialSpec) -> None:
 
 def _run_pool_trial(trial: int) -> TrialOutcome:
     return _run_trial(_POOL_SPEC._replace(trial=trial))
+
+
+def _run_pool_fleet(trials: Tuple[int, ...]) -> List[TrialOutcome]:
+    return _run_fleet_batch(_POOL_SPEC, trials)
 
 
 def _resolve_start(start: Union[int, str]) -> Optional[int]:
@@ -173,6 +226,7 @@ def run_trials(
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]] = None,
     engine: str = "reference",
     workers: int = 1,
+    fleet_size: Optional[int] = None,
     on_result: Optional[Callable[[TrialOutcome], None]] = None,
 ) -> List[TrialOutcome]:
     """Run an explicit set of trials; the per-trial core of the runner.
@@ -194,6 +248,13 @@ def run_trials(
         :class:`TrialOutcome` as it completes (completion order, not index
         order, under ``workers > 1``) — the hook persistent stores use to
         checkpoint trials the moment they finish.
+
+    Under ``engine="fleet"`` the requested indices are cut into batches
+    of ``fleet_size`` (default :data:`repro.engine.DEFAULT_FLEET_SIZE`)
+    and each batch advances as one lockstep fleet; with ``workers > 1``
+    the pool distributes whole batches, so every worker drives a fleet.
+    ``on_result`` then fires per batch (all of a batch's outcomes as the
+    batch completes) — still one call per trial.
     """
     indices = [int(t) for t in trial_indices]
     if any(t < 0 for t in indices):
@@ -204,9 +265,29 @@ def run_trials(
         raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
-    from repro.engine import resolve_walk_factory
+    from repro.engine import DEFAULT_FLEET_SIZE, resolve_walk_factory
 
     factory = resolve_walk_factory(walk_factory, engine)
+    fleet = engine == "fleet"
+    if fleet and walk_factory != "srw":
+        # _run_fleet_batch steps FleetSRW — SRW dynamics specifically.
+        # resolve_walk_factory already rejects walks without a "fleet"
+        # registry entry; this guard is the registration trap for a future
+        # fleet twin of another walk, which needs its own batch runner
+        # here before its registry entry goes live.
+        raise ReproError(
+            f"engine='fleet' is implemented for walk 'srw' only; walk "
+            f"{walk_factory!r} has a 'fleet' registry entry but no fleet "
+            "batch runner"
+        )
+    if fleet and extra_metrics is not None:
+        raise ReproError(
+            "engine='fleet' advances trials in lockstep batches and never "
+            "materializes per-trial walk objects, so extra_metrics cannot "
+            "be computed; use engine='array' (identical numbers)"
+        )
+    if fleet_size is not None and fleet_size < 1:
+        raise ReproError(f"fleet_size must be >= 1, got {fleet_size}")
     fixed_start = _resolve_start(start)
     template = _TrialSpec(
         workload=workload,
@@ -221,6 +302,34 @@ def run_trials(
     )
     if not indices:
         return []
+    if fleet:
+        size = fleet_size if fleet_size is not None else DEFAULT_FLEET_SIZE
+        batches = [
+            tuple(indices[i : i + size]) for i in range(0, len(indices), size)
+        ]
+        by_trial: Dict[int, TrialOutcome] = {}
+
+        def consume(outcomes: List[TrialOutcome]) -> None:
+            # Fire on_result the moment a batch lands (not after the whole
+            # pool drains): the store-checkpoint contract — an interrupt
+            # loses at most the trials in flight — holds per batch.
+            for outcome in outcomes:
+                if on_result is not None:
+                    on_result(outcome)
+                by_trial[outcome.trial] = outcome
+
+        if workers == 1:
+            for batch in batches:
+                consume(_run_fleet_batch(template, batch))
+        else:
+            with multiprocessing.get_context().Pool(
+                min(workers, len(batches)),
+                initializer=_init_pool_worker,
+                initargs=(template,),
+            ) as pool:
+                for outcomes in pool.imap_unordered(_run_pool_fleet, batches):
+                    consume(outcomes)
+        return [by_trial[t] for t in indices]
     if workers == 1:
         outcomes = []
         for t in indices:
@@ -234,7 +343,7 @@ def run_trials(
         initializer=_init_pool_worker,
         initargs=(template,),
     ) as pool:
-        by_trial: Dict[int, TrialOutcome] = {}
+        by_trial = {}
         for outcome in pool.imap_unordered(_run_pool_trial, indices):
             if on_result is not None:
                 on_result(outcome)
@@ -268,6 +377,7 @@ def cover_time_trials(
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]] = None,
     engine: str = "reference",
     workers: int = 1,
+    fleet_size: Optional[int] = None,
 ) -> CoverRun:
     """Run repeated cover-time trials.
 
@@ -301,14 +411,20 @@ def cover_time_trials(
         Optional ``f(finished_walk) -> {name: value}`` collected per trial
         and aggregated.  Must be picklable when ``workers > 1``.
     engine:
-        ``"reference"`` (the pluggable per-step classes) or ``"array"``
-        (the chunked flat-array engines from :mod:`repro.engine`).  Both
-        consume randomness identically, so the choice never changes the
-        measured cover times — only how fast they arrive.
+        ``"reference"`` (the pluggable per-step classes), ``"array"``
+        (the chunked flat-array engines from :mod:`repro.engine`), or
+        ``"fleet"`` (lockstep many-trial stepping; walks that implement
+        it only — currently ``"srw"``).  All engines consume randomness
+        identically, so the choice never changes the measured cover
+        times — only how fast they arrive.
     workers:
         Number of processes to spread trials over (default 1 = in-process,
         no pool).  Results are bit-identical for any worker count because
         each trial's randomness depends only on its seed-tree path.
+    fleet_size:
+        Trials advanced together per fleet under ``engine="fleet"``
+        (default :data:`repro.engine.DEFAULT_FLEET_SIZE`); composes with
+        ``workers`` — each worker process drives whole fleets.
     """
     if trials < 1:
         raise ReproError(f"need at least one trial, got {trials}")
@@ -324,6 +440,7 @@ def cover_time_trials(
         extra_metrics=extra_metrics,
         engine=engine,
         workers=workers,
+        fleet_size=fleet_size,
     )
     return aggregate_outcomes(outcomes)
 

@@ -95,8 +95,11 @@ class WalkProcess(ABC):
             self.num_visited_edges = 0
             self.first_edge_visit_time = []
 
-        # Incidence cached locally: the hot loop reads it every step.
-        self._incidence = [graph.incidence(v) for v in range(graph.n)]
+        # The graph's own (immutable) incidence table: the hot loop reads
+        # it every step, and sharing it costs no per-trial allocation —
+        # walks constructed by the thousand on one graph used to rebuild
+        # an n-entry list each.
+        self._incidence = graph.incidence_table()
 
     # ------------------------------------------------------------------
     # Core stepping

@@ -38,13 +38,23 @@ class RotorRouterWalk(WalkProcess):
         randomize_rotors: bool = False,
     ):
         super().__init__(graph, start, rng=rng, track_edges=track_edges)
-        self._pointer: List[int] = []
+        pointer: List[int] = []
         for v in range(graph.n):
             deg = len(self._incidence[v])
             if randomize_rotors and deg > 0:
-                self._pointer.append(self.rng.randrange(deg))
+                pointer.append(self.rng.randrange(deg))
             else:
-                self._pointer.append(0)
+                pointer.append(0)
+        self._pointer = pointer
+
+    def rotor_positions(self) -> List[int]:
+        """Current rotor offset of every vertex, as incidence-list indices.
+
+        The canonical rotor-state view: engine twins that store rotors in a
+        different internal layout override this to report the same numbers,
+        so parity checks compare rotor state through one accessor.
+        """
+        return list(self._pointer)
 
     def _transition(self) -> int:
         v = self.current

@@ -77,11 +77,23 @@ class WeightedRandomWalk(WalkProcess):
             raise GraphError("edge weights must be positive")
         super().__init__(graph, start, rng=rng, track_edges=track_edges)
         self.weights = list(weights)
-        # Per-vertex cumulative weights over the incidence list.
-        self._cumulative: List[List[float]] = []
-        for v in range(graph.n):
-            acc = list(accumulate(self.weights[eid] for (eid, _w) in self._incidence[v]))
-            self._cumulative.append(acc)
+        # Per-vertex cumulative weights over the incidence list.  Built
+        # once per (graph, weights) and cached on the graph's scratch
+        # memo: repeated trials with the same weight vector (the runner's
+        # usual shape) reuse the table instead of re-accumulating 2m
+        # floats per walk.  The table is read-only by construction.
+        cache = graph.scratch_cache()
+        key = ("weighted_cumulative", tuple(self.weights))
+        cumulative = cache.get(key)
+        if cumulative is None:
+            cumulative = []
+            for v in range(graph.n):
+                acc = list(
+                    accumulate(self.weights[eid] for (eid, _w) in self._incidence[v])
+                )
+                cumulative.append(acc)
+            cache[key] = cumulative
+        self._cumulative: List[List[float]] = cumulative
 
     def _transition(self) -> int:
         v = self.current

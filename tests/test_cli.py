@@ -217,12 +217,27 @@ class TestCoverCommand:
         assert capsys.readouterr().out == serial_out
 
     def test_array_engine_rejects_unsupported_walk(self, capsys):
+        # vprocess has no array twin; the error must name the walk, its
+        # engines, and the walks that do support the request — never fall
+        # back to the reference path silently.
         code = main(
-            ["cover", "--family", "cycle", "--n", "12", "--walk", "rotor",
+            ["cover", "--family", "cycle", "--n", "12", "--walk", "vprocess",
              "--trials", "1", "--seed", "5", "--engine", "array"]
         )
         assert code == 2
-        assert "rotor" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "vprocess" in err
+        assert "reference" in err
+
+    def test_fleet_engine_rejects_unsupported_walk(self, capsys):
+        code = main(
+            ["cover", "--family", "cycle", "--n", "12", "--walk", "eprocess",
+             "--trials", "1", "--seed", "5", "--engine", "fleet"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "eprocess" in err
+        assert "fleet" in err
 
 
 class TestSpectralCommand:

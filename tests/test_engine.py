@@ -267,12 +267,24 @@ class TestMTWordStream:
 
 
 class TestRegistry:
-    def test_named_walks_resolve_for_both_engines(self):
+    def test_named_walks_resolve_for_their_engines(self):
         for name, variants in NAMED_WALK_FACTORIES.items():
-            for engine in ("reference", "array"):
+            assert "reference" in variants  # every walk has a reference form
+            for engine in variants:
                 factory = resolve_walk_factory(name, engine)
                 walk = factory(GRAPHS["cycle"], 0, random.Random(1))
                 assert walk.tracks_edges or name == "eprocess"
+
+    def test_missing_engine_is_explicit_not_silent(self):
+        # A walk without the requested engine must raise an error naming
+        # the walk and its available engines — not run the reference path.
+        with pytest.raises(ReproError) as info:
+            resolve_walk_factory("vprocess", "array")
+        assert "vprocess" in str(info.value)
+        assert "reference" in str(info.value)
+        with pytest.raises(ReproError) as info:
+            resolve_walk_factory("eprocess", "fleet")
+        assert "eprocess" in str(info.value)
 
     def test_callable_passthrough_reference_only(self):
         def factory(graph, start, rng):

@@ -84,11 +84,16 @@ class TestSpecValidation:
         with pytest.raises(ReproError, match="unknown walk"):
             ExperimentSpec("cycle", {"n": 10}, "levy-flight")
 
-    def test_array_engine_requires_named_walk(self):
-        with pytest.raises(ReproError, match="engine 'array'"):
-            ExperimentSpec("cycle", {"n": 10}, "rotor", engine="array")
-        # srw/eprocess have array twins
+    def test_engine_must_exist_for_walk(self):
+        # vprocess has no array twin; rotor gained one in the fleet PR.
+        with pytest.raises(ReproError, match="'array' engine"):
+            ExperimentSpec("cycle", {"n": 10}, "vprocess", engine="array")
+        with pytest.raises(ReproError, match="'fleet' engine"):
+            ExperimentSpec("cycle", {"n": 10}, "eprocess", engine="fleet")
         ExperimentSpec("cycle", {"n": 10}, "srw", engine="array")
+        ExperimentSpec("cycle", {"n": 10}, "srw", engine="fleet")
+        ExperimentSpec("cycle", {"n": 10}, "rotor", engine="array")
+        ExperimentSpec("cycle", {"n": 10}, "rwc2", engine="array")
 
     def test_bad_target_trials_start(self):
         with pytest.raises(ReproError, match="target"):

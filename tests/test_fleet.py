@@ -1,0 +1,243 @@
+"""Fleet stepping: lockstep many-trial SRW vs. sequential walks.
+
+Two layers under test:
+
+* :class:`repro.engine.fleet.FleetSRW` directly — every lane's cover
+  time, final position, first-visit table, and generator end-state must
+  equal a sequential :class:`~repro.walks.srw.SimpleRandomWalk` run of
+  the same seed, for every fleet size and both cover targets;
+* the runner surface — ``cover_time_trials(engine="fleet")`` must be
+  bit-identical to ``engine="reference"`` for every worker count and
+  fleet size, fall back cleanly when lanes are fleet-ineligible, and
+  share store buckets across engine switches.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import DEFAULT_FLEET_SIZE, FleetSRW, fleet_supported
+from repro.errors import CoverTimeout, GraphError, ReproError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.random_regular import random_connected_regular_graph
+from repro.sim.runner import cover_time_trials
+from repro.walks.srw import SimpleRandomWalk
+
+FLEET_SIZES = [1, 2, 7, 32]
+
+
+def _regular(n=200, d=4, seed=7):
+    return random_connected_regular_graph(n, d, random.Random(seed))
+
+
+class TestFleetSRWParity:
+    @pytest.mark.parametrize("K", FLEET_SIZES)
+    @pytest.mark.parametrize("target", ["vertices", "edges"])
+    def test_shared_graph_lanes_match_sequential_walks(self, K, target):
+        graph = _regular()
+        starts = [random.Random(100 + k).randrange(graph.n) for k in range(K)]
+        rngs = [random.Random(1000 + k) for k in range(K)]
+        twins = [random.Random(1000 + k) for k in range(K)]
+        fleet = FleetSRW([graph] * K, starts, rngs)
+        cover = fleet.run_until_cover(target=target)
+        for k in range(K):
+            walk = SimpleRandomWalk(graph, starts[k], rng=twins[k], track_edges=True)
+            expected = (
+                walk.run_until_vertex_cover()
+                if target == "vertices"
+                else walk.run_until_edge_cover()
+            )
+            assert cover[k] == expected
+            assert rngs[k].getstate() == twins[k].getstate()
+            assert fleet.positions[k] == walk.current
+            reference_fv = (
+                walk.first_visit_time
+                if target == "vertices"
+                else walk.first_edge_visit_time
+            )
+            assert fleet.first_visit_time(k) == list(reference_fv)
+
+    def test_distinct_same_shape_graphs_per_lane(self):
+        # The factory-workload shape: a fresh random regular graph per
+        # trial, all same (n, d) — lanes are globalized side by side.
+        K = 7
+        graphs = [random_connected_regular_graph(80, 4, random.Random(50 + k)) for k in range(K)]
+        starts = [k % 80 for k in range(K)]
+        rngs = [random.Random(2000 + k) for k in range(K)]
+        twins = [random.Random(2000 + k) for k in range(K)]
+        fleet = FleetSRW(graphs, starts, rngs)
+        cover = fleet.run_until_cover("vertices")
+        for k in range(K):
+            walk = SimpleRandomWalk(graphs[k], starts[k], rng=twins[k], track_edges=True)
+            assert cover[k] == walk.run_until_vertex_cover()
+            assert rngs[k].getstate() == twins[k].getstate()
+
+    def test_odd_degree_modulus(self):
+        graph = _regular(n=90, d=3, seed=2)
+        rng, twin = random.Random(4), random.Random(4)
+        fleet = FleetSRW([graph], [0], [rng])
+        walk = SimpleRandomWalk(graph, 0, rng=twin)
+        assert fleet.run_until_cover("vertices") == [walk.run_until_vertex_cover()]
+        assert rng.getstate() == twin.getstate()
+
+    def test_trivial_graph_covers_at_zero_without_rng(self):
+        rng = random.Random(5)
+        before = rng.getstate()
+        fleet = FleetSRW([Graph(1, [])], [0], [rng])
+        assert fleet.run_until_cover("vertices") == [0]
+        assert rng.getstate() == before
+
+    def test_budget_timeout_raises(self):
+        fleet = FleetSRW(
+            [cycle_graph(40)] * 2, [0, 0], [random.Random(3), random.Random(4)]
+        )
+        with pytest.raises(CoverTimeout):
+            fleet.run_until_cover("vertices", max_steps=25)
+
+
+class TestFleetEligibility:
+    def test_irregular_graph_unsupported(self):
+        ok, reason = fleet_supported([path_graph(5)], [random.Random(0)])
+        assert not ok and "regular" in reason
+
+    def test_mixed_shapes_unsupported(self):
+        ok, reason = fleet_supported(
+            [cycle_graph(10), cycle_graph(12)], [random.Random(0)]
+        )
+        assert not ok and "shape" in reason
+
+    def test_shared_rng_instance_unsupported(self):
+        # One generator driving two lanes would correlate the "independent"
+        # trials and double-sync its end state; must be an explicit error.
+        rng = random.Random(1)
+        ok, reason = fleet_supported([cycle_graph(10)] * 2, [rng, rng])
+        assert not ok and "share" in reason
+
+    def test_exotic_rng_unsupported(self):
+        class Custom(random.Random):
+            def random(self):
+                return 0.5
+
+        ok, reason = fleet_supported([cycle_graph(10)], [Custom(1)])
+        assert not ok and "Mersenne" in reason
+
+    def test_constructor_validates_starts(self):
+        with pytest.raises(GraphError):
+            FleetSRW([cycle_graph(10)], [99], [random.Random(0)])
+
+
+class TestFleetRunnerSurface:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("fleet_size", FLEET_SIZES)
+    def test_bit_identical_to_reference(self, workers, fleet_size):
+        from repro.experiments.spec import family_workload
+
+        workload = family_workload("regular", {"n": 80, "degree": 4})
+        reference = cover_time_trials(
+            workload, "srw", trials=9, root_seed=42, engine="reference"
+        )
+        fleet = cover_time_trials(
+            workload,
+            "srw",
+            trials=9,
+            root_seed=42,
+            engine="fleet",
+            workers=workers,
+            fleet_size=fleet_size,
+        )
+        assert fleet.cover_times == reference.cover_times
+
+    def test_edges_target_fixed_graph(self):
+        graph = _regular(n=60)
+        reference = cover_time_trials(
+            graph, "srw", trials=6, root_seed=7, target="edges", engine="reference"
+        )
+        fleet = cover_time_trials(
+            graph, "srw", trials=6, root_seed=7, target="edges",
+            engine="fleet", fleet_size=4,
+        )
+        assert fleet.cover_times == reference.cover_times
+
+    def test_ineligible_workload_falls_back_with_log(self, caplog):
+        # Irregular graphs cannot fleet; the batch logs and runs the
+        # per-trial array twin — same numbers.
+        graph = path_graph(12)
+        reference = cover_time_trials(graph, "srw", trials=4, root_seed=3)
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.sim.runner"):
+            fleet = cover_time_trials(
+                graph, "srw", trials=4, root_seed=3, engine="fleet"
+            )
+        assert fleet.cover_times == reference.cover_times
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_fleet_rejects_walks_without_fleet_engine(self):
+        with pytest.raises(ReproError, match="'fleet' engine"):
+            cover_time_trials(
+                cycle_graph(10), "eprocess", trials=2, root_seed=1, engine="fleet"
+            )
+
+    def test_fleet_rejects_extra_metrics(self):
+        with pytest.raises(ReproError, match="extra_metrics"):
+            cover_time_trials(
+                cycle_graph(10),
+                "srw",
+                trials=2,
+                root_seed=1,
+                engine="fleet",
+                extra_metrics=lambda walk: {"steps": walk.steps},
+            )
+
+    def test_bad_fleet_size_rejected(self):
+        with pytest.raises(ReproError, match="fleet_size"):
+            cover_time_trials(
+                cycle_graph(10), "srw", trials=2, root_seed=1,
+                engine="fleet", fleet_size=0,
+            )
+
+    def test_default_fleet_size_sane(self):
+        assert DEFAULT_FLEET_SIZE >= 1
+
+
+class TestFleetStoreIntegration:
+    def test_engine_switch_schedules_zero_trials(self, tmp_path):
+        from repro.experiments import ResultStore, SweepSpec, run_sweep
+
+        store = ResultStore(tmp_path / "store")
+        sweep = SweepSpec.regular_grid(
+            "fleet-switch", sizes=[40], degrees=[4], walk="srw", trials=4, root_seed=9
+        )
+        cold = run_sweep(sweep, store=store)
+        assert (cold.scheduled, cold.cached) == (4, 0)
+        fleet_sweep = SweepSpec.regular_grid(
+            "fleet-switch", sizes=[40], degrees=[4], walk="srw", trials=4,
+            root_seed=9, engine="fleet",
+        )
+        warm = run_sweep(fleet_sweep, store=store)
+        assert (warm.scheduled, warm.cached) == (0, 4)
+        assert warm.points[0].run.cover_times == cold.points[0].run.cover_times
+
+    def test_fleet_topup_matches_reference_cold_run(self, tmp_path):
+        from repro.experiments import ResultStore, SweepSpec, run_sweep
+
+        store = ResultStore(tmp_path / "store")
+        base = SweepSpec.regular_grid(
+            "topup", sizes=[40], degrees=[4], walk="srw", trials=3, root_seed=9
+        )
+        run_sweep(base, store=store)
+        topped = SweepSpec.regular_grid(
+            "topup", sizes=[40], degrees=[4], walk="srw", trials=8,
+            root_seed=9, engine="fleet",
+        )
+        up = run_sweep(topped, store=store, fleet_size=2)
+        assert (up.scheduled, up.cached) == (5, 3)
+        cold_store = ResultStore(tmp_path / "cold")
+        cold = run_sweep(
+            SweepSpec.regular_grid(
+                "topup", sizes=[40], degrees=[4], walk="srw", trials=8, root_seed=9
+            ),
+            store=cold_store,
+        )
+        assert up.points[0].run.cover_times == cold.points[0].run.cover_times

@@ -1,5 +1,6 @@
 """Tests for simple, lazy, and weighted random walks."""
 
+import random
 from collections import Counter
 
 import pytest
@@ -120,3 +121,28 @@ class TestWeightedRandomWalk:
             walk = WeightedRandomWalk(g, 0, weights=[1.0] * n, rng=rng)
             covers.append(walk.run_until_vertex_cover())
         assert sum(covers) / len(covers) >= radzik_lower_bound(n)
+
+
+class TestScratchReuse:
+    def test_weighted_cumulative_table_shared_across_trials(self):
+        # Same (graph, weights): the cumulative table is built once and
+        # cached in the graph's scratch memo; the runner's repeated-trials
+        # shape reuses it instead of re-accumulating 2m floats per walk.
+        g = cycle_graph(9)
+        weights = [1.0 + 0.5 * i for i in range(9)]
+        a = WeightedRandomWalk(g, 0, weights=weights, rng=random.Random(1))
+        b = WeightedRandomWalk(g, 0, weights=weights, rng=random.Random(2))
+        assert a._cumulative is b._cumulative
+        # Different weights get their own table.
+        c = WeightedRandomWalk(g, 0, weights=[1.0] * 9, rng=random.Random(3))
+        assert c._cumulative is not a._cumulative
+
+    def test_walks_share_the_graph_incidence_table(self):
+        # The base class keeps the graph's immutable incidence structure
+        # instead of copying it per walk (the allocation the fleet work
+        # exposed in LazyRandomWalk/WeightedRandomWalk trial loops).
+        g = cycle_graph(9)
+        lazy = LazyRandomWalk(g, 0, rng=random.Random(1))
+        weighted = WeightedRandomWalk(g, 0, weights=[1.0] * 9, rng=random.Random(2))
+        assert lazy._incidence is g.incidence_table()
+        assert weighted._incidence is g.incidence_table()
