@@ -11,21 +11,23 @@ Two modes:
   per-engine chunk benches below;
 * standalone (``python benchmarks/bench_engine_throughput.py``): a
   reference-vs-array comparison of every engine pair (srw, eprocess,
-  rotor, rwc2) on a 10k-vertex random 4-regular graph, plus the fleet
-  engine's aggregate cover throughput against per-trial ``ArraySRW``,
-  written to ``benchmarks/out/BENCH_engine.json`` and appended (one JSON
-  line per run) to ``benchmarks/out/BENCH_engine_history.jsonl`` so the
-  perf trajectory accumulates across PRs — see ``benchmarks/README.md``
-  for how to read it.
+  rotor, rwc2) on a 10k-vertex random 4-regular graph, plus per-walk
+  fleet sections (srw, eprocess, vprocess) comparing each lockstep
+  fleet's aggregate cover throughput against the same trials on the
+  walk's best per-trial engine, written to
+  ``benchmarks/out/BENCH_engine.json`` and appended (one JSON line per
+  run) to ``benchmarks/out/BENCH_engine_history.jsonl`` so the perf
+  trajectory accumulates across PRs — see ``benchmarks/README.md`` for
+  how to read it.
 
 Steady-state throughput is the headline number (walks warmed past cover,
 so both engines step the same saturated state); cold numbers (fresh walk,
 cover bookkeeping live) are reported alongside.
 
 ``--smoke`` (used by CI) swaps timing for correctness: on a small graph
-it asserts every engine pair — array twins and the fleet — stays
-bit-identical to its reference, and exits non-zero on any mismatch.  No
-timing assertions, no files written.
+it asserts every engine pair — array twins and the srw/eprocess/vprocess
+fleets — stays bit-identical to its reference, and exits non-zero on any
+mismatch.  No timing assertions, no files written.
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ from repro.engine import (
     ArrayRotorRouter,
     ArrayRWC,
     ArraySRW,
-    FleetSRW,
+    FLEET_ENGINES,
     NAMED_WALK_FACTORIES,
 )
 from repro.graphs.random_regular import random_connected_regular_graph
@@ -64,7 +66,11 @@ CHUNK = 50_000
 JSON_N = 10_000
 JSON_CHUNK = 400_000
 JSON_ROUNDS = 5
-FLEET_SIZES = (32, 64)
+FLEET_SIZES = (32, 64, 128)
+#: Fleet sections measured standalone: walk name -> fleet sizes.  The
+#: SRW block kernel saturates early; the stepwise E-/V-process kernels
+#: keep gaining with width, so their sections sweep to the default 128.
+FLEET_WALK_SIZES = {walk: FLEET_SIZES for walk in ("srw", "eprocess", "vprocess")}
 OUT_DIR = Path(__file__).parent / "out"
 OUTPUT_PATH = OUT_DIR / "BENCH_engine.json"
 HISTORY_PATH = OUT_DIR / "BENCH_engine_history.jsonl"
@@ -209,15 +215,23 @@ def _measure_pair(make_reference, make_array, warm: bool, chunk_steps: int, roun
     }
 
 
-def _measure_fleet(graph, fleet_size: int, rounds: int) -> dict:
-    """Aggregate cover throughput: one fleet vs. the same trials on
-    per-trial ``ArraySRW`` (total cover steps / wall seconds, both).
+def _measure_fleet(graph, walk: str, fleet_size: int, rounds: int) -> dict:
+    """Aggregate cover throughput: one lockstep ``walk`` fleet vs. the
+    same trials on the walk's best per-trial engine (total vertex-cover
+    steps / wall seconds, both sides).
+
+    The per-trial comparator is the walk's ``"fleet"`` registry entry —
+    exactly the per-trial twin each fleet lane is bit-identical to
+    (``ArraySRW``/``ArrayEdgeProcess`` for srw/eprocess, the reference
+    walk for vprocess, which has no array twin).
 
     The reported speedup is the *median of per-round ratios* — each round
     times fleet and sequential back to back, so slow machine-load drift
     cancels inside a round instead of biasing whichever side a
     best-of-runs comparison happened to favour.
     """
+    per_trial = NAMED_WALK_FACTORIES[walk]["fleet"]
+    make_fleet = FLEET_ENGINES[walk]
     starts = [random.Random(100 + k).randrange(graph.n) for k in range(fleet_size)]
     fleet_best = seq_best = 0.0
     ratios = []
@@ -225,17 +239,17 @@ def _measure_fleet(graph, fleet_size: int, rounds: int) -> dict:
     for _ in range(rounds):
         rngs = [random.Random(1000 + k) for k in range(fleet_size)]
         t0 = time.perf_counter()
-        fleet = FleetSRW([graph] * fleet_size, starts, rngs)
+        fleet = make_fleet([graph] * fleet_size, starts, rngs)
         cover = fleet.run_until_cover("vertices")
         fleet_sps = sum(cover) / (time.perf_counter() - t0)
         total = sum(cover)
         t0 = time.perf_counter()
         seq_total = 0
         for k in range(fleet_size):
-            walk = ArraySRW(graph, starts[k], rng=random.Random(1000 + k), track_edges=True)
-            seq_total += walk.run_until_vertex_cover()
+            seq = per_trial(graph, starts[k], random.Random(1000 + k))
+            seq_total += seq.run_until_vertex_cover()
         seq_sps = seq_total / (time.perf_counter() - t0)
-        assert seq_total == total, "fleet and sequential cover totals diverged"
+        assert seq_total == total, f"{walk} fleet and sequential cover totals diverged"
         fleet_best = max(fleet_best, fleet_sps)
         seq_best = max(seq_best, seq_sps)
         ratios.append(fleet_sps / seq_sps)
@@ -245,7 +259,7 @@ def _measure_fleet(graph, fleet_size: int, rounds: int) -> dict:
         "trials": fleet_size,
         "total_cover_steps": total,
         "fleet_steps_per_sec": round(fleet_best),
-        "array_steps_per_sec": round(seq_best),
+        "per_trial_steps_per_sec": round(seq_best),
         "speedup": round(median, 2),
     }
 
@@ -300,16 +314,28 @@ def run_smoke(n: int) -> int:
             print(f"smoke {name}: array == reference over 20k steps")
     K = 7
     starts = [random.Random(100 + k).randrange(graph.n) for k in range(K)]
-    rngs = [random.Random(1000 + k) for k in range(K)]
-    twins = [random.Random(1000 + k) for k in range(K)]
-    fleet = FleetSRW([graph] * K, starts, rngs)
-    cover = fleet.run_until_cover("vertices")
-    for k in range(K):
-        walk = SimpleRandomWalk(graph, starts[k], rng=twins[k], track_edges=True)
-        if cover[k] != walk.run_until_vertex_cover() or rngs[k].getstate() != twins[k].getstate():
-            failures.append(f"fleet lane {k}: diverged from sequential walk")
-    if not any(f.startswith("fleet") for f in failures):
-        print(f"smoke fleet: {K} lanes == sequential walks (covers + RNG state)")
+    for walk_name in sorted(FLEET_ENGINES):
+        reference = NAMED_WALK_FACTORIES[walk_name]["reference"]
+        rngs = [random.Random(1000 + k) for k in range(K)]
+        twins = [random.Random(1000 + k) for k in range(K)]
+        fleet = FLEET_ENGINES[walk_name]([graph] * K, starts, rngs)
+        cover = fleet.run_until_cover("vertices")
+        bad = False
+        for k in range(K):
+            walk = reference(graph, starts[k], twins[k])
+            if (
+                cover[k] != walk.run_until_vertex_cover()
+                or rngs[k].getstate() != twins[k].getstate()
+            ):
+                failures.append(
+                    f"fleet {walk_name} lane {k}: diverged from sequential walk"
+                )
+                bad = True
+        if not bad:
+            print(
+                f"smoke fleet {walk_name}: {K} lanes == sequential walks "
+                "(covers + RNG state)"
+            )
     for failure in failures:
         print(f"FAIL {failure}")
     return 1 if failures else 0
@@ -338,7 +364,10 @@ def main(argv=None) -> int:
             "steady": _measure_pair(make_reference, make_array, True, args.chunk, args.rounds),
             "cold": _measure_pair(make_reference, make_array, False, args.chunk, args.rounds),
         }
-    fleet = {f"k{K}": _measure_fleet(graph, K, args.rounds) for K in FLEET_SIZES}
+    fleet = {
+        walk: {f"k{K}": _measure_fleet(graph, walk, K, args.rounds) for K in sizes}
+        for walk, sizes in FLEET_WALK_SIZES.items()
+    }
     report = {
         "benchmark": "engine_throughput",
         "n": args.n,
@@ -351,9 +380,11 @@ def main(argv=None) -> int:
         "methodology": (
             "best-of-rounds run() throughput on one shared graph; 'steady' "
             "warms each walk past vertex+edge cover first, 'cold' starts "
-            "from a fresh walk with cover bookkeeping live; 'fleet' compares "
-            "aggregate cover-trial throughput (total cover steps / wall) of "
-            "one FleetSRW against the same trials on per-trial ArraySRW"
+            "from a fresh walk with cover bookkeeping live; each 'fleet' "
+            "section compares aggregate vertex-cover-trial throughput "
+            "(total cover steps / wall) of one lockstep fleet against the "
+            "same trials on the walk's best per-trial engine (speedup = "
+            "median of per-round ratios)"
         ),
     }
     report["speedup"] = report["engines"]["srw"]["steady"]["speedup"]
@@ -365,7 +396,11 @@ def main(argv=None) -> int:
         "n": args.n,
         "steady_speedups": {k: v["steady"]["speedup"] for k, v in engines.items()},
         "cold_speedups": {k: v["cold"]["speedup"] for k, v in engines.items()},
-        "fleet_speedups": {k: v["speedup"] for k, v in fleet.items()},
+        "fleet_speedups": {
+            f"{walk}_{k}": entry["speedup"]
+            for walk, sizes in fleet.items()
+            for k, entry in sizes.items()
+        },
     }
     with HISTORY_PATH.open("a") as fh:
         fh.write(json.dumps(summary, sort_keys=True) + "\n")

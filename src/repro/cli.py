@@ -393,13 +393,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_blanket(args: argparse.Namespace) -> int:
-    from repro.sim.blanket import time_to_visit_counts
+    from repro.sim.blanket import blanket_time, time_to_visit_counts
     from repro.walks.srw import SimpleRandomWalk
 
     build_rng = spawn(args.seed, "cli-blanket-graph")
     graph = _build_family_graph(args, build_rng)
     t_r_values = []
     cv_values = []
+    bl_values = []
     for trial in range(args.trials):
         walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-blanket", trial))
         t_r_values.append(
@@ -407,10 +408,13 @@ def _cmd_blanket(args: argparse.Namespace) -> int:
         )
         cover_walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-blanket-cv", trial))
         cv_values.append(cover_walk.run_until_vertex_cover())
+        bl_walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-blanket-bl", trial))
+        bl_values.append(blanket_time(bl_walk, delta=args.delta))
     from repro.sim.results import aggregate as _agg
 
     t_r = _agg(t_r_values)
     cv = _agg(cv_values)
+    bl = _agg(bl_values)
     print(
         format_kv_block(
             f"blanket-style times on {graph.name or args.family} (eq. 4 route)",
@@ -419,6 +423,8 @@ def _cmd_blanket(args: argparse.Namespace) -> int:
                 ["m", graph.m],
                 ["trials", args.trials],
                 ["CV(SRW) mean", cv.mean],
+                [f"tau_bl(delta={args.delta:g})", bl.mean],
+                [f"tau_bl(delta={args.delta:g}) / CV", bl.mean / cv.mean],
                 ["T(d): every v seen d(v) times", t_r.mean],
                 ["T(d) / CV  (O(1) by Ding-Lee-Peres)", t_r.mean / cv.mean],
                 ["eq.(4) edge-cover envelope m + CV", graph.m + cv.mean],
@@ -474,7 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["reference", "array", "fleet"],
             help="walk engine: reference per-step classes, the chunked "
             "flat-array fast path, or lockstep fleet stepping of whole "
-            "trial batches (identical results, rising throughput)",
+            "trial batches (srw/eprocess/vprocess; identical results, "
+            "rising throughput)",
         )
         p.add_argument(
             "--workers",
@@ -489,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="K",
             help="trials per lockstep fleet under --engine fleet "
-            "(default 64; identical results for any K)",
+            "(default 128; identical results for any K)",
         )
 
     fig1 = sub.add_parser("figure1", help="regenerate Figure 1 at a chosen scale")
@@ -591,6 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_family_arguments(blanket)
     blanket.add_argument("--trials", type=int, default=3)
     blanket.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    blanket.add_argument(
+        "--delta",
+        type=float,
+        default=0.5,
+        help="blanket parameter delta in (0,1) for tau_bl(delta) "
+        "(Ding-Lee-Peres [7]; default 0.5)",
+    )
     blanket.set_defaults(fn=_cmd_blanket)
 
     stars = sub.add_parser("stars", help="Section 5 isolated-star census")

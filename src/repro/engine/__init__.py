@@ -15,11 +15,15 @@ Three engines exist:
   :class:`ArrayEdgeProcess`, :class:`ArrayRotorRouter`,
   :class:`ArrayRWC`).
 * ``"fleet"``     — lockstep many-trial stepping
-  (:class:`~repro.engine.fleet.FleetSRW`); SRW only, because fleet
-  prefiltering needs state-independent RNG consumption (see
-  :mod:`repro.engine.fleet`).  The registry's ``"fleet"`` factory is the
-  per-trial *array* twin: the runner batches eligible trials through
-  :class:`FleetSRW` and uses the factory for the per-trial fallback.
+  (:class:`~repro.engine.fleet.FleetSRW`,
+  :class:`~repro.engine.fleet_unvisited.FleetEdgeProcess`,
+  :class:`~repro.engine.fleet_unvisited.FleetVProcess`): the runner
+  batches trials through the walk's entry in :data:`FLEET_ENGINES`;
+  batches that fail :func:`~repro.engine.fleet.fleet_supported` raise
+  :class:`~repro.errors.ReproError` naming the offending lane.  The
+  registry's ``"fleet"`` factory is the walk's best per-trial twin —
+  never stepped by the fleet path, it documents (and pins, for the
+  bit-identity suites) which per-trial walk a fleet lane must match.
 
 The registry at the bottom is the single source of truth for every walk
 the CLI and experiment specs can name — one entry per walk, mapping each
@@ -37,6 +41,7 @@ from repro.core.eprocess import EdgeProcess
 from repro.engine.base import DEFAULT_CHUNK_SIZE, ArrayWalkEngine, MTWordStream
 from repro.engine.eprocess import ArrayEdgeProcess
 from repro.engine.fleet import DEFAULT_FLEET_SIZE, FleetSRW, fleet_supported
+from repro.engine.fleet_unvisited import FleetEdgeProcess, FleetVProcess
 from repro.engine.rotor import ArrayRotorRouter
 from repro.engine.rwc import ArrayRWC
 from repro.engine.srw import ArraySRW
@@ -53,11 +58,14 @@ __all__ = [
     "ArrayRotorRouter",
     "ArrayRWC",
     "FleetSRW",
+    "FleetEdgeProcess",
+    "FleetVProcess",
     "fleet_supported",
     "MTWordStream",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_FLEET_SIZE",
     "ENGINES",
+    "FLEET_ENGINES",
     "NAMED_WALK_FACTORIES",
     "resolve_walk_factory",
 ]
@@ -115,12 +123,42 @@ def _oldest_first_reference(graph, start, rng):
 #: switching engines changes throughput, never numbers.
 NAMED_WALK_FACTORIES: Dict[str, Dict[str, Callable]] = {
     "srw": {"reference": _srw_reference, "array": _srw_array, "fleet": _srw_array},
-    "eprocess": {"reference": _eprocess_reference, "array": _eprocess_array},
+    "eprocess": {
+        "reference": _eprocess_reference,
+        "array": _eprocess_array,
+        "fleet": _eprocess_array,
+    },
     "rotor": {"reference": _rotor_reference, "array": _rotor_array},
     "rwc2": {"reference": _rwc2_reference, "array": _rwc2_array},
-    "vprocess": {"reference": _vprocess_reference},
+    "vprocess": {"reference": _vprocess_reference, "fleet": _vprocess_reference},
     "least-used": {"reference": _least_used_reference},
     "oldest-first": {"reference": _oldest_first_reference},
+}
+
+
+def _fleet_srw(graphs, starts, rngs):
+    return FleetSRW(graphs, starts, rngs)
+
+
+def _fleet_eprocess(graphs, starts, rngs):
+    # record_phases=False mirrors the per-trial registry factories: the
+    # runner measures cover times, and phase recording never touches the
+    # draw stream, so the numbers are identical either way.
+    return FleetEdgeProcess(graphs, starts, rngs, record_phases=False)
+
+
+def _fleet_vprocess(graphs, starts, rngs):
+    return FleetVProcess(graphs, starts, rngs)
+
+
+#: Lockstep fleet constructors by walk name — the classes the runner's
+#: ``engine="fleet"`` batches actually step.  Every key must also carry a
+#: ``"fleet"`` entry in :data:`NAMED_WALK_FACTORIES` (and vice versa);
+#: :func:`repro.engine.fleet.fleet_supported` guards per-batch eligibility.
+FLEET_ENGINES: Dict[str, Callable] = {
+    "srw": _fleet_srw,
+    "eprocess": _fleet_eprocess,
+    "vprocess": _fleet_vprocess,
 }
 
 

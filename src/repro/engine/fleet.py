@@ -1,110 +1,187 @@
-"""Fleet stepping: K independent SRW cover trials per numpy gather.
+"""Fleet stepping: K independent cover trials per numpy dispatch.
 
-The scalar engines (:class:`~repro.engine.srw.ArraySRW`) run one walk at a
-time: however tight the loop, every step costs a handful of interpreter
-operations.  :class:`FleetSRW` turns the per-step cost into a per-*fleet*
-cost — positions of K independent trials advance with one vectorized
-gather per step — so the interpreter overhead amortizes across the whole
-fleet.
+The scalar engines (:class:`~repro.engine.srw.ArraySRW`,
+:class:`~repro.engine.eprocess.ArrayEdgeProcess`) run one walk at a time:
+however tight the loop, every step costs a handful of interpreter
+operations.  The fleet engines turn the per-step cost into a per-*fleet*
+cost — K independent trials advance with a few vectorized operations per
+step — so the interpreter overhead amortizes across the whole fleet.
 
-What makes this possible for the SRW (and not, say, the E-process) is
-that on a regular graph its RNG consumption is *state-independent*:
-``randrange(d)`` consumes tempered Mersenne-Twister words until one
-passes the rejection filter, and the filter depends only on the word
-values, never on the walk's position.  Each lane's entire draw sequence
-can therefore be prefiltered vectorized from its own
-:class:`~repro.engine.base.MTWordStream`, and after a lane covers, its
-``random.Random`` is advanced to exactly the words the reference walk
-would have consumed (:meth:`MTWordStream.sync_to`) — so fleet trials are
-bit-identical to sequential ones, generator end-state included.  The
-E-process has no fleet twin for the same reason inverted: a blue step's
-modulus is the current vertex's *unvisited-edge count*, so word roles
-depend on walk state and the per-lane split cannot be precomputed.
+Two kernel families share this module's base machinery:
 
-Lanes step in lockstep.  Per block of ``T`` steps the kernel computes
-every active lane's trajectory (one gather per step over the lanes), then
-does visitation bookkeeping on the whole ``(T, A)`` block at once: a
-vectorized "which visits are first visits" gather, with only the fresh
-entries — a set that empties out fast — touched scalar, in time order.
-A lane that covers mid-block is rewound to its cover instant (position
-and RNG; the overshoot trajectory only revisits covered ids, so block
-bookkeeping needs no undo) and leaves the fleet.
+* **Prefiltered block kernels** (:class:`FleetSRW` on regular graphs).
+  On a regular graph the SRW's RNG consumption is *state-independent*:
+  ``randrange(d)`` consumes tempered Mersenne-Twister words until one
+  passes the rejection filter, and the filter depends only on the word
+  values, never on the walk's position.  Each lane's entire draw sequence
+  is prefiltered vectorized from its own word stream (:class:`_LaneDraws`),
+  whole blocks of trajectory are computed ahead of the bookkeeping, and
+  after a lane covers its ``random.Random`` is rewound to exactly the
+  words the reference walk would have consumed.
+
+* **Stepwise kernels** (irregular-graph :class:`FleetSRW`, and the
+  E-/V-process fleets in :mod:`repro.engine.fleet_unvisited`).  When the
+  draw modulus depends on walk state — the degree of the current vertex
+  on an irregular graph, or the unvisited-edge/neighbour count of the
+  E-/V-process — word roles cannot be precomputed per lane.  Instead the
+  fleet advances all lanes one lockstep step at a time: a per-degree
+  word-role prefilter (shift/limit tables indexed by each lane's current
+  modulus) turns the per-lane rejection loop of CPython's ``_randbelow``
+  into two or three vectorized operations over the whole fleet, with the
+  rare rejected lanes retried in a shrinking index set
+  (:meth:`_WordBank.draw`).  Word consumption is accounted exactly per
+  lane, so a lane's generator can be placed at any instant's end-state.
+
+Lanes step in lockstep; a lane leaves the fleet the instant it covers
+(its RNG synced to its cover instant), and when only a handful of
+straggler lanes remain they are transplanted onto per-trial scalar
+engines which finish them bit-identically.
 
 Graphs may be one shared :class:`~repro.graphs.graph.Graph` (fixed
 workloads; the tiled index arrays are cached in ``scratch_cache()``) or K
-structurally distinct same-shape regular graphs (factory workloads, e.g.
-a fresh random d-regular graph per trial): lane k's vertex ``v`` becomes
-global id ``k*n + v`` and the concatenated neighbour array is globalized
-the same way, so the inner gather is identical in both cases.
+structurally distinct graphs of one shared ``(n, m)`` shape (factory
+workloads, e.g. a fresh random graph per trial): lane k's vertex ``v``
+becomes global id ``k*n + v`` and the concatenated incidence arrays are
+globalized the same way, so the inner gathers are identical in both
+cases.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.base import MTWordStream, mt_state_from_numpy, mt_state_to_numpy
 from repro.errors import CoverTimeout, GraphError, ReproError
 from repro.graphs.graph import Graph
 from repro.walks.base import default_step_budget
 
-__all__ = ["DEFAULT_FLEET_SIZE", "DEFAULT_BLOCK_STEPS", "FleetSRW", "fleet_supported"]
+__all__ = [
+    "DEFAULT_FLEET_SIZE",
+    "DEFAULT_BLOCK_STEPS",
+    "FLEET_WALKS",
+    "FleetWalkBase",
+    "FleetSRW",
+    "fleet_supported",
+]
 
 #: Trials advanced together per fleet; the runner's batch size for
-#: ``engine="fleet"``.  A fleet step costs roughly two numpy dispatches
-#: however many lanes ride it, so wider fleets amortize better — 64 is
-#: past the knee (measured ~3.2x aggregate over per-trial ``ArraySRW``
-#: vs ~2.9x at 32 on the 10k-vertex benchmark graph) while one batch's
-#: lane state stays a few tens of MB.
-DEFAULT_FLEET_SIZE = 64
+#: ``engine="fleet"``.  A fleet step costs roughly a fixed number of numpy
+#: dispatches however many lanes ride it, so wider fleets amortize better.
+#: The SRW block kernel is already saturated by 64 lanes (~3x aggregate
+#: over per-trial ``ArraySRW`` at 64 and 128 alike on the 10k-vertex
+#: benchmark graph), but the stepwise E-/V-process kernels pay their
+#: dispatches *per lockstep step* and keep gaining well past it (fleet
+#: E-process vs per-trial ``ArrayEdgeProcess``, same graph: ~2.1x at 64,
+#: ~3x at 128 on vertex cover) — 128 serves both while one batch's lane
+#: state stays a few tens of MB.
+DEFAULT_FLEET_SIZE = 128
 
 #: Steps per kernel block: trajectories are computed (and bookkeeping
 #: batched) in pieces of this size.
 DEFAULT_BLOCK_STEPS = 2048
 
-#: When this few lanes remain, the fleet hands them to per-trial
-#: :class:`~repro.engine.srw.ArraySRW` (state transplanted exactly): a
-#: fleet step costs the same however few lanes ride it, so below the
-#: crossover the scalar engine finishes the stragglers faster.
+#: When this few lanes remain, the fleet hands them to per-trial scalar
+#: engines (state transplanted exactly): a fleet step costs the same
+#: however few lanes ride it, so below the crossover the scalar engines
+#: finish the stragglers faster.
 TAIL_LANES = 6
+
+#: Raw Mersenne-Twister words buffered per lane by the stepwise kernels'
+#: word bank; refills are per-lane ``random_raw`` bulk pulls.
+WORD_BANK_WIDTH = 4096
+
+#: Walks with a lockstep fleet kernel (the eligibility rules of
+#: :func:`fleet_supported` are per walk).
+FLEET_WALKS = ("srw", "eprocess", "vprocess")
 
 
 def fleet_supported(
-    graphs: Sequence[Graph], rngs: Sequence[random.Random]
+    graphs: Sequence[Graph],
+    rngs: Sequence[random.Random],
+    walk: str = "srw",
+    labels: Optional[Sequence[object]] = None,
 ) -> Tuple[bool, str]:
-    """Whether these lanes can step as one fleet; ``(ok, reason)``.
+    """Whether these lanes can step as one ``walk`` fleet; ``(ok, reason)``.
 
-    Requirements: at least one lane, every graph regular with one shared
-    ``(n, degree)`` (positive degree unless the graph is the trivial
-    single-vertex one, which covers at step 0), and every RNG a plain
-    Mersenne-Twister ``random.Random`` (the word-stream transplant needs
-    its state layout).
+    Common requirements: at least one lane, every lane graph of one shared
+    ``(n, m)`` shape with no isolated vertices (unless trivial, ``n == 1``,
+    which covers at step 0), and every RNG a distinct plain Mersenne-Twister
+    ``random.Random`` (the word-stream transplant needs its state layout).
+    Regularity is **not** required — irregular lanes run the stepwise
+    kernel with per-degree word prefilters.
+
+    Per-walk requirements: the ``eprocess`` fleet needs loop-free graphs
+    (a blue loop consumes two blue-degree endpoints and is deduplicated in
+    the candidate scan — per-step state the vectorized kernel does not
+    model); the ``vprocess`` fleet needs simple graphs (its reference walk
+    deduplicates *distinct* neighbours, which is the identity exactly when
+    there are no loops or parallel edges).
+
+    A failed check names the offending lane — annotated with its entry in
+    ``labels`` when given (the runner passes trial ids) — so errors point
+    at the exact trial that broke fleet eligibility.
     """
+
+    def lane(k: int) -> str:
+        if labels is not None:
+            return f"lane {k} (trial {labels[k]!r})"
+        return f"lane {k}"
+
+    if walk not in FLEET_WALKS:
+        return False, f"walk {walk!r} has no fleet kernel (fleet walks: {list(FLEET_WALKS)})"
     if not graphs:
         return False, "empty fleet"
     first = graphs[0]
-    n = first.n
-    if not first.is_regular():
-        return False, f"graph {first!r} is not regular"
-    d = first.regularity()
-    if d == 0 and n > 1:
-        return False, f"graph {first!r} has isolated vertices"
-    for g in graphs:
-        if g is first:
+    n, m = first.n, first.m
+    checked: List[Tuple[int, Graph]] = []
+    seen_graphs: Dict[int, int] = {}
+    for k, g in enumerate(graphs):
+        if id(g) in seen_graphs:
             continue
-        if not g.is_regular() or g.n != n or g.regularity() != d:
+        seen_graphs[id(g)] = k
+        checked.append((k, g))
+        if g.n != n or g.m != m:
             return False, (
-                f"lane graphs differ in shape: {first!r} vs {g!r} "
-                "(a fleet needs one (n, degree) across all lanes)"
+                f"{lane(k)}: graph {g!r} breaks the fleet's shared shape "
+                f"(lane 0 has n={n}, m={m}; a fleet needs one (n, m) "
+                "across all lanes)"
             )
-    for rng in rngs:
+        if g.min_degree == 0 and g.n > 1:
+            return False, f"{lane(k)}: graph {g!r} has isolated vertices"
+    if walk == "eprocess":
+        for k, g in checked:
+            if g.has_loops():
+                return False, (
+                    f"{lane(k)}: graph {g!r} has self-loops (the E-process "
+                    "blue-candidate dedup and double blue-degree decrement "
+                    "are per-step state the fleet kernel does not model)"
+                )
+    elif walk == "vprocess":
+        for k, g in checked:
+            if g.has_loops() or g.has_parallel_edges():
+                return False, (
+                    f"{lane(k)}: graph {g!r} is not simple (the V-process "
+                    "deduplicates distinct neighbours, which only matches "
+                    "the incidence rows on loop-free, parallel-free graphs)"
+                )
+    for k, rng in enumerate(rngs):
         if not MTWordStream.supports(rng):
-            return False, f"rng {type(rng).__name__} is not a plain Mersenne Twister"
-    if len({id(rng) for rng in rngs}) != len(rngs):
-        # One generator shared by two lanes would replay the same draw
-        # stream twice (fully correlated "independent" trials) and the
-        # later lane's end-state sync would clobber the earlier's.
-        return False, "lanes share a random.Random instance (need one per lane)"
+            return False, (
+                f"{lane(k)}: rng {type(rng).__name__} is not a plain "
+                "Mersenne Twister random.Random"
+            )
+    seen_rngs: Dict[int, int] = {}
+    for k, rng in enumerate(rngs):
+        if id(rng) in seen_rngs:
+            # One generator shared by two lanes would replay the same draw
+            # stream twice (fully correlated "independent" trials) and the
+            # later lane's end-state sync would clobber the earlier's.
+            return False, (
+                f"lanes {seen_rngs[id(rng)]} and {k} share a random.Random "
+                "instance (need one per lane)"
+            )
+        seen_rngs[id(rng)] = k
     return True, ""
 
 
@@ -121,6 +198,9 @@ class _LaneDraws:
     per draw; with dozens of lanes buffered hundreds of thousands of
     steps ahead, that is the difference between cache-resident state and
     a page-fault storm.
+
+    Only valid for constant-modulus draw sequences (regular-graph SRW
+    lanes); the state-dependent kernels use :class:`_WordBank` instead.
     """
 
     __slots__ = ("rng", "mt", "base", "pulls", "moves", "count", "taken", "factor", "shift", "lim", "d")
@@ -191,14 +271,162 @@ class _LaneDraws:
         self.rng.setstate(mt_state_from_numpy(mt, self.base))
 
 
-class FleetSRW:
-    """K lockstep SRW cover trials; bit-identical to K sequential walks.
+class _LaneWords:
+    """One lane's raw MT word supply for the stepwise kernels.
+
+    :meth:`pull` hands out the lane's upcoming tempered 32-bit words in
+    bulk (the :class:`_WordBank` buffers them); :meth:`sync` places the
+    wrapped ``random.Random`` exactly ``consumed`` words past the capture
+    point — the state its reference twin leaves after the draws those
+    words fed (MT cannot run backwards, so the consumed prefix is
+    replayed from the captured base state).
+    """
+
+    __slots__ = ("rng", "base", "mt")
+
+    def __init__(self, rng: random.Random):
+        import numpy as np
+
+        self.rng = rng
+        self.base = rng.getstate()
+        self.mt = np.random.MT19937(0)
+        self.mt.state = mt_state_to_numpy(self.base[1])
+
+    def pull(self, count: int):
+        return self.mt.random_raw(count)
+
+    def sync(self, consumed: int) -> None:
+        if not consumed:
+            self.rng.setstate(self.base)
+            return
+        mt = self.mt
+        mt.state = mt_state_to_numpy(self.base[1])
+        mt.random_raw(consumed)
+        self.rng.setstate(mt_state_from_numpy(mt, self.base))
+
+
+#: Speculative words resolved per lane per draw by the word bank's panel.
+#: ``_randbelow`` accepts each word with probability >= 1/2 (exactly 1/2
+#: for power-of-two moduli — the common case: a red E-process step or an
+#: SRW step on a power-of-two-degree graph), so the whole-panel rejection
+#: probability is up to 2^-PANEL *per lane per step*.  At 4 words that was
+#: ~1/16 — several scalar retry loops per step at the default fleet size,
+#: dominating the red-heavy tail of edge-cover runs; at 16 words a scalar
+#: fallback happens about once per thousand fleet steps, while the wider
+#: panel only grows tiny (A, PANEL) intermediates in the already
+#: dispatch-bound vectorized pass.
+_PANEL = 16
+
+
+class _WordBank:
+    """Lockstep raw-word supply: one buffered word row per live lane.
+
+    :meth:`draw` performs one accepted ``randrange``-style draw per lane —
+    bit-identical to CPython's ``_randbelow`` rejection loop — for a
+    *per-lane* modulus: word ``w`` plays role ``w >> (32 - k)`` where
+    ``k`` is the modulus' bit length (the per-degree word-role prefilter).
+    Each lane's next :data:`_PANEL` buffered words are assigned their
+    roles speculatively in one vectorized pass; the first accepted word
+    wins and exactly the words up to it count as consumed, so the rare
+    lane that rejects the whole panel falls through to a scalar retry
+    loop.  Word consumption is tracked exactly per lane, so any lane's
+    generator can be synced to its current instant at any time.
+    """
+
+    def __init__(self, rngs: Sequence[random.Random], width: int = WORD_BANK_WIDTH):
+        import numpy as np
+
+        self.np = np
+        self.lanes = [_LaneWords(rng) for rng in rngs]
+        self.width = width
+        A = len(self.lanes)
+        # Flat row-major storage: lane i's words live at [i*width : (i+1)*width],
+        # so the hot gathers are cheap `take` calls on flat indices.
+        self.words = np.empty(A * width, dtype=np.int64)
+        for i, lane in enumerate(self.lanes):
+            self.words[i * width : (i + 1) * width] = lane.pull(width)
+        self.ptr = np.zeros(A, dtype=np.int64)
+        self.used = np.zeros(A, dtype=np.int64)  # words consumed before the row
+        self.rowbase = np.arange(A, dtype=np.int64) * width
+        self._panel_off = np.arange(_PANEL, dtype=np.int64)
+        self._out_base = np.arange(A, dtype=np.int64) * _PANEL
+
+    def _refill(self, i: int) -> None:
+        """Slide lane i's unconsumed tail to the row start and top up."""
+        w, lo, p = self.width, i * self.width, int(self.ptr[i])
+        tail = w - p
+        self.words[lo : lo + tail] = self.words[lo + p : lo + w]
+        self.words[lo + tail : lo + w] = self.lanes[i].pull(p)
+        self.used[i] += p
+        self.ptr[i] = 0
+
+    def draw(self, moduli, shifts):
+        """One accepted draw per lane; ``moduli[i] >= 1``, ``shifts[i] =
+        32 - moduli[i].bit_length()``.  Returns int64 results."""
+        np = self.np
+        ptr, width = self.ptr, self.width
+        if ptr.max() > width - _PANEL:
+            for i in np.flatnonzero(ptr > width - _PANEL).tolist():
+                self._refill(i)
+        idx = self.rowbase + ptr
+        panel = self.words.take(idx[:, None] + self._panel_off)
+        r = panel >> shifts[:, None]
+        ok = r < moduli[:, None]
+        first = ok.argmax(1)
+        out = r.take(self._out_base + first)
+        found = ok.any(1)
+        ptr += first + 1
+        if not found.all():
+            words, rowbase = self.words, self.rowbase
+            for i in np.flatnonzero(~found).tolist():
+                # argmax over all-False is 0: the += above consumed one
+                # word; account for the rest of the rejected panel.
+                ptr[i] += _PANEL - 1
+                q, s = int(moduli[i]), int(shifts[i])
+                while True:
+                    if ptr[i] >= width:
+                        self._refill(i)
+                    w = int(words[rowbase[i] + ptr[i]])
+                    ptr[i] += 1
+                    rv = w >> s
+                    if rv < q:
+                        out[i] = rv
+                        break
+        return out
+
+    def consumed(self, row: int) -> int:
+        """Total raw words lane ``row`` has consumed so far."""
+        return int(self.used[row] + self.ptr[row])
+
+    def sync_row(self, row: int) -> None:
+        """Place lane ``row``'s generator at its current instant."""
+        self.lanes[row].sync(self.consumed(row))
+
+    def compact(self, keep) -> None:
+        """Drop the rows where ``keep`` (bool array) is False."""
+        np = self.np
+        A = int(keep.sum())
+        self.words = self.words.reshape(-1, self.width)[keep].reshape(-1)
+        self.ptr = self.ptr[keep]
+        self.used = self.used[keep]
+        self.lanes = [lane for lane, k in zip(self.lanes, keep.tolist()) if k]
+        self.rowbase = np.arange(A, dtype=np.int64) * self.width
+        self._out_base = np.arange(A, dtype=np.int64) * _PANEL
+
+
+class FleetWalkBase:
+    """Shared lane machinery for the lockstep fleet engines.
+
+    Handles lane validation (:func:`fleet_supported` for the subclass's
+    :attr:`walk_name`), start-vertex checks, lane-globalized CSR tiles
+    (cached per shared graph), and the post-run introspection surface
+    (:attr:`cover_steps`, :attr:`positions`).
 
     Parameters
     ----------
     graphs:
         One graph per lane (repeat the same object for a shared fixed
-        workload).  All must be regular with the same ``(n, degree)``.
+        workload).  All must share one ``(n, m)`` shape.
     starts:
         Start vertex per lane; time 0 counts as a visit, as in
         :class:`~repro.walks.base.WalkProcess`.
@@ -206,12 +434,9 @@ class FleetSRW:
         One plain Mersenne-Twister ``random.Random`` per lane.  After
         :meth:`run_until_cover`, each generator's state equals what the
         reference walk's would be at that lane's cover instant.
-
-    After a run, :attr:`cover_steps` holds per-lane cover times,
-    :meth:`first_visit_time` the per-lane first-visit tables (vertex or
-    edge ids, matching the run's target), and :attr:`positions` the
-    per-lane cover-instant vertices.
     """
+
+    walk_name = "srw"
 
     def __init__(
         self,
@@ -225,7 +450,7 @@ class FleetSRW:
                 f"fleet lanes disagree: {len(graphs)} graphs, "
                 f"{len(starts)} starts, {len(rngs)} rngs"
             )
-        ok, reason = fleet_supported(graphs, rngs)
+        ok, reason = fleet_supported(graphs, rngs, walk=self.walk_name)
         if not ok:
             raise ReproError(f"fleet unsupported: {reason}")
         if block_steps < 1:
@@ -242,26 +467,42 @@ class FleetSRW:
         self.K = len(graphs)
         self.n = graphs[0].n
         self.m = graphs[0].m
-        self.d = graphs[0].regularity()
         self.cover_steps: List[Optional[int]] = [None] * self.K
-        self._fv: List[int] = []
-        self._fv_stride = 0
         self._pos: List[int] = list(starts)
 
     # -- lane array assembly -------------------------------------------------
 
-    def _globalized(self, attr: str, stride: int):
+    def _lanes_shared(self) -> bool:
+        return all(g is self.graphs[0] for g in self.graphs)
+
+    def _common_degree(self) -> int:
+        """Shared degree of an all-regular fleet; 0 otherwise.
+
+        Zero sends a kernel down its general path — irregular or
+        mixed-degree lanes, or degenerate shapes (``n == 1`` / ``m == 0``)
+        where the regular fast paths have nothing to gain.
+        """
+        if not self.n or not self.m:
+            return 0
+        d0 = self.graphs[0].degrees()[0]
+        for g in {id(g): g for g in self.graphs}.values():
+            if not g.is_regular() or g.degrees()[0] != d0:
+                return 0
+        return d0
+
+    def _globalized(self, attr: str, stride: int, pad: int = 0):
         """Concatenated per-lane CSR array with lane-globalized values
         (``attr`` values offset by ``k * stride`` for lane k; lane k's
-        entries live at ``[k*2m : (k+1)*2m]``).  Shared-graph fleets cache
-        the tiled result in the graph's ``scratch_cache()``.
+        entries live at ``[k*2m : (k+1)*2m]``), optionally padded with
+        ``pad`` trailing zeros so fixed-width ``(A, dmax)`` row gathers
+        never index out of bounds.  Shared-graph fleets cache the tiled
+        result in the graph's ``scratch_cache()``.
         """
         import numpy as np
 
-        shared = all(g is self.graphs[0] for g in self.graphs)
-        if shared:
+        if self._lanes_shared():
             cache = self.graphs[0].scratch_cache()
-            key = ("fleet", attr, self.K)
+            key = ("fleet", attr, self.K, pad)
             cached = cache.get(key)
             if cached is not None:
                 return cached
@@ -269,11 +510,275 @@ class FleetSRW:
             out = (
                 base[None, :] + (np.arange(self.K, dtype=np.int64) * stride)[:, None]
             ).reshape(-1)
+            if pad:
+                out = np.concatenate([out, np.zeros(pad, dtype=np.int64)])
             cache[key] = out
             return out
-        return np.concatenate(
+        out = np.concatenate(
             [getattr(g, attr) + k * stride for k, g in enumerate(self.graphs)]
+            + ([np.zeros(pad, dtype=np.int64)] if pad else [])
         )
+        return out
+
+    def _incidence_context(self, dmax: int) -> None:
+        """Build the stepwise kernels' incidence arrays (*local* values).
+
+        Shared-graph fleets use the graph's own flat CSR arrays directly —
+        cache-resident however wide the fleet — padded with ``dmax``
+        trailing zeros so fixed-width ``(A, dmax)`` row gathers stay in
+        bounds.  Distinct-graph fleets concatenate the per-lane arrays
+        (``self._tiled``); positions are then lane-major (lane k's row of
+        vertex v starts at ``k*2m + csr_offsets[v]``) but the *values*
+        stay local — per-lane visitation offsets are applied separately,
+        which keeps the hot arrays as small as the workload allows.
+        """
+        import numpy as np
+
+        pad = np.zeros(dmax, dtype=np.int64)
+        if self._lanes_shared():
+            g = self.graphs[0]
+            cache = g.scratch_cache()
+            key = ("fleet-local", dmax)
+            hit = cache.get(key)
+            if hit is None:
+                hit = (
+                    np.concatenate([g.csr_edge_ids, pad]),
+                    np.concatenate([g.csr_neighbors, pad]),
+                    g.csr_offsets[:-1],
+                    np.asarray(g.degrees(), dtype=np.int64),
+                )
+                cache[key] = hit
+            self._eids_t, self._nbrs_t, self._rowstart_t, self._degs_t = hit
+            self._tiled = False
+        else:
+            self._eids_t = np.concatenate(
+                [g.csr_edge_ids for g in self.graphs] + [pad]
+            )
+            self._nbrs_t = np.concatenate(
+                [g.csr_neighbors for g in self.graphs] + [pad]
+            )
+            self._rowstart_t = np.concatenate(
+                [g.csr_offsets[:-1] + k * 2 * self.m for k, g in enumerate(self.graphs)]
+            )
+            self._degs_t = np.concatenate(
+                [np.asarray(g.degrees(), dtype=np.int64) for g in self.graphs]
+            )
+            self._tiled = True
+
+    def _shift_table(self, dmax: int):
+        """``shift[q] = 32 - q.bit_length()`` for the vectorized
+        ``_randbelow`` word-role prefilter (``q = 0`` unused)."""
+        import numpy as np
+
+        return np.array([32] + [32 - q.bit_length() for q in range(1, dmax + 1)],
+                        dtype=np.int64)
+
+    @property
+    def positions(self) -> List[int]:
+        """Per-lane current vertex (local ids; cover instants after a run)."""
+        return list(self._pos)
+
+
+class _StepwiseFleet(FleetWalkBase):
+    """Driver for the state-dependent lockstep kernels.
+
+    Subclasses implement the per-step hook :meth:`_step` (advance every
+    active lane one step; return a bool cover mask or None) plus the
+    state hooks (:meth:`_prepare`, :meth:`_init_rows`, :meth:`_begin_block`,
+    :meth:`_end_block`, :meth:`_compact_state`, :meth:`_on_lane_exit`,
+    :meth:`_finish_lane`, :meth:`_left`).  The driver owns the lockstep
+    loop: block/budget bookkeeping, cover detection and lane retirement
+    (RNG synced to the cover instant), state compaction, the straggler
+    hand-off, and the abnormal-exit RNG sync.
+    """
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _prepare(self, target: str, budget: int) -> List[int]:
+        """Build full-fleet state; return lanes already covered at t=0."""
+        raise NotImplementedError
+
+    def _init_rows(self, act: List[int]) -> None:
+        """Build the compact per-active-lane state (one row per lane).
+
+        The base provides the per-row visitation offsets: lane k's local
+        vertex ``v`` / edge ``e`` live at ``k*n + v`` / ``k*m + e`` of the
+        full-fleet visitation arrays.
+        """
+        import numpy as np
+
+        lanes = np.asarray(act, dtype=np.int64)
+        self._voff = lanes * self.n
+        self._eoff = lanes * self.m
+
+    def _row_base(self):
+        """Per-active-lane incidence-row start and degree (local ids)."""
+        cur = self._cur
+        gcur = cur + self._voff if self._tiled else cur
+        d = self._d
+        if d:
+            # Regular tiled rows: (v + k*n)*d == v*d + k*2m — exactly lane
+            # k's row start inside the concatenated arrays.
+            return gcur * d, d
+        return self._rowstart_t.take(gcur), self._degs_t.take(gcur)
+
+    def _step(self, step_no: int, trel: int):
+        """Advance every active lane one step; returns a bool mask of
+        rows that covered at this step, or None."""
+        raise NotImplementedError
+
+    def _begin_block(self, T: int) -> None:
+        pass
+
+    def _end_block(self, t_used: int, steps_end: int) -> None:
+        pass
+
+    def _compact_state(self, keep) -> None:
+        self._voff = self._voff[keep]
+        self._eoff = self._eoff[keep]
+
+    def _on_lane_exit(self, row: int, lane: int) -> None:
+        pass
+
+    def _finish_lane(self, row: int, lane: int, steps: int, budget: int, target: str) -> int:
+        """Transplant a straggler lane onto a per-trial scalar engine
+        (its RNG is already synced); return its cover step."""
+        raise NotImplementedError
+
+    def _left(self, row: int) -> int:
+        """How many target ids the lane at ``row`` still has uncovered."""
+        raise NotImplementedError
+
+    # -- the lockstep driver -------------------------------------------------
+
+    def run_until_cover(
+        self,
+        target: str = "vertices",
+        max_steps: Optional[int] = None,
+        labels: Optional[Sequence[object]] = None,
+    ) -> List[int]:
+        """Run every lane to its cover instant; returns per-lane cover steps.
+
+        Raises :class:`~repro.errors.CoverTimeout` (naming the first
+        affected lane, via ``labels`` when given) if the budget — shared
+        by construction, every lane has the same ``(n, m)`` — runs out
+        with lanes still uncovered.
+        """
+        import numpy as np
+
+        if target not in ("vertices", "edges"):
+            raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+        K, n = self.K, self.n
+        names = list(labels) if labels is not None else list(range(K))
+        budget = (
+            max_steps if max_steps is not None else default_step_budget(self.graphs[0])
+        )
+        cover: List[Optional[int]] = [None] * K
+        self._cover = cover
+        for k in self._prepare(target, budget):
+            cover[k] = 0
+        act = [k for k in range(K) if cover[k] is None]
+        self._act = act
+        self._cur = np.array([self.starts[k] for k in act], dtype=np.int64)
+        self._init_rows(act)
+        self._bank = _WordBank([self.rngs[k] for k in act])
+        steps = 0
+        block = self.block_steps
+        try:
+            while act:
+                if len(act) <= TAIL_LANES:
+                    for row in range(len(act)):
+                        self._bank.sync_row(row)
+                    # The bank's job ends at the hand-off sync: clear `act`
+                    # *before* the scalar runs so an abnormal exit below
+                    # (e.g. a straggler's CoverTimeout) cannot re-sync — and
+                    # thereby rewind — generators the scalar engines have
+                    # already advanced.  A lane that times out scalar-side
+                    # keeps the engine's own end-state, which is exactly its
+                    # reference twin's state at the timeout instant.
+                    tail = act
+                    act = []
+                    self._act = act
+                    for row, k in enumerate(tail):
+                        cover[k] = self._finish_lane(row, k, steps, budget, target)
+                    break
+                if steps >= budget:
+                    raise CoverTimeout(
+                        f"fleet lane {names[act[0]]!r} did not cover all {target} "
+                        f"within {budget} steps ({self._left(0)} left)",
+                        steps=steps,
+                        remaining=self._left(0),
+                    )
+                T = min(block, budget - steps)
+                self._begin_block(T)
+                t = 0
+                covered = None
+                while t < T:
+                    covered = self._step(steps + t + 1, t)
+                    t += 1
+                    if covered is not None:
+                        break
+                steps += t
+                self._end_block(t, steps)
+                if covered is not None:
+                    # Retire the covered lanes at this exact instant: RNG
+                    # synced to the words their reference twins consumed.
+                    for row in np.flatnonzero(covered).tolist():
+                        k = act[row]
+                        cover[k] = steps
+                        self._pos[k] = int(self._cur[row])
+                        self._bank.sync_row(row)
+                        self._on_lane_exit(row, k)
+                    keep = ~covered
+                    self._bank.compact(keep)
+                    self._cur = self._cur[keep]
+                    self._compact_state(keep)
+                    act = [k for row, k in enumerate(act) if keep[row]]
+                    self._act = act
+        except BaseException:
+            # Lanes still live on an abnormal exit (budget timeout): their
+            # reference twins would have consumed exactly the words drawn
+            # so far.
+            for row in range(len(act)):
+                self._bank.sync_row(row)
+            raise
+        self.cover_steps = cover
+        return [int(c) for c in cover]  # type: ignore[arg-type]
+
+
+class FleetSRW(_StepwiseFleet):
+    """K lockstep SRW cover trials; bit-identical to K sequential walks.
+
+    Regular-graph fleets run the prefiltered block kernel (whole
+    trajectory blocks per numpy gather, draws prefiltered per lane);
+    irregular fleets run the stepwise kernel (per-degree word prefilter,
+    one lockstep step at a time).  Either way every lane is bit-identical
+    to a sequential :class:`~repro.walks.srw.SimpleRandomWalk` of the
+    same seed, RNG end-state included.
+
+    After a run, :attr:`cover_steps` holds per-lane cover times,
+    :meth:`first_visit_time` the per-lane first-visit tables (vertex or
+    edge ids, matching the run's target), and :attr:`positions` the
+    per-lane cover-instant vertices.
+    """
+
+    walk_name = "srw"
+
+    def __init__(
+        self,
+        graphs: Sequence[Graph],
+        starts: Sequence[int],
+        rngs: Sequence[random.Random],
+        block_steps: int = DEFAULT_BLOCK_STEPS,
+    ):
+        super().__init__(graphs, starts, rngs, block_steps)
+        #: common degree of an all-regular fleet (0 when any lane is
+        #: irregular — those fleets run the stepwise kernel).
+        self.d = self._common_degree()
+        self._fv = []  # type: ignore[var-annotated]
+        self._fv_stride = 0
+
+    # -- regular-graph fast path ---------------------------------------------
 
     def _scaled_neighbors(self):
         """Globalized neighbour array pre-multiplied by the degree.
@@ -288,8 +793,7 @@ class FleetSRW:
         import numpy as np
 
         stride = self.n * self.d
-        shared = all(g is self.graphs[0] for g in self.graphs)
-        if shared:
+        if self._lanes_shared():
             cache = self.graphs[0].scratch_cache()
             key = ("fleet", "scaled_neighbors", self.K, self.d)
             cached = cache.get(key)
@@ -305,20 +809,34 @@ class FleetSRW:
             [g.csr_neighbors * self.d + k * stride for k, g in enumerate(self.graphs)]
         )
 
-    # -- the kernel ----------------------------------------------------------
-
     def run_until_cover(
         self,
         target: str = "vertices",
         max_steps: Optional[int] = None,
         labels: Optional[Sequence[object]] = None,
     ) -> List[int]:
-        """Run every lane to its cover instant; returns per-lane cover steps.
+        if self.d:
+            return self._run_regular(target, max_steps, labels)
+        # Irregular lanes: the stepwise kernel with per-degree prefilters.
+        return super().run_until_cover(target, max_steps, labels)
 
-        Raises :class:`~repro.errors.CoverTimeout` (naming the first
-        affected lane, via ``labels`` when given) if the budget — shared
-        by construction, every lane has the same ``(n, m)`` — runs out
-        with lanes still uncovered.
+    def _run_regular(
+        self,
+        target: str,
+        max_steps: Optional[int],
+        labels: Optional[Sequence[object]],
+    ) -> List[int]:
+        """The prefiltered block kernel (regular graphs).
+
+        Per block of ``T`` steps the kernel computes every active lane's
+        trajectory (one gather per step over the lanes), then does
+        visitation bookkeeping on the whole ``(T, A)`` block at once: a
+        vectorized "which visits are first visits" gather, with only the
+        fresh entries — a set that empties out fast — touched scalar, in
+        time order.  A lane that covers mid-block is rewound to its cover
+        instant (position and RNG; the overshoot trajectory only revisits
+        covered ids, so block bookkeeping needs no undo) and leaves the
+        fleet.
         """
         import numpy as np
 
@@ -478,6 +996,12 @@ class FleetSRW:
         stride = n if by_vertices else m
         for k in list(lanes):
             draws[k].sync(steps)
+            # The lane's generator is live from here on: drop its draw
+            # stream so the abnormal-exit sync in the driver cannot rewind
+            # what the scalar engine consumes (a timeout mid-hand-off
+            # leaves this lane at the engine's own — reference-accurate —
+            # end-state, and only the not-yet-started lanes at `steps`).
+            draws[k] = None
             walk = ArraySRW(
                 self.graphs[k],
                 self.starts[k],
@@ -509,6 +1033,121 @@ class FleetSRW:
             cur_g[k] = walk.current + k * n
             lanes.remove(k)
 
+    # -- stepwise (irregular-graph) kernel -----------------------------------
+
+    def _prepare(self, target: str, budget: int) -> List[int]:
+        import numpy as np
+
+        K, n, m = self.K, self.n, self.m
+        self._by_edges = target == "edges"
+        stride = m if self._by_edges else n
+        self._full = m if self._by_edges else n
+        self._stride = stride
+        self._d = 0  # the stepwise path only runs for irregular lanes
+        self._incidence_context(max(g.max_degree for g in self.graphs))
+        self._shift = self._shift_table(max(g.max_degree for g in self.graphs))
+        self._visited = np.zeros(K * stride, dtype=np.uint8)
+        self._fvn = np.full(K * stride, -1, dtype=np.int64)
+        at_zero: List[int] = []
+        if self._by_edges:
+            if m == 0:
+                at_zero = list(range(K))
+        else:
+            for k, s in enumerate(self.starts):
+                self._visited[k * n + s] = 1
+                self._fvn[k * n + s] = 0
+                if n == 1:
+                    at_zero.append(k)
+        self._fv = self._fvn
+        self._fv_stride = stride
+        return at_zero
+
+    def _init_rows(self, act: List[int]) -> None:
+        import numpy as np
+
+        super()._init_rows(act)
+        self._counts = np.array(
+            [0 if self._by_edges else 1 for _ in act], dtype=np.int64
+        )
+        self._koff = self._eoff if self._by_edges else self._voff
+        # Pessimistic steps-to-soonest-cover: the leading lane gains at
+        # most one target id per step, so the two-dispatch cover scan only
+        # runs once this Python-int slack is spent (a miss re-tightens it
+        # against the actual leader).
+        self._slack = self._full - (0 if self._by_edges else 1)
+
+    def _step(self, step_no: int, trel: int):
+        np = self._bank.np
+        base, deg = self._row_base()
+        r = self._bank.draw(deg, self._shift.take(deg))
+        jsel = base + r
+        nxt = self._nbrs_t.take(jsel)
+        key = (self._eids_t.take(jsel) if self._by_edges else nxt) + self._koff
+        self._cur = nxt
+        fresh = self._visited.take(key) == 0
+        if fresh.any():
+            ids = key[fresh]
+            self._visited[ids] = 1
+            self._fvn[ids] = step_no
+            counts = self._counts
+            counts += fresh
+            self._slack -= 1
+            if self._slack <= 0:
+                cov = counts == self._full
+                if cov.any():
+                    return cov
+                self._slack = self._full - int(counts.max())
+        return None
+
+    def _compact_state(self, keep) -> None:
+        super()._compact_state(keep)
+        self._counts = self._counts[keep]
+        self._koff = self._eoff if self._by_edges else self._voff
+        if self._counts.size:
+            self._slack = self._full - int(self._counts.max())
+
+    def _left(self, row: int) -> int:
+        return int(self._full - self._counts[row])
+
+    def _finish_lane(self, row: int, lane: int, steps: int, budget: int, target: str) -> int:
+        import numpy as np
+
+        from repro.engine.srw import ArraySRW
+
+        n, m = self.n, self.m
+        by_vertices = not self._by_edges
+        stride = self._stride
+        k = lane
+        walk = ArraySRW(
+            self.graphs[k],
+            self.starts[k],
+            rng=self.rngs[k],
+            track_edges=self._by_edges,
+        )
+        walk.current = int(self._cur[row])
+        walk.steps = steps
+        lo = k * stride
+        seg_vis = self._visited[lo : lo + stride]
+        seg_fv = self._fvn[lo : lo + stride]
+        if by_vertices:
+            walk.visited_vertices = bytearray(seg_vis.tobytes())
+            walk.num_visited_vertices = int(self._counts[row])
+            walk.first_visit_time = seg_fv.tolist()
+            cover = walk.run_until_vertex_cover(max_steps=budget)
+            seg_fv[:] = walk.first_visit_time
+            seg_vis[:] = np.frombuffer(bytes(walk.visited_vertices), dtype="uint8")
+        else:
+            walk.visited_edges = bytearray(seg_vis.tobytes())
+            walk.num_visited_edges = int(self._counts[row])
+            walk.first_edge_visit_time = seg_fv.tolist()
+            walk.visited_vertices = bytearray(b"\x01") * n
+            walk.num_visited_vertices = n
+            cover = walk.run_until_edge_cover(max_steps=budget)
+            seg_fv[:] = walk.first_edge_visit_time
+            seg_vis[:] = np.frombuffer(bytes(walk.visited_edges), dtype="uint8")
+        self._pos[k] = walk.current
+        return cover
+
     # -- post-run introspection ----------------------------------------------
 
     def first_visit_time(self, lane: int) -> List[int]:
@@ -519,9 +1158,5 @@ class FleetSRW:
         reference walk at its cover instant.
         """
         s = self._fv_stride
-        return self._fv[lane * s : (lane + 1) * s]
-
-    @property
-    def positions(self) -> List[int]:
-        """Per-lane current vertex (local ids; cover instants after a run)."""
-        return list(self._pos)
+        seg = self._fv[lane * s : (lane + 1) * s]
+        return seg if isinstance(seg, list) else seg.tolist()

@@ -16,7 +16,8 @@ Both drive a live walk and return the step count (or raise
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import heapq
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import CoverTimeout, ReproError
 from repro.spectral.matrices import stationary_distribution
@@ -65,13 +66,30 @@ def blanket_time(
     delta: float = 0.5,
     max_steps: Optional[int] = None,
 ) -> int:
-    """τ_bl(δ): first ``t`` with ``N_v(t) ≥ δ π_v t`` for every vertex.
+    """τ_bl(δ): first step ``t ≥ 1`` with ``N_v(t) ≥ δ π_v t`` for every ``v``.
 
-    ``N_v(t)`` counts visits in steps ``0..t``.  Checked incrementally: a
-    vertex leaves the deficit set when its count reaches the (growing)
-    requirement; the requirement is re-checked lazily because ``δ π_v t``
-    only grows — we verify the full condition whenever the deficit set
-    empties.  δ must lie in (0, 1) as in [7].
+    ``N_v(t)`` counts visits in steps ``0..t`` (the time-0 position is one
+    visit); at ``t = 0`` the condition holds vacuously, so the first
+    meaningful instant is ``t = 1``.  δ must lie in (0, 1) as in [7].
+
+    The check is incremental, and the returned ``t`` is *exact* — the
+    first step at which the deficit set ``{v : N_v(t) < δ π_v t}`` is
+    empty, not the first checkpoint at which an amortized scan notices:
+
+    * a deficit vertex can only leave the set when the walk visits it
+      (its count is frozen while ``δ π_v t`` grows), which is an O(1)
+      update on the step;
+    * a satisfied vertex ``v`` re-enters the set when ``δ π_v t``
+      outgrows its count — at step ``e_v + 1``, where ``e_v`` is the
+      last step with ``N_v ≥ δ π_v e_v`` at its current count.  Those
+      re-entry instants sit in a heap, and each step pops only the
+      vertices that are due, re-checking the exact inequality (the heap
+      time is a hint; counts may have grown since it was pushed).
+
+    Every comparison is the literal ``counts[v] >= delta * pi[v] * t``
+    — the same float arithmetic as a brute-force per-step scan — so the
+    result is bit-for-bit the brute-force answer at O(1) amortized work
+    per step instead of O(n).
     """
     if not (0.0 < delta < 1.0):
         raise ReproError(f"delta must lie in (0,1), got {delta}")
@@ -81,18 +99,52 @@ def blanket_time(
     pi = stationary_distribution(graph)
     counts = [0] * graph.n
     counts[walk.start] = 1
+    rate = [delta * pi[v] for v in range(graph.n)]
+
+    def expiry(v: int, t: int) -> int:
+        """Largest step ``e >= t`` with ``counts[v] >= rate[v] * e``,
+        under the exact float comparison (the division is only a hint;
+        monotonicity of ``e -> rate[v] * e`` makes the adjustment exact).
+        """
+        c, r = counts[v], rate[v]
+        e = max(int(c / r), t)
+        while e > t and not c >= r * e:
+            e -= 1
+        while c >= r * (e + 1):
+            e += 1
+        return e
+
+    # Satisfied vertices carry one (re-entry step, v) heap entry each;
+    # deficit vertices carry none and a True flag instead.  A zero-rate
+    # vertex (π_v = 0, e.g. isolated) is satisfied forever: no entry.
+    due: List[Tuple[int, int]] = []
+    in_deficit = [False] * graph.n
+    deficit = 0
+    for v in range(graph.n):
+        if rate[v] > 0.0:
+            due.append((expiry(v, 0) + 1, v))
+    heapq.heapify(due)
     budget = max_steps if max_steps is not None else 10 * default_step_budget(graph)
     while walk.steps < budget:
         v = walk.step()
         counts[v] += 1
         t = walk.steps
-        # full check is O(n); amortize by only checking when t doubles or the
-        # walk has at least visited every vertex once
-        if t & (t - 1) == 0 or t % graph.n == 0:
-            if all(counts[u] >= delta * pi[u] * t for u in range(graph.n)):
-                return t
+        while due and due[0][0] <= t:
+            _, u = heapq.heappop(due)
+            if counts[u] >= rate[u] * t:
+                # The hint predated later visits; still satisfied.
+                heapq.heappush(due, (expiry(u, t) + 1, u))
+            else:
+                in_deficit[u] = True
+                deficit += 1
+        if in_deficit[v] and counts[v] >= rate[v] * t:
+            in_deficit[v] = False
+            deficit -= 1
+            heapq.heappush(due, (expiry(v, t) + 1, v))
+        if deficit == 0:
+            return t
     raise CoverTimeout(
         f"blanket condition not reached within {budget} steps",
         steps=walk.steps,
-        remaining=-1,
+        remaining=deficit,
     )

@@ -100,6 +100,7 @@ class _TrialSpec(NamedTuple):
     start: Optional[int]  # None means "uniform random per trial"
     max_steps: Optional[int]
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]]
+    walk_name: Optional[str] = None  # registry name; set when walks go by name
 
 
 def _trial_inputs(spec: _TrialSpec) -> Tuple[Graph, int, random.Random]:
@@ -141,15 +142,19 @@ def _run_trial(spec: _TrialSpec) -> TrialOutcome:
 
 
 def _run_fleet_batch(template: _TrialSpec, trials: Sequence[int]) -> List[TrialOutcome]:
-    """Run a batch of trials as one lockstep fleet (or fall back per trial).
+    """Run a batch of trials as one lockstep fleet.
 
     Fleet eligibility is a property of the *data*, not the request: the
-    lanes must share a regular graph shape and carry plain MT generators
-    (see :func:`repro.engine.fleet.fleet_supported`).  Ineligible batches
-    log the reason and run each trial through the per-trial array twin —
-    same numbers either way, only the stepping strategy changes.
+    lanes must share one graph shape, satisfy the walk's structural
+    requirements, and carry plain MT generators (see
+    :func:`repro.engine.fleet.fleet_supported`).  An ineligible batch is
+    an explicit :class:`ReproError` carrying ``fleet_supported``'s reason
+    — which names the offending lane and its trial — never a silent
+    change of stepping strategy: the caller asked for fleets and should
+    decide (``engine="array"`` gives identical numbers per trial).
     """
-    from repro.engine.fleet import FleetSRW, fleet_supported
+    from repro.engine import FLEET_ENGINES
+    from repro.engine.fleet import fleet_supported
 
     t0 = time.perf_counter()
     graphs: List[Graph] = []
@@ -160,15 +165,20 @@ def _run_fleet_batch(template: _TrialSpec, trials: Sequence[int]) -> List[TrialO
         graphs.append(graph)
         starts.append(start_vertex)
         rngs.append(walk_rng)
-    ok, reason = fleet_supported(graphs, rngs)
+    walk = template.walk_name
+    ok, reason = fleet_supported(graphs, rngs, walk=walk, labels=list(trials))
     if not ok:
-        logger.info(
-            "fleet batch %s falling back to per-trial array stepping: %s",
-            list(trials),
-            reason,
+        from repro.engine import NAMED_WALK_FACTORIES
+
+        alternatives = " or ".join(
+            f"engine={e!r}" for e in NAMED_WALK_FACTORIES[walk] if e != "fleet"
         )
-        return [_run_trial(template._replace(trial=t)) for t in trials]
-    fleet = FleetSRW(graphs, starts, rngs)
+        raise ReproError(
+            f"engine='fleet': trial batch {list(trials)} of walk {walk!r} "
+            f"cannot step as a fleet: {reason}. Use {alternatives} for "
+            "identical per-trial results."
+        )
+    fleet = FLEET_ENGINES[walk](graphs, starts, rngs)
     cover = fleet.run_until_cover(
         target=template.target, max_steps=template.max_steps, labels=list(trials)
     )
@@ -269,17 +279,19 @@ def run_trials(
 
     factory = resolve_walk_factory(walk_factory, engine)
     fleet = engine == "fleet"
-    if fleet and walk_factory != "srw":
-        # _run_fleet_batch steps FleetSRW — SRW dynamics specifically.
-        # resolve_walk_factory already rejects walks without a "fleet"
-        # registry entry; this guard is the registration trap for a future
-        # fleet twin of another walk, which needs its own batch runner
-        # here before its registry entry goes live.
-        raise ReproError(
-            f"engine='fleet' is implemented for walk 'srw' only; walk "
-            f"{walk_factory!r} has a 'fleet' registry entry but no fleet "
-            "batch runner"
-        )
+    if fleet:
+        from repro.engine import FLEET_ENGINES
+
+        if walk_factory not in FLEET_ENGINES:
+            # resolve_walk_factory already rejects walks without a "fleet"
+            # registry entry; this guard is the registration trap for a
+            # future fleet twin whose lockstep class is not wired into
+            # FLEET_ENGINES yet.
+            raise ReproError(
+                f"walk {walk_factory!r} has a 'fleet' registry entry but no "
+                f"lockstep fleet class in FLEET_ENGINES "
+                f"({sorted(FLEET_ENGINES)}); register one before enabling it"
+            )
     if fleet and extra_metrics is not None:
         raise ReproError(
             "engine='fleet' advances trials in lockstep batches and never "
@@ -299,6 +311,7 @@ def run_trials(
         start=fixed_start,
         max_steps=max_steps,
         extra_metrics=extra_metrics,
+        walk_name=walk_factory if isinstance(walk_factory, str) else None,
     )
     if not indices:
         return []
@@ -413,10 +426,14 @@ def cover_time_trials(
     engine:
         ``"reference"`` (the pluggable per-step classes), ``"array"``
         (the chunked flat-array engines from :mod:`repro.engine`), or
-        ``"fleet"`` (lockstep many-trial stepping; walks that implement
-        it only — currently ``"srw"``).  All engines consume randomness
+        ``"fleet"`` (lockstep many-trial stepping; walks with a lockstep
+        class in :data:`repro.engine.FLEET_ENGINES` — ``"srw"``,
+        ``"eprocess"``, ``"vprocess"``).  All engines consume randomness
         identically, so the choice never changes the measured cover
-        times — only how fast they arrive.
+        times — only how fast they arrive.  A fleet batch whose lanes
+        cannot fleet (mismatched graph shapes, self-loops under the
+        E-process, non-MT generators …) raises :class:`ReproError`
+        naming the offending lane and trial.
     workers:
         Number of processes to spread trials over (default 1 = in-process,
         no pool).  Results are bit-identical for any worker count because

@@ -1,12 +1,35 @@
 """Tests for blanket-time measurements (eq. (4) machinery)."""
 
+import random
+
 import pytest
 
 from repro.errors import CoverTimeout, ReproError
-from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    lollipop_graph,
+    petersen_graph,
+)
 from repro.graphs.random_regular import random_connected_regular_graph
 from repro.sim.blanket import blanket_time, time_to_visit_counts
+from repro.spectral.matrices import stationary_distribution
 from repro.walks.srw import SimpleRandomWalk
+
+
+def _brute_force_blanket_time(graph, start, rng, delta, budget=10**7):
+    """O(n)-per-step recomputation of the exact first satisfying step."""
+    pi = stationary_distribution(graph)
+    walk = SimpleRandomWalk(graph, start, rng=rng)
+    counts = [0] * graph.n
+    counts[start] = 1
+    while walk.steps < budget:
+        v = walk.step()
+        counts[v] += 1
+        t = walk.steps
+        if all(counts[u] >= delta * pi[u] * t for u in range(graph.n)):
+            return t
+    raise AssertionError("brute-force budget exhausted")
 
 
 class TestTimeToVisitCounts:
@@ -86,3 +109,57 @@ class TestBlanketTime:
         t_blanket = blanket_time(a, delta=0.5)
         t_cover = b.run_until_vertex_cover()
         assert t_blanket >= t_cover
+
+    def test_timeout_reports_deficit_size(self, rng):
+        walk = SimpleRandomWalk(cycle_graph(40), 0, rng=rng)
+        with pytest.raises(CoverTimeout) as info:
+            blanket_time(walk, delta=0.9, max_steps=5)
+        assert info.value.remaining >= 1
+
+
+class TestBlanketTimeExactness:
+    """Regression for the checkpoint-granularity bug: ``blanket_time``
+    used to report the first *checkpoint* (``t`` a power of two or a
+    multiple of ``n``) at which the condition held, inflating τ_bl(δ);
+    it must return the exact first satisfying step, bit-for-bit equal to
+    a brute-force O(n)-per-step recomputation.
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("delta", [0.1, 0.3, 0.5, 0.77, 0.9])
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(15), complete_graph(8), petersen_graph()],
+        ids=["cycle", "complete", "petersen"],
+    )
+    def test_matches_brute_force(self, graph, seed, delta):
+        fast = blanket_time(
+            SimpleRandomWalk(graph, 0, rng=random.Random(seed)), delta=delta
+        )
+        brute = _brute_force_blanket_time(graph, 0, random.Random(seed), delta)
+        assert fast == brute
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("delta", [0.25, 0.6])
+    def test_matches_brute_force_nonuniform_pi(self, seed, delta):
+        # Irregular graph: the deficit thresholds differ per vertex.
+        graph = lollipop_graph(5, 7)
+        fast = blanket_time(
+            SimpleRandomWalk(graph, 0, rng=random.Random(seed)), delta=delta
+        )
+        brute = _brute_force_blanket_time(graph, 0, random.Random(seed), delta)
+        assert fast == brute
+
+    def test_not_inflated_to_checkpoint(self):
+        # At least one instance must land strictly between the old
+        # checkpoint grid points (powers of two / multiples of n),
+        # proving the exact scan reports earlier than the old code could.
+        graph = petersen_graph()
+        n = graph.n
+        hits = []
+        for seed in range(30):
+            t = blanket_time(
+                SimpleRandomWalk(graph, 0, rng=random.Random(seed)), delta=0.5
+            )
+            hits.append(t)
+        assert any(t & (t - 1) != 0 and t % n != 0 for t in hits)

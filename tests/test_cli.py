@@ -231,13 +231,27 @@ class TestCoverCommand:
 
     def test_fleet_engine_rejects_unsupported_walk(self, capsys):
         code = main(
-            ["cover", "--family", "cycle", "--n", "12", "--walk", "eprocess",
+            ["cover", "--family", "cycle", "--n", "12", "--walk", "rotor",
              "--trials", "1", "--seed", "5", "--engine", "fleet"]
         )
         assert code == 2
         err = capsys.readouterr().err
-        assert "eprocess" in err
+        assert "rotor" in err
         assert "fleet" in err
+
+    def test_fleet_engine_runs_eprocess(self, capsys):
+        code = main(
+            ["cover", "--family", "cycle", "--n", "12", "--walk", "eprocess",
+             "--trials", "2", "--seed", "5", "--engine", "fleet"]
+        )
+        assert code == 0
+        fleet_out = capsys.readouterr().out
+        code = main(
+            ["cover", "--family", "cycle", "--n", "12", "--walk", "eprocess",
+             "--trials", "2", "--seed", "5", "--engine", "reference"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == fleet_out
 
 
 class TestSpectralCommand:

@@ -283,8 +283,8 @@ class TestRegistry:
         assert "vprocess" in str(info.value)
         assert "reference" in str(info.value)
         with pytest.raises(ReproError) as info:
-            resolve_walk_factory("eprocess", "fleet")
-        assert "eprocess" in str(info.value)
+            resolve_walk_factory("rotor", "fleet")
+        assert "rotor" in str(info.value)
 
     def test_callable_passthrough_reference_only(self):
         def factory(graph, start, rng):

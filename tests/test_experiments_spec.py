@@ -85,13 +85,15 @@ class TestSpecValidation:
             ExperimentSpec("cycle", {"n": 10}, "levy-flight")
 
     def test_engine_must_exist_for_walk(self):
-        # vprocess has no array twin; rotor gained one in the fleet PR.
+        # vprocess has no array twin; rotor has no fleet kernel.
         with pytest.raises(ReproError, match="'array' engine"):
             ExperimentSpec("cycle", {"n": 10}, "vprocess", engine="array")
         with pytest.raises(ReproError, match="'fleet' engine"):
-            ExperimentSpec("cycle", {"n": 10}, "eprocess", engine="fleet")
+            ExperimentSpec("cycle", {"n": 10}, "rotor", engine="fleet")
         ExperimentSpec("cycle", {"n": 10}, "srw", engine="array")
         ExperimentSpec("cycle", {"n": 10}, "srw", engine="fleet")
+        ExperimentSpec("cycle", {"n": 10}, "eprocess", engine="fleet")
+        ExperimentSpec("cycle", {"n": 10}, "vprocess", engine="fleet")
         ExperimentSpec("cycle", {"n": 10}, "rotor", engine="array")
         ExperimentSpec("cycle", {"n": 10}, "rwc2", engine="array")
 

@@ -8,8 +8,12 @@ Two layers under test:
   the same seed, for every fleet size and both cover targets;
 * the runner surface — ``cover_time_trials(engine="fleet")`` must be
   bit-identical to ``engine="reference"`` for every worker count and
-  fleet size, fall back cleanly when lanes are fleet-ineligible, and
-  share store buckets across engine switches.
+  fleet size, raise :class:`ReproError` naming the offending lane when a
+  batch is fleet-ineligible, and share store buckets across engine
+  switches.
+
+The E-/V-process fleets have their own parity suite in
+``tests/test_fleet_unvisited.py``.
 """
 
 import random
@@ -95,11 +99,55 @@ class TestFleetSRWParity:
         with pytest.raises(CoverTimeout):
             fleet.run_until_cover("vertices", max_steps=25)
 
+    def test_tail_timeout_preserves_finished_lane_rng(self):
+        # A straggler's CoverTimeout during the scalar tail hand-off must
+        # not rewind the generators of lanes that already finished there.
+        from repro.graphs.generators import lollipop_graph
+
+        graph = lollipop_graph(5, 12)
+        rngs = [random.Random(33), random.Random(21)]
+        twins = [random.Random(33), random.Random(21)]
+        fleet = FleetSRW([graph, graph], [0, 0], rngs)
+        with pytest.raises(CoverTimeout):
+            fleet.run_until_cover("vertices", max_steps=1075)
+        walk = SimpleRandomWalk(graph, 0, rng=twins[0], track_edges=True)
+        assert walk.run_until_vertex_cover() <= 1075  # lane 0 did finish
+        assert rngs[0].getstate() == twins[0].getstate()
+
 
 class TestFleetEligibility:
-    def test_irregular_graph_unsupported(self):
+    def test_irregular_graph_supported(self):
+        # Irregular lanes fleet since the per-degree word-role prefilter:
+        # the stepwise kernel handles state-dependent draw moduli.
         ok, reason = fleet_supported([path_graph(5)], [random.Random(0)])
-        assert not ok and "regular" in reason
+        assert ok and reason == ""
+
+    def test_unknown_walk_unsupported(self):
+        ok, reason = fleet_supported(
+            [cycle_graph(10)], [random.Random(0)], walk="rotor"
+        )
+        assert not ok and "no fleet kernel" in reason
+
+    def test_eprocess_rejects_self_loops(self):
+        looped = Graph(3, [(0, 0), (0, 1), (1, 2)])  # same (n, m) as C_3
+        ok, reason = fleet_supported(
+            [cycle_graph(3), looped], [random.Random(0), random.Random(1)],
+            walk="eprocess",
+        )
+        assert not ok and "lane 1" in reason and "self-loops" in reason
+
+    def test_vprocess_rejects_parallel_edges(self):
+        multi = Graph(3, [(0, 1), (0, 1), (1, 2)])
+        ok, reason = fleet_supported([multi], [random.Random(0)], walk="vprocess")
+        assert not ok and "lane 0" in reason and "simple" in reason
+
+    def test_labels_name_the_offending_trial(self):
+        ok, reason = fleet_supported(
+            [cycle_graph(10), cycle_graph(12)],
+            [random.Random(0), random.Random(1)],
+            labels=[17, 23],
+        )
+        assert not ok and "lane 1 (trial 23)" in reason
 
     def test_mixed_shapes_unsupported(self):
         ok, reason = fleet_supported(
@@ -159,24 +207,30 @@ class TestFleetRunnerSurface:
         )
         assert fleet.cover_times == reference.cover_times
 
-    def test_ineligible_workload_falls_back_with_log(self, caplog):
-        # Irregular graphs cannot fleet; the batch logs and runs the
-        # per-trial array twin — same numbers.
+    def test_irregular_graph_runs_stepwise_kernel(self):
+        # Irregular graphs fleet too (per-degree word prefilters) — no
+        # fallback, same numbers.
         graph = path_graph(12)
         reference = cover_time_trials(graph, "srw", trials=4, root_seed=3)
-        import logging
-
-        with caplog.at_level(logging.INFO, logger="repro.sim.runner"):
-            fleet = cover_time_trials(
-                graph, "srw", trials=4, root_seed=3, engine="fleet"
-            )
+        fleet = cover_time_trials(
+            graph, "srw", trials=4, root_seed=3, engine="fleet"
+        )
         assert fleet.cover_times == reference.cover_times
-        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_ineligible_batch_raises_naming_lane_and_trial(self):
+        # A workload factory whose graphs disagree on (n, m) cannot fleet;
+        # the error carries fleet_supported's reason, which names the
+        # offending lane and its trial id.
+        def varying(rng):
+            return cycle_graph(10 + rng.randrange(3))
+
+        with pytest.raises(ReproError, match=r"lane \d+ \(trial \d+\).*shape"):
+            cover_time_trials(varying, "srw", trials=6, root_seed=1, engine="fleet")
 
     def test_fleet_rejects_walks_without_fleet_engine(self):
         with pytest.raises(ReproError, match="'fleet' engine"):
             cover_time_trials(
-                cycle_graph(10), "eprocess", trials=2, root_seed=1, engine="fleet"
+                cycle_graph(10), "rotor", trials=2, root_seed=1, engine="fleet"
             )
 
     def test_fleet_rejects_extra_metrics(self):
