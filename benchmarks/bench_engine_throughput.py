@@ -12,13 +12,18 @@ Two modes:
 * standalone (``python benchmarks/bench_engine_throughput.py``): a
   reference-vs-array comparison of every engine pair (srw, eprocess,
   rotor, rwc2) on a 10k-vertex random 4-regular graph, plus per-walk
-  fleet sections (srw, eprocess, vprocess) comparing each lockstep
+  fleet sections (srw, eprocess, vprocess on the regular graph, and
+  srw_irregular on a mixed-degree graph) comparing each lockstep
   fleet's aggregate cover throughput against the same trials on the
-  walk's best per-trial engine, written to
-  ``benchmarks/out/BENCH_engine.json`` and appended (one JSON line per
-  run) to ``benchmarks/out/BENCH_engine_history.jsonl`` so the perf
-  trajectory accumulates across PRs — see ``benchmarks/README.md`` for
-  how to read it.
+  walk's best per-trial engine.  Fleet sections additionally time the
+  *numpy* and *native* (fused C kernel) stepwise paths separately —
+  ``native_speedup`` is native-over-numpy for the same fleet, null when
+  the extension is not built or the walk/shape never enters the
+  stepwise kernel (regular-graph SRW fleets use the prefiltered block
+  kernel).  Written to ``benchmarks/out/BENCH_engine.json`` and appended
+  (one JSON line per run) to ``benchmarks/out/BENCH_engine_history.jsonl``
+  so the perf trajectory accumulates across PRs — see
+  ``benchmarks/README.md`` for how to read it.
 
 Steady-state throughput is the headline number (walks warmed past cover,
 so both engines step the same saturated state); cold numbers (fresh walk,
@@ -51,8 +56,12 @@ from repro.engine import (
     ArraySRW,
     FLEET_ENGINES,
     NAMED_WALK_FACTORIES,
+    native,
 )
-from repro.graphs.random_regular import random_connected_regular_graph
+from repro.graphs.random_regular import (
+    random_connected_regular_graph,
+    random_even_degree_graph,
+)
 from repro.sim.rng import spawn
 from repro.walks.choice import RandomWalkWithChoice
 from repro.walks.rotor import RotorRouterWalk
@@ -67,10 +76,18 @@ JSON_N = 10_000
 JSON_CHUNK = 400_000
 JSON_ROUNDS = 5
 FLEET_SIZES = (32, 64, 128)
-#: Fleet sections measured standalone: walk name -> fleet sizes.  The
-#: SRW block kernel saturates early; the stepwise E-/V-process kernels
-#: keep gaining with width, so their sections sweep to the default 128.
-FLEET_WALK_SIZES = {walk: FLEET_SIZES for walk in ("srw", "eprocess", "vprocess")}
+#: Fleet sections measured standalone: section -> (walk, graph kind,
+#: fleet sizes).  The SRW block kernel saturates early; the stepwise
+#: E-/V-process kernels keep gaining with width, so their sections sweep
+#: to the default 128.  ``srw_irregular`` runs on a mixed-degree graph so
+#: the SRW exercises the *stepwise* kernel (and with it the native fused
+#: path) instead of the regular-graph block kernel.
+FLEET_SECTIONS = {
+    "srw": ("srw", "regular", FLEET_SIZES),
+    "eprocess": ("eprocess", "regular", FLEET_SIZES),
+    "vprocess": ("vprocess", "regular", FLEET_SIZES),
+    "srw_irregular": ("srw", "irregular", (128,)),
+}
 OUT_DIR = Path(__file__).parent / "out"
 OUTPUT_PATH = OUT_DIR / "BENCH_engine.json"
 HISTORY_PATH = OUT_DIR / "BENCH_engine_history.jsonl"
@@ -78,6 +95,18 @@ HISTORY_PATH = OUT_DIR / "BENCH_engine_history.jsonl"
 
 def _graph():
     return random_connected_regular_graph(N, DEGREE, spawn(ROOT_SEED, "E12"))
+
+
+def _irregular_graph(n: int, rng):
+    """Connected mixed-degree (4/6) graph: the stepwise-SRW workload."""
+    from repro.graphs.properties import is_connected
+
+    degrees = [4, 6] * (n // 2)
+    for _ in range(50):
+        g = random_even_degree_graph(degrees, rng, name=f"EvenDS({n})")
+        if is_connected(g):
+            return g
+    raise RuntimeError(f"no connected even-degree sample for n={n}")
 
 
 def bench_srw_steps(benchmark):
@@ -215,34 +244,57 @@ def _measure_pair(make_reference, make_array, warm: bool, chunk_steps: int, roun
     }
 
 
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
 def _measure_fleet(graph, walk: str, fleet_size: int, rounds: int) -> dict:
     """Aggregate cover throughput: one lockstep ``walk`` fleet vs. the
     same trials on the walk's best per-trial engine (total vertex-cover
-    steps / wall seconds, both sides).
+    steps / wall seconds, both sides), with the fleet's numpy and native
+    stepwise paths timed separately.
 
     The per-trial comparator is the walk's ``"fleet"`` registry entry —
     exactly the per-trial twin each fleet lane is bit-identical to
     (``ArraySRW``/``ArrayEdgeProcess`` for srw/eprocess, the reference
     walk for vprocess, which has no array twin).
 
-    The reported speedup is the *median of per-round ratios* — each round
-    times fleet and sequential back to back, so slow machine-load drift
-    cancels inside a round instead of biasing whichever side a
-    best-of-runs comparison happened to favour.
+    Reported speedups are *medians of per-round ratios* — each round
+    times every side back to back, so slow machine-load drift cancels
+    inside a round instead of biasing whichever side a best-of-runs
+    comparison happened to favour.  ``speedup`` compares the best fleet
+    path (native when built) against per-trial; ``native_speedup``
+    compares the native and numpy paths of the *same* fleet (null when
+    the extension is missing).
     """
     per_trial = NAMED_WALK_FACTORIES[walk]["fleet"]
     make_fleet = FLEET_ENGINES[walk]
+    # Regular-graph SRW fleets run the prefiltered block kernel, which has
+    # no native variant — timing "native" there would just re-time the
+    # block kernel and publish noise as a ratio.  Only the stepwise
+    # kernels (E-/V-process anywhere, SRW on irregular lanes) report one.
+    stepwise = walk != "srw" or not graph.is_regular()
+    use_native = native.available() and stepwise
     starts = [random.Random(100 + k).randrange(graph.n) for k in range(fleet_size)]
-    fleet_best = seq_best = 0.0
-    ratios = []
-    total = 0
-    for _ in range(rounds):
+
+    def timed_fleet(native_pref):
         rngs = [random.Random(1000 + k) for k in range(fleet_size)]
         t0 = time.perf_counter()
-        fleet = make_fleet([graph] * fleet_size, starts, rngs)
+        fleet = make_fleet([graph] * fleet_size, starts, rngs, native=native_pref)
         cover = fleet.run_until_cover("vertices")
-        fleet_sps = sum(cover) / (time.perf_counter() - t0)
-        total = sum(cover)
+        return sum(cover), sum(cover) / (time.perf_counter() - t0)
+
+    numpy_best = native_best = seq_best = 0.0
+    ratios, native_ratios = [], []
+    total = 0
+    for _ in range(rounds):
+        total, numpy_sps = timed_fleet(False)
+        native_sps = None
+        if use_native:
+            native_total, native_sps = timed_fleet(True)
+            assert native_total == total, f"{walk} native fleet diverged from numpy"
+            native_best = max(native_best, native_sps)
         t0 = time.perf_counter()
         seq_total = 0
         for k in range(fleet_size):
@@ -250,17 +302,21 @@ def _measure_fleet(graph, walk: str, fleet_size: int, rounds: int) -> dict:
             seq_total += seq.run_until_vertex_cover()
         seq_sps = seq_total / (time.perf_counter() - t0)
         assert seq_total == total, f"{walk} fleet and sequential cover totals diverged"
-        fleet_best = max(fleet_best, fleet_sps)
+        numpy_best = max(numpy_best, numpy_sps)
         seq_best = max(seq_best, seq_sps)
-        ratios.append(fleet_sps / seq_sps)
-    ratios.sort()
-    median = ratios[len(ratios) // 2]
+        ratios.append((native_sps if use_native else numpy_sps) / seq_sps)
+        if use_native:
+            native_ratios.append(native_sps / numpy_sps)
+    fleet_best = native_best if use_native else numpy_best
     return {
         "trials": fleet_size,
         "total_cover_steps": total,
         "fleet_steps_per_sec": round(fleet_best),
+        "numpy_fleet_steps_per_sec": round(numpy_best),
+        "native_fleet_steps_per_sec": round(native_best) if use_native else None,
         "per_trial_steps_per_sec": round(seq_best),
-        "speedup": round(median, 2),
+        "speedup": round(_median(ratios), 2),
+        "native_speedup": round(_median(native_ratios), 2) if use_native else None,
     }
 
 
@@ -313,29 +369,41 @@ def run_smoke(n: int) -> int:
         else:
             print(f"smoke {name}: array == reference over 20k steps")
     K = 7
-    starts = [random.Random(100 + k).randrange(graph.n) for k in range(K)]
-    for walk_name in sorted(FLEET_ENGINES):
-        reference = NAMED_WALK_FACTORIES[walk_name]["reference"]
-        rngs = [random.Random(1000 + k) for k in range(K)]
-        twins = [random.Random(1000 + k) for k in range(K)]
-        fleet = FLEET_ENGINES[walk_name]([graph] * K, starts, rngs)
-        cover = fleet.run_until_cover("vertices")
-        bad = False
-        for k in range(K):
-            walk = reference(graph, starts[k], twins[k])
-            if (
-                cover[k] != walk.run_until_vertex_cover()
-                or rngs[k].getstate() != twins[k].getstate()
-            ):
-                failures.append(
-                    f"fleet {walk_name} lane {k}: diverged from sequential walk"
+    use_native = native.available()
+    print(
+        "smoke native kernel: "
+        + (native.kernel_path() if use_native else f"unavailable ({native.unavailable_reason()})")
+    )
+    irregular = _irregular_graph(min(n, 200), spawn(ROOT_SEED, "E12-smoke-irr"))
+    kernels = [("numpy", False)] + ([("native", True)] if use_native else [])
+    for shape, g in (("regular", graph), ("irregular", irregular)):
+        starts = [random.Random(100 + k).randrange(g.n) for k in range(K)]
+        for walk_name in sorted(FLEET_ENGINES):
+            for kernel, pref in kernels:
+                reference = NAMED_WALK_FACTORIES[walk_name]["reference"]
+                rngs = [random.Random(1000 + k) for k in range(K)]
+                twins = [random.Random(1000 + k) for k in range(K)]
+                fleet = FLEET_ENGINES[walk_name](
+                    [g] * K, starts, rngs, native=pref
                 )
-                bad = True
-        if not bad:
-            print(
-                f"smoke fleet {walk_name}: {K} lanes == sequential walks "
-                "(covers + RNG state)"
-            )
+                cover = fleet.run_until_cover("vertices")
+                bad = False
+                for k in range(K):
+                    walk = reference(g, starts[k], twins[k])
+                    if (
+                        cover[k] != walk.run_until_vertex_cover()
+                        or rngs[k].getstate() != twins[k].getstate()
+                    ):
+                        failures.append(
+                            f"fleet {walk_name} ({shape}, {kernel}) lane {k}: "
+                            "diverged from sequential walk"
+                        )
+                        bad = True
+                if not bad:
+                    print(
+                        f"smoke fleet {walk_name} ({shape}, {kernel}): "
+                        f"{K} lanes == sequential walks (covers + RNG state)"
+                    )
     for failure in failures:
         print(f"FAIL {failure}")
     return 1 if failures else 0
@@ -364,9 +432,15 @@ def main(argv=None) -> int:
             "steady": _measure_pair(make_reference, make_array, True, args.chunk, args.rounds),
             "cold": _measure_pair(make_reference, make_array, False, args.chunk, args.rounds),
         }
+    irregular = _irregular_graph(args.n, spawn(ROOT_SEED, "E12-json-irr"))
     fleet = {
-        walk: {f"k{K}": _measure_fleet(graph, walk, K, args.rounds) for K in sizes}
-        for walk, sizes in FLEET_WALK_SIZES.items()
+        section: {
+            f"k{K}": _measure_fleet(
+                graph if kind == "regular" else irregular, walk, K, args.rounds
+            )
+            for K in sizes
+        }
+        for section, (walk, kind, sizes) in FLEET_SECTIONS.items()
     }
     report = {
         "benchmark": "engine_throughput",
@@ -375,6 +449,7 @@ def main(argv=None) -> int:
         "chunk_steps": args.chunk,
         "rounds": args.rounds,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "native_kernel": native.kernel_path() or "unavailable",
         "engines": engines,
         "fleet": fleet,
         "methodology": (
@@ -384,7 +459,10 @@ def main(argv=None) -> int:
             "section compares aggregate vertex-cover-trial throughput "
             "(total cover steps / wall) of one lockstep fleet against the "
             "same trials on the walk's best per-trial engine (speedup = "
-            "median of per-round ratios)"
+            "median of per-round ratios; fleet side = native fused kernel "
+            "when built), and 'native_speedup' compares the same fleet's "
+            "native and numpy stepwise paths (null when the extension is "
+            "missing or the shape never enters the stepwise kernel)"
         ),
     }
     report["speedup"] = report["engines"]["srw"]["steady"]["speedup"]
@@ -397,9 +475,15 @@ def main(argv=None) -> int:
         "steady_speedups": {k: v["steady"]["speedup"] for k, v in engines.items()},
         "cold_speedups": {k: v["cold"]["speedup"] for k, v in engines.items()},
         "fleet_speedups": {
-            f"{walk}_{k}": entry["speedup"]
-            for walk, sizes in fleet.items()
+            f"{section}_{k}": entry["speedup"]
+            for section, sizes in fleet.items()
             for k, entry in sizes.items()
+        },
+        "native_speedups": {
+            f"{section}_{k}": entry["native_speedup"]
+            for section, sizes in fleet.items()
+            for k, entry in sizes.items()
+            if entry["native_speedup"] is not None
         },
     }
     with HISTORY_PATH.open("a") as fh:

@@ -1,11 +1,54 @@
-"""Legacy-path shim so ``pip install -e .`` works offline.
+"""Build script: optional native kernel + legacy-path shim.
 
 All project metadata lives in pyproject.toml's ``[project]`` table
-(setuptools >= 61 reads it from here); this file only exists so pip can use
-the non-PEP-517 editable install, which does not require the ``wheel``
-package that is unavailable in this offline environment.
+(setuptools >= 61 reads it from here); this file exists so pip can use
+the non-PEP-517 editable install (which does not require the ``wheel``
+package, unavailable in offline environments) and to declare the
+*optional* C extension behind the fleet engines' fused lockstep kernel.
+
+The extension is best-effort by design: source installs on machines
+without a C compiler (or with broken toolchains) must succeed, because
+``repro.engine.native`` has a mandatory pure-numpy fallback that is
+bit-identical — only slower.  ``Extension(..., optional=True)`` makes
+setuptools tolerate per-extension build failures, and the ``build_ext``
+subclass catches the remaining failure modes (no compiler found at all)
+that some setuptools versions still raise eagerly.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class OptionalBuildExt(build_ext):
+    """Never fail the install over the optional native kernel."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - toolchain-dependent
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - toolchain-dependent
+            self._skip(exc)
+
+    def _skip(self, exc):
+        print(
+            "WARNING: skipping optional native kernel "
+            f"(repro.engine.native._fused): {exc}\n"
+            "         repro stays fully functional on the numpy fallback."
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.engine.native._fused",
+            sources=["src/repro/engine/native/_fused.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -87,6 +87,11 @@ def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--q", type=int, default=13, help="LPS q (size ~ q^3)")
 
 
+def _native_pref(args: argparse.Namespace) -> "bool | None":
+    """Map the --native choice onto the runner's fleet_native tristate."""
+    return {"auto": None, "on": True, "off": False}[getattr(args, "native", "auto")]
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     degrees = sorted(set(args.degrees))
     sweep_spec = SweepSpec.figure1(
@@ -103,6 +108,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         workers=args.workers,
         progress=print_progress,
         fleet_size=args.fleet_size,
+        fleet_native=_native_pref(args),
     )
     runs = [(p.spec, p.run) for p in result.points]
     series: List[Series] = regular_degree_series(runs, normalize_by_n=True)
@@ -188,6 +194,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             use_cache=not args.force,
             progress=print_progress,
             fleet_size=args.fleet_size,
+            fleet_native=_native_pref(args),
         )
     except KeyboardInterrupt:
         print(
@@ -279,6 +286,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         engine=engine,
         workers=workers,
         fleet_size=getattr(args, "fleet_size", None),
+        fleet_native=_native_pref(args),
     )
     denom = graph.n if args.target == "vertices" else graph.m
     print(
@@ -497,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="K",
             help="trials per lockstep fleet under --engine fleet "
             "(default 128; identical results for any K)",
+        )
+        p.add_argument(
+            "--native",
+            default="auto",
+            choices=["auto", "on", "off"],
+            help="fused C kernel for the stepwise fleet kernels under "
+            "--engine fleet: auto uses it when built (REPRO_NATIVE=0 "
+            "opts out), on requires it, off forces the numpy path "
+            "(identical results either way)",
         )
 
     fig1 = sub.add_parser("figure1", help="regenerate Figure 1 at a chosen scale")

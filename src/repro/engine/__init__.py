@@ -136,25 +136,28 @@ NAMED_WALK_FACTORIES: Dict[str, Dict[str, Callable]] = {
 }
 
 
-def _fleet_srw(graphs, starts, rngs):
-    return FleetSRW(graphs, starts, rngs)
+def _fleet_srw(graphs, starts, rngs, native=None):
+    return FleetSRW(graphs, starts, rngs, native=native)
 
 
-def _fleet_eprocess(graphs, starts, rngs):
+def _fleet_eprocess(graphs, starts, rngs, native=None):
     # record_phases=False mirrors the per-trial registry factories: the
     # runner measures cover times, and phase recording never touches the
     # draw stream, so the numbers are identical either way.
-    return FleetEdgeProcess(graphs, starts, rngs, record_phases=False)
+    return FleetEdgeProcess(graphs, starts, rngs, record_phases=False, native=native)
 
 
-def _fleet_vprocess(graphs, starts, rngs):
-    return FleetVProcess(graphs, starts, rngs)
+def _fleet_vprocess(graphs, starts, rngs, native=None):
+    return FleetVProcess(graphs, starts, rngs, native=native)
 
 
 #: Lockstep fleet constructors by walk name — the classes the runner's
 #: ``engine="fleet"`` batches actually step.  Every key must also carry a
 #: ``"fleet"`` entry in :data:`NAMED_WALK_FACTORIES` (and vice versa);
 #: :func:`repro.engine.fleet.fleet_supported` guards per-batch eligibility.
+#: Each factory takes ``(graphs, starts, rngs, native=None)`` — ``native``
+#: is the stepwise kernels' fused-C preference (None auto / False numpy /
+#: True required), threaded from ``run_trials(fleet_native=...)``.
 FLEET_ENGINES: Dict[str, Callable] = {
     "srw": _fleet_srw,
     "eprocess": _fleet_eprocess,

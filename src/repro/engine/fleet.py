@@ -37,6 +37,14 @@ Lanes step in lockstep; a lane leaves the fleet the instant it covers
 straggler lanes remain they are transplanted onto per-trial scalar
 engines which finish them bit-identically.
 
+The stepwise kernels pay their numpy dispatches per lockstep step, so
+they additionally have a **native fused path**: when the optional C
+extension (:mod:`repro.engine.native`) is built, whole blocks of
+lockstep steps run as one C call over the same word rows, CSR tiles and
+bitmask tables — bit-identical to the numpy path by contract, selected
+per fleet at runtime (``native=`` preference, ``REPRO_NATIVE=0``
+opt-out, graceful fallback when the build is unavailable).
+
 Graphs may be one shared :class:`~repro.graphs.graph.Graph` (fixed
 workloads; the tiled index arrays are cached in ``scratch_cache()``) or K
 structurally distinct graphs of one shared ``(n, m)`` shape (factory
@@ -90,6 +98,11 @@ TAIL_LANES = 6
 #: Raw Mersenne-Twister words buffered per lane by the stepwise kernels'
 #: word bank; refills are per-lane ``random_raw`` bulk pulls.
 WORD_BANK_WIDTH = 4096
+
+#: Minimum buffered words per lane before a native block call: rows with
+#: less are topped up first, so the kernel rarely has to abort a step for
+#: a refill (it still can, exactly — see ``_WordBank.refill_row``).
+NATIVE_REFILL_MARGIN = 64
 
 #: Walks with a lockstep fleet kernel (the eligibility rules of
 #: :func:`fleet_supported` are per walk).
@@ -364,10 +377,8 @@ class _WordBank:
         """One accepted draw per lane; ``moduli[i] >= 1``, ``shifts[i] =
         32 - moduli[i].bit_length()``.  Returns int64 results."""
         np = self.np
+        self.refill_low(_PANEL)
         ptr, width = self.ptr, self.width
-        if ptr.max() > width - _PANEL:
-            for i in np.flatnonzero(ptr > width - _PANEL).tolist():
-                self._refill(i)
         idx = self.rowbase + ptr
         panel = self.words.take(idx[:, None] + self._panel_off)
         r = panel >> shifts[:, None]
@@ -393,6 +404,21 @@ class _WordBank:
                         out[i] = rv
                         break
         return out
+
+    def refill_low(self, margin: int) -> None:
+        """Top up every lane with fewer than ``margin`` buffered words.
+
+        The draw path calls this with the speculative panel width; the
+        native kernel — which consumes rows directly and cannot pull
+        fresh words itself — with a larger margin before each block call,
+        keeping mid-step refill aborts rare (a step consumes >= 1 word
+        per lane, so a full row lasts at least ``width`` steps).
+        """
+        np = self.np
+        ptr, width = self.ptr, self.width
+        if ptr.max() > width - margin:
+            for i in np.flatnonzero(ptr > width - margin).tolist():
+                self._refill(i)
 
     def consumed(self, row: int) -> int:
         """Total raw words lane ``row`` has consumed so far."""
@@ -434,6 +460,17 @@ class FleetWalkBase:
         One plain Mersenne-Twister ``random.Random`` per lane.  After
         :meth:`run_until_cover`, each generator's state equals what the
         reference walk's would be at that lane's cover instant.
+    native:
+        Native fused-kernel preference for the stepwise lockstep driver:
+        ``None`` (default) uses the C kernel when it is built and not
+        disabled via ``REPRO_NATIVE=0``, falling back to the numpy path
+        otherwise; ``False`` always steps the numpy path; ``True``
+        requires the kernel and raises :class:`~repro.errors.ReproError`
+        if it cannot be loaded (benchmarks use this so a "native" number
+        can never silently be numpy).  The regular-graph SRW block kernel
+        is not stepwise and ignores the preference.  Either way every
+        number is identical — the kernel replays the numpy path bit for
+        bit.
     """
 
     walk_name = "srw"
@@ -444,6 +481,7 @@ class FleetWalkBase:
         starts: Sequence[int],
         rngs: Sequence[random.Random],
         block_steps: int = DEFAULT_BLOCK_STEPS,
+        native: Optional[bool] = None,
     ):
         if not (len(graphs) == len(starts) == len(rngs)):
             raise ReproError(
@@ -464,6 +502,7 @@ class FleetWalkBase:
         self.starts = list(starts)
         self.rngs = list(rngs)
         self.block_steps = block_steps
+        self._native_pref = native
         self.K = len(graphs)
         self.n = graphs[0].n
         self.m = graphs[0].m
@@ -590,7 +629,22 @@ class _StepwiseFleet(FleetWalkBase):
     loop: block/budget bookkeeping, cover detection and lane retirement
     (RNG synced to the cover instant), state compaction, the straggler
     hand-off, and the abnormal-exit RNG sync.
+
+    When the native fused kernel is available (built C extension, not
+    opted out, ``native`` preference permitting), :meth:`_run_block`
+    routes whole blocks through one C call instead of the per-step
+    python loop — bit-identical by contract (same word consumption per
+    lane, same candidate order, same first-visit stamps and cover
+    instants), so everything around the block (retirement, RNG sync,
+    compaction, tail hand-off, phase extraction) is shared verbatim by
+    both paths.  Subclasses opt in by setting :attr:`_NATIVE_WALK` and
+    providing the array-mapping hooks (:meth:`_native_state`,
+    :meth:`_native_tables`, :meth:`_native_phase`).
     """
+
+    #: Walk code of the native kernel (0 srw, 1 eprocess, 2 vprocess);
+    #: None = this subclass has no native path.
+    _NATIVE_WALK: Optional[int] = None
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -649,7 +703,169 @@ class _StepwiseFleet(FleetWalkBase):
         """How many target ids the lane at ``row`` still has uncovered."""
         raise NotImplementedError
 
+    def _retighten(self) -> None:
+        """Re-derive the pessimistic cover-scan slack from the counts.
+
+        The numpy path decrements its slack per step; a native block
+        advances counts without touching it, so the driver re-tightens
+        after every native call (any value <= the true steps-to-soonest-
+        cover is valid, and ``full - max(counts)`` is the tightest)."""
+
+    # -- native fused kernel -------------------------------------------------
+
+    def _native_state(self):
+        """Arrays for the kernel's visitation slots:
+        ``(maskA, fvA, cntA, maskB, fvB, cntB)`` (unused slots None)."""
+        raise NotImplementedError
+
+    def _native_tables(self):
+        """``(packed, tmod, tsh, tsel)`` — the 2^d bitmask tables, when
+        this fleet runs the packed regular-degree path."""
+        return 0, None, None, None
+
+    def _native_phase(self, t0: int):
+        """Per-step recording buffers ``(col_rows, vtx_rows, isb_last)``
+        starting at block-relative step ``t0`` (all None when unused)."""
+        return None, None, None
+
+    def _native_begin(self, A: int) -> None:
+        """Per-block native scratch setup (e.g. last-colour buffers)."""
+
+    def _native_end(self, t_used: int) -> None:
+        """Per-block native post-processing (e.g. last-colour export)."""
+
+    def _native_all_v(self) -> int:
+        return 0
+
+    def _native_set_all_v(self, value: bool) -> None:
+        pass
+
+    def _native_setup(self):
+        """Probe for the fused kernel; returns its ctypes handle or None.
+
+        ``native=False`` skips the probe; ``native=True`` makes an
+        unavailable kernel a hard :class:`ReproError` (no silent numpy
+        behind an explicitly requested native run); the default ``None``
+        auto-selects with the loader's one-time fallback warning.
+        """
+        if self._NATIVE_WALK is None or self._native_pref is False:
+            return None
+        from repro.engine import native
+
+        fn = native.load()
+        if fn is None and self._native_pref is True:
+            raise ReproError(
+                f"native=True but the fused kernel is unavailable: "
+                f"{native.unavailable_reason()}"
+            )
+        return fn
+
+    def _native_call(self, T: int, step0: int, t0: int):
+        """One fused-kernel call: up to ``T`` lockstep steps.
+
+        Returns ``(status, t_used)`` — status 0 = ran all ``T`` steps,
+        1 = some lane covered at the final step (``self._covered_buf``),
+        2 = lane ``self._out_buf[2]`` ran its word row dry mid-step (no
+        state advanced for that step; refill and re-enter).
+        """
+        import ctypes
+
+        np = self._bank.np
+        bank = self._bank
+        A = int(self._cur.shape[0])
+        packed, tmod, tsh, tsel = self._native_tables()
+        maskA, fvA, cntA, maskB, fvB, cntB = self._native_state()
+        col, vtx, isb = self._native_phase(t0)
+        covered = np.zeros(A, dtype=np.uint8)
+        out = np.zeros(4, dtype=np.int64)
+        self._covered_buf = covered
+        self._out_buf = out
+        par = np.array(
+            [
+                self._NATIVE_WALK,
+                int(self._by_edges),
+                int(bool(packed)),
+                int(self._tiled),
+                A,
+                T,
+                step0,
+                self.n,
+                self.m,
+                int(self._d),
+                bank.width,
+                self.m if self._by_edges else self.n,
+                self._native_all_v(),
+            ],
+            dtype=np.int64,
+        )
+        arrays = (
+            self._cur, self._voff, self._eoff, bank.words, bank.ptr,
+            self._eids_t, self._nbrs_t, self._rowstart_t, self._degs_t,
+            tmod, tsh, tsel,
+            maskA, fvA, cntA, maskB, fvB, cntB,
+            col, vtx, isb, covered, out,
+        )
+        slots = (ctypes.c_void_p * len(arrays))(
+            *[None if a is None else ctypes.c_void_p(a.ctypes.data) for a in arrays]
+        )
+        status = int(self._native(ctypes.c_void_p(par.ctypes.data), slots))
+        if status < 0:
+            raise ReproError(f"native fused kernel failed (status {status})")
+        self._native_set_all_v(bool(out[1]))
+        return status, int(out[0])
+
+    def _native_block(self, T: int, steps: int):
+        """Run one block through the fused kernel; ``(t_used, covered)``.
+
+        Mirrors the python per-step loop exactly: steps stop early at the
+        first cover instant.  Word-row refills are invisible re-entries —
+        the kernel aborts a step that would run a lane's row dry, python
+        tops the row up (exact word accounting preserved), and the block
+        continues where it left off.
+        """
+        bank = self._bank
+        self._native_begin(int(self._cur.shape[0]))
+        t = 0
+        covered = None
+        while t < T:
+            bank.refill_low(NATIVE_REFILL_MARGIN)
+            status, t_used = self._native_call(T - t, steps + t, t)
+            t += t_used
+            if status == 1:
+                covered = self._covered_buf.astype(bool)
+                break
+            if status == 0:
+                break
+            lane = int(self._out_buf[2])
+            if bank.ptr[lane] == 0:
+                # A full row (width words) rejected wholesale: probability
+                # ~2^-width; in practice this means corrupted state.
+                raise ReproError(
+                    f"native kernel starved lane {lane} on a full word row"
+                )
+            bank._refill(lane)
+        self._retighten()
+        self._native_end(t)
+        return t, covered
+
     # -- the lockstep driver -------------------------------------------------
+
+    def _run_block(self, T: int, steps: int):
+        """Advance up to ``T`` lockstep steps; ``(t_used, covered-or-None)``.
+
+        One fused C call when the native kernel is live, else the python
+        per-step loop — both stop at the first step where a lane covers.
+        """
+        if self._native is not None:
+            return self._native_block(T, steps)
+        t = 0
+        covered = None
+        while t < T:
+            covered = self._step(steps + t + 1, t)
+            t += 1
+            if covered is not None:
+                break
+        return t, covered
 
     def run_until_cover(
         self,
@@ -682,6 +898,7 @@ class _StepwiseFleet(FleetWalkBase):
         self._cur = np.array([self.starts[k] for k in act], dtype=np.int64)
         self._init_rows(act)
         self._bank = _WordBank([self.rngs[k] for k in act])
+        self._native = self._native_setup() if act else None
         steps = 0
         block = self.block_steps
         try:
@@ -711,13 +928,7 @@ class _StepwiseFleet(FleetWalkBase):
                     )
                 T = min(block, budget - steps)
                 self._begin_block(T)
-                t = 0
-                covered = None
-                while t < T:
-                    covered = self._step(steps + t + 1, t)
-                    t += 1
-                    if covered is not None:
-                        break
+                t, covered = self._run_block(T, steps)
                 steps += t
                 self._end_block(t, steps)
                 if covered is not None:
@@ -763,6 +974,7 @@ class FleetSRW(_StepwiseFleet):
     """
 
     walk_name = "srw"
+    _NATIVE_WALK = 0
 
     def __init__(
         self,
@@ -770,8 +982,9 @@ class FleetSRW(_StepwiseFleet):
         starts: Sequence[int],
         rngs: Sequence[random.Random],
         block_steps: int = DEFAULT_BLOCK_STEPS,
+        native: Optional[bool] = None,
     ):
-        super().__init__(graphs, starts, rngs, block_steps)
+        super().__init__(graphs, starts, rngs, block_steps, native=native)
         #: common degree of an all-regular fleet (0 when any lane is
         #: irregular — those fleets run the stepwise kernel).
         self.d = self._common_degree()
@@ -1105,6 +1318,13 @@ class FleetSRW(_StepwiseFleet):
         self._koff = self._eoff if self._by_edges else self._voff
         if self._counts.size:
             self._slack = self._full - int(self._counts.max())
+
+    def _retighten(self) -> None:
+        if self._counts.size:
+            self._slack = self._full - int(self._counts.max())
+
+    def _native_state(self):
+        return self._visited, self._fvn, self._counts, None, None, None
 
     def _left(self, row: int) -> int:
         return int(self._full - self._counts[row])

@@ -157,6 +157,16 @@ class _UnvisitedFleet(_StepwiseFleet):
         done = self._ne[row] if self._by_edges else self._nv[row]
         return int((self.m if self._by_edges else self.n) - done)
 
+    def _retighten(self) -> None:
+        if self._ne.size:
+            self._eslack = self.m - int(self._ne.max())
+            self._vslack = self.n - int(self._nv.max())
+
+    def _native_tables(self):
+        if self._packed:
+            return 1, self._tqs, self._tsh, self._tsel
+        return 0, None, None, None
+
     def _mask_table(self):
         """The inverted visitation table row masks are gathered from."""
         raise NotImplementedError
@@ -212,6 +222,7 @@ class FleetEdgeProcess(_UnvisitedFleet):
     """
 
     walk_name = "eprocess"
+    _NATIVE_WALK = 1
 
     def __init__(
         self,
@@ -220,8 +231,9 @@ class FleetEdgeProcess(_UnvisitedFleet):
         rngs: Sequence[random.Random],
         block_steps: int = DEFAULT_BLOCK_STEPS,
         record_phases: bool = True,
+        native: Optional[bool] = None,
     ):
-        super().__init__(graphs, starts, rngs, block_steps)
+        super().__init__(graphs, starts, rngs, block_steps, native=native)
         self._record_phases = record_phases
         self._marks = {k: [] for k in range(self.K)}
         self._blue_out = [0] * self.K
@@ -343,6 +355,31 @@ class FleetEdgeProcess(_UnvisitedFleet):
                 )
         self._lastc = colors[-1].copy()
 
+    def _native_state(self):
+        return self._evu, self._fe, self._ne, self._visu, self._fv, self._nv
+
+    def _native_begin(self, A: int) -> None:
+        import numpy as np
+
+        # The kernel records every step's blue flag here; after the block
+        # it becomes `_lastisb` (the no-record-phases last-colour source).
+        self._isb_buf = np.zeros(A, dtype=np.uint8)
+
+    def _native_phase(self, t0: int):
+        if self._col is not None:
+            return self._col[t0:], self._vtx[t0:], self._isb_buf
+        return None, None, self._isb_buf
+
+    def _native_end(self, t_used: int) -> None:
+        if t_used:
+            self._lastisb = self._isb_buf != 0
+
+    def _native_all_v(self) -> int:
+        return int(self._all_v)
+
+    def _native_set_all_v(self, value: bool) -> None:
+        self._all_v = value
+
     def _last_color_code(self, row: int) -> int:
         if self._record_phases:
             return int(self._lastc[row])
@@ -449,6 +486,10 @@ class FleetVProcess(_UnvisitedFleet):
     """
 
     walk_name = "vprocess"
+    _NATIVE_WALK = 2
+
+    def _native_state(self):
+        return self._visu, self._fv, self._nv, None, self._fe, self._ne
 
     def _mask_table(self):
         return self._visu

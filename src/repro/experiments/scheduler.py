@@ -91,6 +91,7 @@ def run_point(
     use_cache: bool = True,
     progress: Optional[Progress] = None,
     fleet_size: Optional[int] = None,
+    fleet_native: Optional[bool] = None,
 ) -> PointResult:
     """Run one experiment point, filling only the store's missing trials.
 
@@ -142,6 +143,7 @@ def run_point(
         engine=spec.engine,
         workers=workers,
         fleet_size=fleet_size,
+        fleet_native=fleet_native,
         on_result=on_result,
     )
     by_trial = dict(cached)
@@ -162,6 +164,7 @@ def run_sweep(
     use_cache: bool = True,
     progress: Optional[Progress] = None,
     fleet_size: Optional[int] = None,
+    fleet_native: Optional[bool] = None,
 ) -> SweepRunResult:
     """Run a whole sweep through :func:`run_point`, streaming progress.
 
@@ -183,6 +186,7 @@ def run_sweep(
                 use_cache=use_cache,
                 progress=prefixed,
                 fleet_size=fleet_size,
+                fleet_native=fleet_native,
             )
         )
     result = SweepRunResult(name=sweep.name, points=tuple(points))

@@ -31,17 +31,21 @@ __all__ = [
 ]
 
 
-def _validate_degree_sequence(degrees: Sequence[int]) -> None:
+def _validate_degree_sequence(degrees: Sequence[int], simple: bool = False) -> None:
+    """Reject impossible degree sequences.
+
+    The base checks (non-negative, even sum) apply to any pairing; with
+    ``simple=True`` the simple-graph bound ``d <= n-1`` is enforced too —
+    multigraph callers keep ``simple=False`` because loops and parallel
+    edges can realize any even-sum sequence.
+    """
     if any(d < 0 for d in degrees):
         raise GenerationError("degrees must be non-negative")
     if sum(degrees) % 2 != 0:
         raise GenerationError("degree sum must be even")
     n = len(degrees)
-    if any(d >= n for d in degrees) and n > 1:
-        # Simple graphs need d <= n-1; multigraph callers bypass via simple=False,
-        # but we reject eagerly only when a simple graph was requested (checked
-        # by callers).  Here we only sanity-check the trivial impossibility.
-        pass
+    if simple and n > 1 and any(d > n - 1 for d in degrees):
+        raise GenerationError("simple graph impossible: some degree exceeds n-1")
 
 
 def _pairing_edges(degrees: Sequence[int], rng: random.Random) -> List[Tuple[int, int]]:
@@ -84,10 +88,8 @@ def configuration_model(
     GenerationError
         On invalid degree sequences, or if ``max_retries`` rejections occur.
     """
-    _validate_degree_sequence(degrees)
+    _validate_degree_sequence(degrees, simple=simple)
     n = len(degrees)
-    if simple and n > 1 and any(d > n - 1 for d in degrees):
-        raise GenerationError("simple graph impossible: some degree exceeds n-1")
     label = name or f"CM(n={n})"
     if not simple:
         return Graph(n, _pairing_edges(degrees, rng), name=label)

@@ -31,6 +31,12 @@ class ProfilePoint:
 class ExplorationProfile:
     """A walk's coverage curve plus summary landmarks.
 
+    The curve is sampled at geometrically spaced checkpoints, but the
+    landmarks are **exact step numbers** tracked while the walk runs:
+    checkpoints grow geometrically, so reading a landmark off the first
+    *checkpoint* past it (the pre-fix behaviour) overshot by an unbounded
+    factor deep into a run.
+
     Attributes
     ----------
     points:
@@ -38,12 +44,20 @@ class ExplorationProfile:
     vertex_cover_step:
         Step of full vertex coverage, or None if the run ended first.
     half_cover_step:
-        First checkpointed step with ≥ half the vertices visited.
+        Exact first step with ≥ half the vertices visited.
+    near_cover_step:
+        Exact first step with at most ``max(1, n // 100)`` vertices left —
+        the moment the walk enters its "last 1%" tail.
+    graph_n:
+        Vertex count of the recorded graph (the landmarks above are
+        defined relative to it).
     """
 
     points: List[ProfilePoint]
     vertex_cover_step: Optional[int]
     half_cover_step: Optional[int]
+    near_cover_step: Optional[int] = None
+    graph_n: Optional[int] = None
 
     def steps(self) -> List[int]:
         """Checkpoint steps."""
@@ -58,9 +72,20 @@ class ExplorationProfile:
 
         The paper's odd-degree story in one number: for d=3 the stragglers
         (isolated stars) make this large; for even d it stays small.
+        Computed from the exact :attr:`near_cover_step` landmark, not the
+        checkpoint grid.
         """
         if self.vertex_cover_step is None:
             raise ReproError("walk did not reach vertex cover")
+        if self.graph_n is not None and n != self.graph_n:
+            raise ReproError(
+                f"profile was recorded on a graph with n={self.graph_n}, "
+                f"tail_fraction asked about n={n}"
+            )
+        if self.near_cover_step is not None:
+            return 1.0 - self.near_cover_step / max(self.vertex_cover_step, 1)
+        # Profiles built without the exact landmark (hand-constructed):
+        # the checkpointed approximation is the best available.
         target = n - max(1, n // 100)
         for p in self.points:
             if p.vertices_visited >= target:
@@ -108,8 +133,17 @@ def record_profile(
             return walk.vertices_covered
         return walk.edges_covered
 
+    # Landmarks are tracked per step, not read off the geometric grid: a
+    # checkpoint can overshoot the true landmark by an unbounded factor.
+    near_target = graph.n - max(1, graph.n // 100)
+    half_step = 0 if walk.num_visited_vertices * 2 >= graph.n else None
+    near_step = 0 if walk.num_visited_vertices >= near_target else None
     while not done() and walk.steps < budget:
         walk.step()
+        if half_step is None and walk.num_visited_vertices * 2 >= graph.n:
+            half_step = walk.steps
+        if near_step is None and walk.num_visited_vertices >= near_target:
+            near_step = walk.steps
         if walk.steps >= next_checkpoint:
             points.append(snap())
             next_checkpoint = max(next_checkpoint + 1, int(next_checkpoint * growth))
@@ -118,13 +152,10 @@ def record_profile(
 
     # vertex cover step = latest first-visit time (valid in both modes)
     cover_step = max(walk.first_visit_time) if walk.vertices_covered else None
-    half_step = None
-    for p in points:
-        if p.vertices_visited * 2 >= graph.n:
-            half_step = p.step
-            break
     return ExplorationProfile(
         points=points,
         vertex_cover_step=cover_step,
         half_cover_step=half_step,
+        near_cover_step=near_step,
+        graph_n=graph.n,
     )

@@ -101,6 +101,7 @@ class _TrialSpec(NamedTuple):
     max_steps: Optional[int]
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]]
     walk_name: Optional[str] = None  # registry name; set when walks go by name
+    fleet_native: Optional[bool] = None  # fused-kernel preference (fleets)
 
 
 def _trial_inputs(spec: _TrialSpec) -> Tuple[Graph, int, random.Random]:
@@ -178,7 +179,7 @@ def _run_fleet_batch(template: _TrialSpec, trials: Sequence[int]) -> List[TrialO
             f"cannot step as a fleet: {reason}. Use {alternatives} for "
             "identical per-trial results."
         )
-    fleet = FLEET_ENGINES[walk](graphs, starts, rngs)
+    fleet = FLEET_ENGINES[walk](graphs, starts, rngs, native=template.fleet_native)
     cover = fleet.run_until_cover(
         target=template.target, max_steps=template.max_steps, labels=list(trials)
     )
@@ -237,6 +238,7 @@ def run_trials(
     engine: str = "reference",
     workers: int = 1,
     fleet_size: Optional[int] = None,
+    fleet_native: Optional[bool] = None,
     on_result: Optional[Callable[[TrialOutcome], None]] = None,
 ) -> List[TrialOutcome]:
     """Run an explicit set of trials; the per-trial core of the runner.
@@ -264,7 +266,10 @@ def run_trials(
     and each batch advances as one lockstep fleet; with ``workers > 1``
     the pool distributes whole batches, so every worker drives a fleet.
     ``on_result`` then fires per batch (all of a batch's outcomes as the
-    batch completes) — still one call per trial.
+    batch completes) — still one call per trial.  ``fleet_native``
+    selects the fleets' fused C kernel (None auto-detects, False forces
+    the numpy path, True requires the kernel) — a throughput switch only,
+    the numbers are bit-identical either way.
     """
     indices = [int(t) for t in trial_indices]
     if any(t < 0 for t in indices):
@@ -312,6 +317,7 @@ def run_trials(
         max_steps=max_steps,
         extra_metrics=extra_metrics,
         walk_name=walk_factory if isinstance(walk_factory, str) else None,
+        fleet_native=fleet_native,
     )
     if not indices:
         return []
@@ -391,6 +397,7 @@ def cover_time_trials(
     engine: str = "reference",
     workers: int = 1,
     fleet_size: Optional[int] = None,
+    fleet_native: Optional[bool] = None,
 ) -> CoverRun:
     """Run repeated cover-time trials.
 
@@ -442,6 +449,12 @@ def cover_time_trials(
         Trials advanced together per fleet under ``engine="fleet"``
         (default :data:`repro.engine.DEFAULT_FLEET_SIZE`); composes with
         ``workers`` — each worker process drives whole fleets.
+    fleet_native:
+        Fused-C-kernel preference for the stepwise fleet kernels: None
+        (default) auto-detects the built extension (``REPRO_NATIVE=0``
+        opts out), False forces the pure-numpy path, True requires the
+        kernel (:class:`ReproError` when it is not built).  Bit-identical
+        results either way.
     """
     if trials < 1:
         raise ReproError(f"need at least one trial, got {trials}")
@@ -458,6 +471,7 @@ def cover_time_trials(
         engine=engine,
         workers=workers,
         fleet_size=fleet_size,
+        fleet_native=fleet_native,
     )
     return aggregate_outcomes(outcomes)
 

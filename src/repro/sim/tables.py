@@ -35,8 +35,12 @@ def format_table(
 ) -> str:
     """Render an aligned ASCII table.
 
-    Numeric cells are right-aligned; text is left-aligned.  Floats use
-    ``float_digits`` decimals.
+    Numeric cells (ints and floats — ``bool`` counts as text, despite
+    being an ``int`` subclass) are right-aligned; text is left-aligned.
+    Alignment is per *cell*, so a column mixing numbers with markers like
+    ``"n/a"`` keeps its numbers right-aligned instead of flipping the
+    whole column to text.  The header (and its dashes) right-align only
+    over all-numeric columns.  Floats use ``float_digits`` decimals.
     """
     if not headers:
         raise ReproError("table needs headers")
@@ -45,30 +49,36 @@ def format_table(
             raise ReproError(
                 f"row {i} has {len(row)} cells, expected {len(headers)}"
             )
+
+    def is_numeric(cell: Cell) -> bool:
+        return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
     rendered = [[_render(c, float_digits) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in rendered:
         for j, cell in enumerate(row):
             widths[j] = max(widths[j], len(cell))
-    numeric = [
-        all(isinstance(row[j], (int, float)) for row in rows) if rows else False
+    numeric_col = [
+        all(is_numeric(row[j]) for row in rows) if rows else False
         for j in range(len(headers))
     ]
 
-    def fmt_row(cells: Sequence[str]) -> str:
-        parts = []
-        for j, cell in enumerate(cells):
-            parts.append(cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j]))
+    def fmt(text: str, j: int, right: bool) -> str:
+        return text.rjust(widths[j]) if right else text.ljust(widths[j])
+
+    def fmt_header(cells: Sequence[str]) -> str:
+        parts = [fmt(cell, j, numeric_col[j]) for j, cell in enumerate(cells)]
         return "  ".join(parts).rstrip()
 
     lines: List[str] = []
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(fmt_row(list(headers)))
-    lines.append(fmt_row(["-" * w for w in widths]))
-    for row in rendered:
-        lines.append(fmt_row(row))
+    lines.append(fmt_header(list(headers)))
+    lines.append(fmt_header(["-" * w for w in widths]))
+    for raw, row in zip(rows, rendered):
+        parts = [fmt(cell, j, is_numeric(raw[j])) for j, cell in enumerate(row)]
+        lines.append("  ".join(parts).rstrip())
     return "\n".join(lines)
 
 

@@ -48,3 +48,19 @@ class TestPyproject:
 
     def test_cli_entry_point(self, pyproject):
         assert pyproject["project"]["scripts"]["repro"] == "repro.cli:main"
+
+
+class TestNativeExtension:
+    """The fused kernel ships as an *optional* extension: its source must
+    be in the tree (setuptools includes declared ext sources in sdists)
+    and the build must be declared non-fatal, so installs without a C
+    compiler fall back to the numpy path instead of failing."""
+
+    def test_kernel_source_in_package(self):
+        assert (REPO_ROOT / "src" / "repro" / "engine" / "native" / "_fused.c").is_file()
+
+    def test_setup_declares_optional_extension(self):
+        text = (REPO_ROOT / "setup.py").read_text()
+        assert "repro.engine.native._fused" in text
+        assert "optional=True" in text
+        assert "build_ext" in text

@@ -87,6 +87,60 @@ class TestRecordProfile:
         assert len(steps) == len(set(steps))
         assert steps[-1] == profile.vertex_cover_step
 
+    def test_landmarks_match_per_step_brute_force(self, rng_factory):
+        # The landmark fields are exact step numbers, pinned bit-for-bit
+        # against a twin walk scanned every single step.
+        g = random_connected_regular_graph(100, 3, rng_factory(11))
+        walk = SimpleRandomWalk(g, 0, rng=rng_factory(12))
+        profile = record_profile(walk)
+        twin = SimpleRandomWalk(g, 0, rng=rng_factory(12))
+        near_target = g.n - max(1, g.n // 100)
+        half = 0 if twin.num_visited_vertices * 2 >= g.n else None
+        near = 0 if twin.num_visited_vertices >= near_target else None
+        while not twin.vertices_covered:
+            twin.step()
+            if half is None and twin.num_visited_vertices * 2 >= g.n:
+                half = twin.steps
+            if near is None and twin.num_visited_vertices >= near_target:
+                near = twin.steps
+        assert profile.half_cover_step == half
+        assert profile.near_cover_step == near
+        assert profile.graph_n == g.n
+        assert profile.tail_fraction(g.n) == pytest.approx(
+            1.0 - near / profile.vertex_cover_step
+        )
+
+    def test_landmarks_not_snapped_to_checkpoints(self, rng_factory):
+        # Checkpoints grow geometrically, so the first checkpoint at or
+        # past a landmark overshoots it without bound; the recorded
+        # landmark must be the exact step, which (deep in a long SRW run)
+        # falls strictly between checkpoints.
+        g = cycle_graph(120)
+        walk = SimpleRandomWalk(g, 0, rng=rng_factory(21))
+        profile = record_profile(walk, checkpoints=40)
+        first_half_checkpoint = next(
+            p.step for p in profile.points if p.vertices_visited * 2 >= g.n
+        )
+        assert profile.half_cover_step <= first_half_checkpoint
+        assert profile.half_cover_step not in profile.steps()
+        first_near_checkpoint = next(
+            p.step
+            for p in profile.points
+            if p.vertices_visited >= g.n - max(1, g.n // 100)
+        )
+        assert profile.near_cover_step <= first_near_checkpoint
+        # tail_fraction derives from the exact landmark, so it can only be
+        # larger (the checkpointed estimate under-counted the tail).
+        assert profile.tail_fraction(g.n) >= 1.0 - (
+            first_near_checkpoint / profile.vertex_cover_step
+        )
+
+    def test_tail_fraction_rejects_foreign_n(self, rng):
+        walk = EdgeProcess(cycle_graph(30), 0, rng=rng)
+        profile = record_profile(walk)
+        with pytest.raises(ReproError):
+            profile.tail_fraction(40)
+
     def test_checkpoint_count_tracks_request_on_large_budgets(self, rng):
         # A budget-bound run (cover far beyond max_steps) must produce
         # roughly `checkpoints` points: growth^checkpoints = budget, so the

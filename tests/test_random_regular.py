@@ -85,6 +85,24 @@ class TestConfigurationModel:
         with pytest.raises(GenerationError):
             configuration_model([2, 2], random.Random(0), simple=True, max_retries=50)
 
+    def test_degree_too_large_rejected_before_sampling(self):
+        # The d > n-1 bound lives in _validate_degree_sequence (the old
+        # inline copy in configuration_model is gone; the validator used to
+        # hold a dead `any(...) ... pass` branch that checked nothing).
+        with pytest.raises(GenerationError, match="exceeds n-1"):
+            configuration_model([4, 2, 1, 1], random.Random(0), simple=True)
+
+    def test_degree_equal_n_allowed_for_multigraphs(self, rng):
+        # d >= n is only impossible for *simple* graphs; a multigraph
+        # realizes it with loops/parallel edges.
+        degrees = [4, 2, 1, 1]
+        g = configuration_model(degrees, rng, simple=False)
+        assert list(g.degrees()) == degrees
+
+    def test_single_vertex_loops_allowed_for_multigraphs(self, rng):
+        g = configuration_model([2], rng, simple=False)
+        assert g.n == 1 and g.m == 1 and g.has_loops()
+
 
 class TestEvenDegreeSequences:
     def test_even_sequence(self, rng):

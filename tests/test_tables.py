@@ -38,6 +38,41 @@ class TestFormatTable:
         out = format_table(["name", "v"], [["x", 1], ["longer", 2]])
         assert "x     " in out.splitlines()[2]
 
+    def test_bool_cells_are_text_not_numeric(self):
+        # bool is an int subclass, but True/False are labels: they align
+        # left with the other text, never right like numbers.
+        out = format_table(["flag", "n"], [[True, 1], [False, 22]])
+        lines = out.splitlines()
+        assert lines[2].startswith("True ")
+        assert lines[3].startswith("False")
+        # the numeric column still right-aligns
+        assert lines[2].endswith(" 1")
+        assert lines[3].endswith("22")
+
+    def test_mixed_int_and_str_column_aligns_per_cell(self):
+        # One "n/a" must not flip the whole column to left-aligned text:
+        # numbers keep right-aligning, markers left-align.
+        out = format_table(["x", "tag"], [[1234, "a"], ["n/a", "b"]])
+        lines = out.splitlines()
+        assert lines[2] == "1234  a"
+        assert lines[3] == "n/a   b"
+
+    def test_mixed_column_header_left_aligned(self):
+        # Headers (and their dashes) right-align only over all-numeric
+        # columns; a mixed column reads as text at the top.
+        out = format_table(["value", "n"], [[1, 2], ["?", 3]])
+        header, dashes = out.splitlines()[:2]
+        assert header.startswith("value")
+        assert dashes.startswith("-----")
+        pure = format_table(["v", "n"], [[1, 2], [10, 3]])
+        assert pure.splitlines()[0].endswith("n")
+
+    def test_all_numeric_column_unchanged(self):
+        out = format_table(["n"], [[5], [500]])
+        lines = out.splitlines()
+        assert lines[2] == "  5"
+        assert lines[3] == "500"
+
 
 class TestSeriesTable:
     def _mk(self, label, values):
