@@ -368,6 +368,29 @@ def run_smoke(n: int) -> int:
             failures.append(f"{name}: array state diverged from reference")
         else:
             print(f"smoke {name}: array == reference over 20k steps")
+    # Implicit neighbor-oracle parity: the oracle engines on implicit
+    # graphs must replay the reference walks on the materialized twins.
+    from repro.graphs import ImplicitHypercube, ImplicitTorus
+
+    for oracle_graph in (ImplicitHypercube(8), ImplicitTorus(12, 16)):
+        materialized = oracle_graph.materialize()
+        for name in ("srw", "eprocess", "vprocess"):
+            variants = NAMED_WALK_FACTORIES[name]
+            oracle = variants["reference"](oracle_graph, 0, random.Random(777))
+            twin = variants["reference"](materialized, 0, random.Random(777))
+            if (
+                oracle.run_until_vertex_cover() != twin.run_until_vertex_cover()
+                or oracle.rng.getstate() != twin.rng.getstate()
+            ):
+                failures.append(
+                    f"{name}: oracle diverged from materialized reference "
+                    f"on {oracle_graph.name}"
+                )
+            else:
+                print(
+                    f"smoke {name}: oracle == materialized reference "
+                    f"({oracle_graph.name})"
+                )
     K = 7
     use_native = native.available()
     print(

@@ -1,0 +1,129 @@
+"""E13 — giant-graph cover runs on the implicit neighbor-oracle backend.
+
+The paper's cover-time claims are asymptotic; the materialized
+:class:`~repro.graphs.Graph` tops out around 10^6 vertices before the
+incidence tables dominate memory.  This bench drives the implicit
+backend (:mod:`repro.graphs.implicit`) to n >= 10^7: it runs single
+SRW and/or E-process vertex-cover trials on an implicit family member,
+reports steps, wall time, steps/second and **peak RSS**, and (optionally)
+enforces an RSS ceiling — the acceptance check that the oracle path
+really runs in O(n) bits rather than O(n·d) incidence entries.
+
+Standalone only (no pytest-benchmark timing):
+
+    python benchmarks/bench_implicit_scale.py --r 24 --walks srw eprocess
+    python benchmarks/bench_implicit_scale.py --smoke   # CI: r=21, RSS cap
+
+``--smoke`` (the CI ``giant-graph-smoke`` job) runs one SRW cover trial
+on ``implicit_hypercube r=21`` (2,097,152 vertices) and fails if peak
+RSS exceeds the ceiling (default 2048 MB — far below what materializing
+the 21·2^20-edge incidence structure would need, so a regression that
+silently materializes trips it immediately).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import NAMED_WALK_FACTORIES  # noqa: E402
+from repro.graphs import ImplicitHashedRegular, ImplicitHypercube  # noqa: E402
+from repro.sim.rng import DEFAULT_ROOT_SEED, spawn  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent / "out" / "BENCH_implicit_scale.json"
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux, bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def run_one(graph, walk: str, seed_label: str) -> dict:
+    """One vertex-cover trial of ``walk`` on ``graph`` (oracle engine)."""
+    factory = NAMED_WALK_FACTORIES[walk]["array"]
+    process = factory(graph, 0, spawn(DEFAULT_ROOT_SEED, seed_label))
+    t0 = time.perf_counter()
+    cover = process.run_until_vertex_cover()
+    wall = time.perf_counter() - t0
+    return {
+        "walk": walk,
+        "graph": graph.name,
+        "n": graph.n,
+        "m": graph.m,
+        "cover_steps": cover,
+        "wall_seconds": round(wall, 3),
+        "steps_per_sec": round(cover / wall) if wall else None,
+        "cover_over_n": round(cover / graph.n, 3),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--r", type=int, default=24,
+                        help="hypercube dimension (n = 2^r; default 24 ≈ 1.7e7)")
+    parser.add_argument("--family", default="hypercube",
+                        choices=["hypercube", "hashed"],
+                        help="implicit family (hashed: random 4-regular wiring "
+                        "on n = 2^r vertices)")
+    parser.add_argument("--walks", nargs="+", default=["srw", "eprocess"],
+                        choices=["srw", "eprocess", "vprocess"])
+    parser.add_argument("--rss-limit-mb", type=float, default=None,
+                        help="fail (exit 1) if peak RSS exceeds this")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: r=21 SRW trial under a 2048 MB RSS "
+                        "ceiling; no files written")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.r = min(args.r, 21)
+        args.walks = ["srw"]
+        if args.rss_limit_mb is None:
+            args.rss_limit_mb = 2048.0
+
+    if args.family == "hypercube":
+        graph = ImplicitHypercube(args.r)
+    else:
+        graph = ImplicitHashedRegular(1 << args.r, 4,
+                                      key=spawn(DEFAULT_ROOT_SEED, "E13-key").getrandbits(64))
+    print(f"graph: {graph.describe()}", flush=True)
+
+    results = []
+    for walk in args.walks:
+        row = run_one(graph, walk, f"E13-{walk}")
+        results.append(row)
+        print(
+            f"{walk}: cover={row['cover_steps']} steps "
+            f"({row['cover_over_n']}·n) in {row['wall_seconds']}s "
+            f"({row['steps_per_sec']}/s), peak RSS {row['peak_rss_mb']} MB",
+            flush=True,
+        )
+
+    worst = max(row["peak_rss_mb"] for row in results)
+    if args.rss_limit_mb is not None:
+        if worst > args.rss_limit_mb:
+            print(f"FAIL peak RSS {worst} MB exceeds ceiling {args.rss_limit_mb} MB")
+            return 1
+        print(f"peak RSS {worst} MB within ceiling {args.rss_limit_mb} MB")
+
+    if not args.smoke:
+        OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        OUT_PATH.write_text(json.dumps({"results": results}, indent=2) + "\n")
+        print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

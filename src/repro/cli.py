@@ -39,6 +39,7 @@ from repro.experiments import (
     SweepSpec,
     WALK_BUILDERS,
     family_params_from_size,
+    family_vertex_count,
     family_workload,
     format_sweep_report,
     print_progress,
@@ -74,11 +75,37 @@ def _build_family_graph(args: argparse.Namespace, rng) -> Graph:
     return family_workload(args.family, _family_params(args))(rng)
 
 
+#: Families the CLI's ``--family`` flags accept — the spec registry's
+#: names.  The ``implicit_*`` entries build neighbor-oracle graphs that
+#: never materialize their edge lists, so ``--n`` can go to 10^7+.
+FAMILY_CHOICES = [
+    "regular",
+    "cycle",
+    "complete",
+    "torus",
+    "hypercube",
+    "lps",
+    "implicit_hypercube",
+    "implicit_torus",
+    "implicit_hashed_regular",
+]
+
+
+def _require_materialized(args: argparse.Namespace, what: str) -> None:
+    """Commands that need the full edge list refuse implicit families."""
+    if args.family.startswith("implicit_"):
+        raise ReproError(
+            f"{what} needs the materialized edge list; family "
+            f"{args.family!r} is an implicit neighbor-oracle backend — "
+            "use the non-implicit family at a small n instead"
+        )
+
+
 def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--family",
         default="regular",
-        choices=["regular", "cycle", "complete", "torus", "hypercube", "lps"],
+        choices=FAMILY_CHOICES,
         help="graph family (default: random regular)",
     )
     parser.add_argument("--n", type=int, default=1000, help="target vertex count")
@@ -141,9 +168,11 @@ _DEFAULT_SWEEP_DEGREES = [4]
 def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     """Build the declarative sweep a `repro sweep`/`report` invocation names."""
     name = f"{args.family}-{args.walk}-{args.target}"
-    if args.family != "regular" and args.degrees is not None:
+    degree_families = ("regular", "implicit_hashed_regular")
+    if args.family not in degree_families and args.degrees is not None:
         raise ReproError(
-            f"--degrees applies only to --family regular, not {args.family!r}"
+            f"--degrees applies only to --family {'/'.join(degree_families)}, "
+            f"not {args.family!r}"
         )
     if args.family == "lps" and args.sizes is not None:
         raise ReproError(
@@ -164,6 +193,13 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         )
     if args.family == "lps":
         params_list = [{"p": args.p, "q": args.q}]
+    elif args.family == "implicit_hashed_regular":
+        degrees = args.degrees if args.degrees is not None else _DEFAULT_SWEEP_DEGREES
+        params_list = [
+            family_params_from_size(args.family, n, degree)
+            for degree in sorted(set(degrees))
+            for n in sizes
+        ]
     else:
         params_list = [family_params_from_size(args.family, n) for n in sizes]
     return SweepSpec.deduped(
@@ -271,6 +307,19 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         raise ReproError(f"unknown walk {args.walk!r}; choose from {sorted(WALKS)}")
     engine = getattr(args, "engine", "reference")
     workers = getattr(args, "workers", 1)
+    start = getattr(args, "start", "random")
+    params = _family_params(args)
+    if start != "random":
+        # Validate analytically, before any graph exists: a bad --start on
+        # a 10^7-vertex implicit family must error naming the range, not
+        # build (let alone materialize) anything first.
+        n_analytic = family_vertex_count(args.family, params)
+        if n_analytic is not None and not 0 <= int(start) < n_analytic:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+            raise ReproError(
+                f"start vertex {start} out of range 0..{n_analytic - 1} "
+                f"for {args.family}({inner})"
+            )
     build_rng = spawn(args.seed, "cli-cover-graph")
     graph = _build_family_graph(args, build_rng)
     # Walks go by name: the runner resolves the engine from the registry
@@ -282,6 +331,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
         trials=args.trials,
         root_seed=args.seed,
         target=args.target,
+        start=start,
         label=f"cli-cover-{args.walk}",
         engine=engine,
         workers=workers,
@@ -309,6 +359,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
 
 
 def _cmd_spectral(args: argparse.Namespace) -> int:
+    _require_materialized(args, "the spectral profile (dense eigensolve)")
     build_rng = spawn(args.seed, "cli-spectral-graph")
     graph = _build_family_graph(args, build_rng)
     lam1, lam2, lamn = extreme_eigenvalues(graph)
@@ -336,6 +387,7 @@ def _cmd_spectral(args: argparse.Namespace) -> int:
 
 
 def _cmd_goodness(args: argparse.Namespace) -> int:
+    _require_materialized(args, "exact ℓ-goodness")
     build_rng = spawn(args.seed, "cli-goodness-graph")
     graph = _build_family_graph(args, build_rng)
     if graph.n > args.limit:
@@ -353,15 +405,22 @@ def _cmd_goodness(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.engine import NAMED_WALK_FACTORIES
     from repro.sim.plot import ascii_plot
     from repro.sim.profiles import record_profile
-    from repro.walks.srw import SimpleRandomWalk
 
     build_rng = spawn(args.seed, "cli-profile-graph")
     graph = _build_family_graph(args, build_rng)
-    e_walk = EdgeProcess(graph, 0, rng=spawn(args.seed, "cli-profile-e"))
+    # Registry factories dispatch per backend (the oracle walks step
+    # implicit families) and consume randomness identically to the direct
+    # constructors, so materialized-family output is unchanged.
+    e_walk = NAMED_WALK_FACTORIES["eprocess"]["reference"](
+        graph, 0, spawn(args.seed, "cli-profile-e")
+    )
     e_profile = record_profile(e_walk)
-    s_walk = SimpleRandomWalk(graph, 0, rng=spawn(args.seed, "cli-profile-s"))
+    s_walk = NAMED_WALK_FACTORIES["srw"]["reference"](
+        graph, 0, spawn(args.seed, "cli-profile-s")
+    )
     s_profile = record_profile(s_walk)
     series = [
         (
@@ -404,6 +463,7 @@ def _cmd_blanket(args: argparse.Namespace) -> int:
     from repro.sim.blanket import blanket_time, time_to_visit_counts
     from repro.walks.srw import SimpleRandomWalk
 
+    _require_materialized(args, "blanket times (per-vertex visit counts)")
     build_rng = spawn(args.seed, "cli-blanket-graph")
     graph = _build_family_graph(args, build_rng)
     t_r_values = []
@@ -535,7 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--family",
             default="regular",
-            choices=["regular", "cycle", "complete", "torus", "hypercube", "lps"],
+            choices=FAMILY_CHOICES,
             help="graph family (default: random regular)",
         )
         p.add_argument("--sizes", type=int, nargs="+", default=None,
@@ -591,6 +651,12 @@ def build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--walk", default="eprocess", choices=sorted(WALKS))
     cover.add_argument("--target", default="vertices", choices=["vertices", "edges"])
     cover.add_argument("--trials", type=int, default=5)
+    cover.add_argument(
+        "--start",
+        default="random",
+        help="fixed start vertex id, or 'random' for a uniform start per "
+        "trial (default: random)",
+    )
     cover.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
     _add_engine_arguments(cover)
     cover.set_defaults(fn=_cmd_cover)

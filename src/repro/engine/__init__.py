@@ -42,10 +42,12 @@ from repro.engine.base import DEFAULT_CHUNK_SIZE, ArrayWalkEngine, MTWordStream
 from repro.engine.eprocess import ArrayEdgeProcess
 from repro.engine.fleet import DEFAULT_FLEET_SIZE, FleetSRW, fleet_supported
 from repro.engine.fleet_unvisited import FleetEdgeProcess, FleetVProcess
+from repro.engine.oracle import OracleEdgeProcess, OracleSRW, OracleVProcess
 from repro.engine.rotor import ArrayRotorRouter
 from repro.engine.rwc import ArrayRWC
 from repro.engine.srw import ArraySRW
 from repro.errors import ReproError
+from repro.graphs.implicit import is_implicit
 from repro.walks.choice import RandomWalkWithChoice, UnvisitedVertexWalk
 from repro.walks.fair import LeastUsedFirstWalk, OldestFirstWalk
 from repro.walks.rotor import RotorRouterWalk
@@ -57,6 +59,9 @@ __all__ = [
     "ArrayEdgeProcess",
     "ArrayRotorRouter",
     "ArrayRWC",
+    "OracleSRW",
+    "OracleEdgeProcess",
+    "OracleVProcess",
     "FleetSRW",
     "FleetEdgeProcess",
     "FleetVProcess",
@@ -73,47 +78,77 @@ __all__ = [
 ENGINES = ("reference", "array", "fleet")
 
 
+def _refuse_implicit(walk_name: str, graph, state: str) -> None:
+    """Walks needing dense per-edge state have no oracle twin — refuse
+    loudly rather than materialize O(m) state behind the caller's back."""
+    if is_implicit(graph):
+        raise ReproError(
+            f"walk {walk_name!r} needs {state} — per-edge state the implicit "
+            f"neighbor-oracle backend cannot provide for {graph!r}; call "
+            "materialize() on the graph (small n) or use "
+            "srw/eprocess/vprocess, which have oracle engines"
+        )
+
+
 def _srw_reference(graph, start, rng):
+    if is_implicit(graph):
+        return OracleSRW(graph, start, rng=rng, track_edges=True)
     return SimpleRandomWalk(graph, start, rng=rng, track_edges=True)
 
 
 def _srw_array(graph, start, rng):
+    if is_implicit(graph):
+        # One oracle engine serves both names: its chunk tiers already
+        # batch draws, and bit-identity makes the distinction unobservable.
+        return OracleSRW(graph, start, rng=rng, track_edges=True)
     return ArraySRW(graph, start, rng=rng, track_edges=True)
 
 
 def _eprocess_reference(graph, start, rng):
+    if is_implicit(graph):
+        return OracleEdgeProcess(graph, start, rng=rng, record_phases=False)
     return EdgeProcess(graph, start, rng=rng, record_phases=False)
 
 
 def _eprocess_array(graph, start, rng):
+    if is_implicit(graph):
+        return OracleEdgeProcess(graph, start, rng=rng, record_phases=False)
     return ArrayEdgeProcess(graph, start, rng=rng, record_phases=False)
 
 
 def _rotor_reference(graph, start, rng):
+    _refuse_implicit("rotor", graph, "a per-vertex rotor table")
     return RotorRouterWalk(graph, start, rng=rng, randomize_rotors=True, track_edges=True)
 
 
 def _rotor_array(graph, start, rng):
+    _refuse_implicit("rotor", graph, "a per-vertex rotor table")
     return ArrayRotorRouter(graph, start, rng=rng, randomize_rotors=True, track_edges=True)
 
 
 def _rwc2_reference(graph, start, rng):
+    _refuse_implicit("rwc2", graph, "per-vertex visit counts")
     return RandomWalkWithChoice(graph, start, d=2, rng=rng, track_edges=True)
 
 
 def _rwc2_array(graph, start, rng):
+    _refuse_implicit("rwc2", graph, "per-vertex visit counts")
     return ArrayRWC(graph, start, d=2, rng=rng, track_edges=True)
 
 
 def _vprocess_reference(graph, start, rng):
+    if is_implicit(graph):
+        return OracleVProcess(graph, start, rng=rng, track_edges=True)
     return UnvisitedVertexWalk(graph, start, rng=rng, track_edges=True)
 
 
 def _least_used_reference(graph, start, rng):
+    _refuse_implicit("least-used", graph, "per-edge traversal counts")
     return LeastUsedFirstWalk(graph, start, rng=rng, track_edges=True)
 
 
 def _oldest_first_reference(graph, start, rng):
+    _refuse_implicit("oldest-first", graph, "per-edge last-use ages")
     return OldestFirstWalk(graph, start, rng=rng, track_edges=True)
 
 

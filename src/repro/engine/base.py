@@ -51,6 +51,11 @@ from repro.errors import ReproError
 __all__ = [
     "ArrayWalkEngine",
     "MTWordStream",
+    "VisitedSet",
+    "NeighborBackend",
+    "CSRNeighborBackend",
+    "OracleNeighborBackend",
+    "neighbor_backend",
     "mt_state_to_numpy",
     "mt_state_from_numpy",
     "DEFAULT_CHUNK_SIZE",
@@ -208,6 +213,180 @@ class MTWordStream:
         self._handed = 0
         self._pre_take_state = None
         self._last_count = 0
+
+
+class VisitedSet:
+    """A packed-uint64 bitset for visitation state: n *bits*, not n bytes.
+
+    The materialized engines keep their historical ``bytearray`` state
+    (one byte per vertex is fine at n ~ 10^5), but at n ≥ 10^7 — and for
+    the fleet's K·n lane-major state — bytes are the difference between
+    fitting in cache and not.  Both oracle layers (the array-style
+    :mod:`repro.engine.oracle` walks and the fleet's oracle block kernel)
+    share this implementation.
+
+    Two access styles, matching the two kinds of hot loop:
+
+    * vectorized (``test_many``/``set_many``/``fresh_indices``) on int64
+      numpy index arrays — the fleet block kernel;
+    * scalar via :meth:`checkout_words`/:meth:`checkin_words`: the caller
+      borrows the words as a plain Python list (CPython int bit-ops beat
+      numpy scalar indexing several-fold in per-step loops), mutates, and
+      checks back in.  Vectorized access while checked out is invalid.
+    """
+
+    __slots__ = ("nbits", "words", "count", "_checked_out")
+
+    def __init__(self, nbits: int):
+        import numpy as np
+
+        self.nbits = nbits
+        self.words = np.zeros((nbits + 63) >> 6, dtype=np.uint64)
+        self.count = 0  # bits set, maintained by add()/set_many()
+        self._checked_out = False
+
+    def test(self, i: int) -> bool:
+        return bool((int(self.words[i >> 6]) >> (i & 63)) & 1)
+
+    def add(self, i: int) -> bool:
+        """Set bit ``i``; True if it was fresh."""
+        w = i >> 6
+        bit = 1 << (i & 63)
+        old = int(self.words[w])
+        if old & bit:
+            return False
+        self.words[w] = old | bit
+        self.count += 1
+        return True
+
+    def test_many(self, indices):
+        """Boolean array: bit set for each index (vectorized)."""
+        import numpy as np
+
+        shifts = (indices & 63).astype(np.uint64)
+        return ((self.words[indices >> 6] >> shifts) & np.uint64(1)).astype(bool)
+
+    def fresh_indices(self, indices):
+        """Positions in ``indices`` whose bit is clear (vectorized)."""
+        import numpy as np
+
+        shifts = (indices & 63).astype(np.uint64)
+        hit = (self.words[indices >> 6] >> shifts) & np.uint64(1)
+        return (hit == 0).nonzero()[0]
+
+    def set_many(self, indices) -> int:
+        """Set all bits in ``indices`` (need not be distinct); returns the
+        number that were fresh, updating :attr:`count`."""
+        import numpy as np
+
+        idx = np.unique(indices)
+        fresh = idx[self.fresh_indices(idx)]
+        np.bitwise_or.at(
+            self.words, fresh >> 6, np.uint64(1) << (fresh & 63).astype(np.uint64)
+        )
+        self.count += int(fresh.size)
+        return int(fresh.size)
+
+    def checkout_words(self) -> list:
+        """Borrow the words as a Python int list for a scalar hot loop.
+
+        The caller owns bit mutations until :meth:`checkin_words`; it must
+        track its own fresh count and pass the delta back in.
+        """
+        if self._checked_out:
+            raise ReproError("VisitedSet words already checked out")
+        self._checked_out = True
+        return self.words.tolist()
+
+    def checkin_words(self, words: list, added: int) -> None:
+        """Absorb a borrowed word list and the number of newly set bits."""
+        import numpy as np
+
+        if not self._checked_out:
+            raise ReproError("VisitedSet words were not checked out")
+        self.words[:] = np.asarray(words, dtype=np.uint64)
+        self.count += added
+        self._checked_out = False
+
+    def to_bytearray(self, lo: int = 0, hi: int = None) -> bytearray:
+        """Bits ``[lo, hi)`` expanded to one byte each (0/1).
+
+        Hand-off adapter: the materialized walks' ``visited_vertices`` is
+        a byte-per-vertex ``bytearray``.
+        """
+        import numpy as np
+
+        if hi is None:
+            hi = self.nbits
+        idx = np.arange(lo, hi, dtype=np.int64)
+        shifts = (idx & 63).astype(np.uint64)
+        bits = (self.words[idx >> 6] >> shifts) & np.uint64(1)
+        return bytearray(bits.astype(np.uint8).tobytes())
+
+    def __len__(self) -> int:
+        return self.nbits
+
+
+class NeighborBackend:
+    """The seam the array/fleet kernels resolve neighbors through.
+
+    Two implementations: :class:`CSRNeighborBackend` (a materialized
+    :class:`~repro.graphs.graph.Graph`'s flat arrays — the existing path)
+    and :class:`OracleNeighborBackend` (closed-form evaluation on an
+    :class:`~repro.graphs.implicit.ImplicitGraph`, scalar or on whole
+    index arrays at once).  ``resolve(v, k)`` answers slot ``k`` at ``v``;
+    ``resolve_many`` is the vectorized form the lockstep kernels use.
+    """
+
+    is_oracle = False
+
+    def resolve(self, vertex: int, slot: int) -> int:
+        raise NotImplementedError
+
+    def resolve_many(self, vertices, slots):
+        raise NotImplementedError
+
+
+class CSRNeighborBackend(NeighborBackend):
+    """Neighbor resolution from a materialized graph's CSR arrays."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        offsets, _eids, neighbors = graph.csr_arrays()
+        self._offsets = offsets
+        self._neighbors = neighbors
+        self._off_list = offsets.tolist()
+        self._nbr_list = neighbors.tolist()
+
+    def resolve(self, vertex: int, slot: int) -> int:
+        return self._nbr_list[self._off_list[vertex] + slot]
+
+    def resolve_many(self, vertices, slots):
+        return self._neighbors[self._offsets[vertices] + slots]
+
+
+class OracleNeighborBackend(NeighborBackend):
+    """Neighbor resolution by evaluating an implicit graph's oracle."""
+
+    is_oracle = True
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def resolve(self, vertex: int, slot: int) -> int:
+        return self.graph.kth_neighbor(vertex, slot)
+
+    def resolve_many(self, vertices, slots):
+        return self.graph.kth_neighbors(vertices, slots)
+
+
+def neighbor_backend(graph) -> NeighborBackend:
+    """The right :class:`NeighborBackend` for ``graph``."""
+    from repro.graphs.implicit import is_implicit
+
+    if is_implicit(graph):
+        return OracleNeighborBackend(graph)
+    return CSRNeighborBackend(graph)
 
 
 class ArrayWalkEngine:

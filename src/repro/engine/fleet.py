@@ -59,9 +59,15 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.base import MTWordStream, mt_state_from_numpy, mt_state_to_numpy
+from repro.engine.base import (
+    MTWordStream,
+    VisitedSet,
+    mt_state_from_numpy,
+    mt_state_to_numpy,
+)
 from repro.errors import CoverTimeout, GraphError, ReproError
 from repro.graphs.graph import Graph
+from repro.graphs.implicit import is_implicit
 from repro.walks.base import default_step_budget
 
 __all__ = [
@@ -131,6 +137,13 @@ def fleet_supported(
     deduplicates *distinct* neighbours, which is the identity exactly when
     there are no loops or parallel edges).
 
+    Implicit neighbor-oracle lanes (:mod:`repro.graphs.implicit`) are
+    accepted for ``srw`` only — the block kernel resolves whole lane rows
+    through the vectorized oracle — and must all share one implicit graph;
+    the E-/V-process lockstep kernels need per-edge CSR state the oracle
+    cannot provide, so those fleets refuse with a reason naming the walk
+    and backend (the per-trial oracle engines still serve them).
+
     A failed check names the offending lane — annotated with its entry in
     ``labels`` when given (the runner passes trial ids) — so errors point
     at the exact trial that broke fleet eligibility.
@@ -145,39 +158,66 @@ def fleet_supported(
         return False, f"walk {walk!r} has no fleet kernel (fleet walks: {list(FLEET_WALKS)})"
     if not graphs:
         return False, "empty fleet"
-    first = graphs[0]
-    n, m = first.n, first.m
-    checked: List[Tuple[int, Graph]] = []
-    seen_graphs: Dict[int, int] = {}
-    for k, g in enumerate(graphs):
-        if id(g) in seen_graphs:
-            continue
-        seen_graphs[id(g)] = k
-        checked.append((k, g))
-        if g.n != n or g.m != m:
+    if any(is_implicit(g) for g in graphs):
+        # Implicit neighbor-oracle lanes: the SRW block kernel only needs
+        # vectorized kth_neighbor evaluation, which the oracle provides;
+        # the E-/V-process lockstep kernels read per-edge CSR tiles and
+        # dedup tables the oracle cannot supply.
+        for k, g in enumerate(graphs):
+            if not is_implicit(g):
+                return False, (
+                    f"{lane(k)}: graph {g!r} is materialized but other "
+                    "lanes are implicit (a fleet needs one backend across "
+                    "all lanes)"
+                )
+        if walk != "srw":
             return False, (
-                f"{lane(k)}: graph {g!r} breaks the fleet's shared shape "
-                f"(lane 0 has n={n}, m={m}; a fleet needs one (n, m) "
-                "across all lanes)"
+                f"walk {walk!r} on the implicit neighbor-oracle backend "
+                "has no fleet kernel: its lockstep stepping needs per-edge "
+                "CSR state the oracle cannot provide; use engine='array' "
+                "(the oracle per-trial engine) or materialize() the graph"
             )
-        if g.min_degree == 0 and g.n > 1:
-            return False, f"{lane(k)}: graph {g!r} has isolated vertices"
-    if walk == "eprocess":
-        for k, g in checked:
-            if g.has_loops():
+        g0 = graphs[0]
+        for k, g in enumerate(graphs):
+            if g is not g0 and g != g0:
                 return False, (
-                    f"{lane(k)}: graph {g!r} has self-loops (the E-process "
-                    "blue-candidate dedup and double blue-degree decrement "
-                    "are per-step state the fleet kernel does not model)"
+                    f"{lane(k)}: implicit fleet lanes must share one graph "
+                    f"(lane 0 has {g0!r}, got {g!r})"
                 )
-    elif walk == "vprocess":
-        for k, g in checked:
-            if g.has_loops() or g.has_parallel_edges():
+    else:
+        first = graphs[0]
+        n, m = first.n, first.m
+        checked: List[Tuple[int, Graph]] = []
+        seen_graphs: Dict[int, int] = {}
+        for k, g in enumerate(graphs):
+            if id(g) in seen_graphs:
+                continue
+            seen_graphs[id(g)] = k
+            checked.append((k, g))
+            if g.n != n or g.m != m:
                 return False, (
-                    f"{lane(k)}: graph {g!r} is not simple (the V-process "
-                    "deduplicates distinct neighbours, which only matches "
-                    "the incidence rows on loop-free, parallel-free graphs)"
+                    f"{lane(k)}: graph {g!r} breaks the fleet's shared shape "
+                    f"(lane 0 has n={n}, m={m}; a fleet needs one (n, m) "
+                    "across all lanes)"
                 )
+            if g.min_degree == 0 and g.n > 1:
+                return False, f"{lane(k)}: graph {g!r} has isolated vertices"
+        if walk == "eprocess":
+            for k, g in checked:
+                if g.has_loops():
+                    return False, (
+                        f"{lane(k)}: graph {g!r} has self-loops (the E-process "
+                        "blue-candidate dedup and double blue-degree decrement "
+                        "are per-step state the fleet kernel does not model)"
+                    )
+        elif walk == "vprocess":
+            for k, g in checked:
+                if g.has_loops() or g.has_parallel_edges():
+                    return False, (
+                        f"{lane(k)}: graph {g!r} is not simple (the V-process "
+                        "deduplicates distinct neighbours, which only matches "
+                        "the incidence rows on loop-free, parallel-free graphs)"
+                    )
     for k, rng in enumerate(rngs):
         if not MTWordStream.supports(rng):
             return False, (
@@ -988,6 +1028,10 @@ class FleetSRW(_StepwiseFleet):
         #: common degree of an all-regular fleet (0 when any lane is
         #: irregular — those fleets run the stepwise kernel).
         self.d = self._common_degree()
+        #: implicit neighbor-oracle lanes (always regular, one shared
+        #: graph — fleet_supported enforces both): the block kernel
+        #: resolves rows through the vectorized oracle instead of CSR.
+        self._oracle = is_implicit(self.graphs[0])
         self._fv = []  # type: ignore[var-annotated]
         self._fv_stride = 0
 
@@ -1028,10 +1072,147 @@ class FleetSRW(_StepwiseFleet):
         max_steps: Optional[int] = None,
         labels: Optional[Sequence[object]] = None,
     ) -> List[int]:
+        if self._oracle:
+            return self._run_oracle(target, max_steps, labels)
         if self.d:
             return self._run_regular(target, max_steps, labels)
         # Irregular lanes: the stepwise kernel with per-degree prefilters.
         return super().run_until_cover(target, max_steps, labels)
+
+    def _run_oracle(
+        self,
+        target: str,
+        max_steps: Optional[int],
+        labels: Optional[Sequence[object]],
+    ) -> List[int]:
+        """The block kernel against an implicit graph's vectorized oracle.
+
+        Same structure and draw accounting as :meth:`_run_regular` (the
+        per-lane :class:`_LaneDraws` prefilter streams are graph-agnostic),
+        but each trajectory row is resolved by one
+        ``kth_neighbors(lane vertices, lane moves)`` oracle call, and
+        visitation lives in a packed :class:`VisitedSet` (K·n *bits*) —
+        the same bitset the per-trial oracle engines use.  Edge runs
+        identify edges by canonical dart (``edge_slots``), so ``full`` is
+        ``m`` while the id space is the ``n·d`` dart space; first-visit
+        recording shuts off when ``K × id-space`` would dwarf the bitsets
+        (cover counts stay exact).  No scalar tail hand-off: the oracle
+        rows stay cheap at any width, so stragglers just keep riding
+        blocks.
+        """
+        import numpy as np
+
+        if target not in ("vertices", "edges"):
+            raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+        K, n, m, d = self.K, self.n, self.m, self.d
+        graph = self.graphs[0]
+        names = list(labels) if labels is not None else list(range(K))
+        budget = max_steps if max_steps is not None else default_step_budget(graph)
+        by_vertices = target == "vertices"
+        full = n if by_vertices else m
+        stride = n if by_vertices else n * d  # dart space carries edge ids
+        record_fv = K * stride <= (1 << 26)
+        visited = VisitedSet(K * stride)
+        words = visited.words
+        fv = [-1] * (K * stride) if record_fv else None
+        counts = [0] * K
+        cover: List[Optional[int]] = [None] * K
+        cur_v = np.array(self.starts, dtype=np.int64)
+        if by_vertices:
+            for k, s in enumerate(self.starts):
+                visited.add(k * n + s)
+                if record_fv:
+                    fv[k * n + s] = 0
+                counts[k] = 1
+
+        lanes: List[int] = []
+        draws: List[Optional[_LaneDraws]] = [None] * K
+        for k in range(K):
+            if counts[k] == full:  # n == 1: covered at time 0
+                cover[k] = 0
+            else:
+                draws[k] = _LaneDraws(self.rngs[k], d)
+                lanes.append(k)
+
+        steps = 0
+        block = self.block_steps
+        kth = graph.kth_neighbors
+        eslots = graph.edge_slots
+        try:
+            while lanes:
+                if steps >= budget:
+                    k = lanes[0]
+                    raise CoverTimeout(
+                        f"fleet lane {names[k]!r} did not cover all {target} "
+                        f"within {budget} steps ({full - counts[k]} left)",
+                        steps=steps,
+                        remaining=full - counts[k],
+                    )
+                T = min(block, budget - steps)
+                A = len(lanes)
+                lanes_np = np.array(lanes, dtype=np.int64)
+                M = np.empty((T, A), dtype=np.int64)
+                for i, k in enumerate(lanes):
+                    lane = draws[k]
+                    if lane.count < steps + T:
+                        lane.ensure(steps + 8 * block)
+                    M[:, i] = lane.moves[steps : steps + T]
+                vtraj = np.empty((T, A), dtype=np.int64)
+                keys = None if by_vertices else np.empty((T, A), dtype=np.int64)
+                cv = cur_v[lanes_np]
+                if keys is None:
+                    for t in range(T):
+                        cv = kth(cv, M[t])
+                        vtraj[t] = cv
+                else:
+                    for t in range(T):
+                        mrow = M[t]
+                        keys[t] = eslots(cv, mrow)
+                        cv = kth(cv, mrow)
+                        vtraj[t] = cv
+                cur_v[lanes_np] = cv
+                off = lanes_np * stride
+                flat = ((vtraj if by_vertices else keys) + off[None, :]).reshape(-1)
+                fresh = visited.fresh_indices(flat)
+                if fresh.size > 512:
+                    _, first_occ = np.unique(flat[fresh], return_index=True)
+                    fresh = fresh[np.sort(first_occ)]
+                if fresh.size:
+                    ids = flat[fresh].tolist()
+                    for p, gid in zip(fresh.tolist(), ids):
+                        wi = gid >> 6
+                        bit = 1 << (gid & 63)
+                        wv = int(words[wi])
+                        if wv & bit:
+                            continue  # revisit within this block
+                        words[wi] = wv | bit
+                        t = p // A
+                        k = lanes[p - t * A]
+                        step_no = steps + t + 1
+                        if record_fv:
+                            fv[gid] = step_no
+                        c = counts[k] + 1
+                        counts[k] = c
+                        if c == full:
+                            cover[k] = step_no
+                steps += T
+                if any(cover[k] is not None for k in lanes):
+                    for i, k in enumerate(lanes):
+                        if cover[k] is None:
+                            continue
+                        t_cov = cover[k] - (steps - T) - 1
+                        cur_v[k] = vtraj[t_cov, i]
+                        draws[k].sync(cover[k])
+                    lanes = [k for k in lanes if cover[k] is None]
+        finally:
+            for k in lanes:
+                if draws[k] is not None:
+                    draws[k].sync(steps)
+        self.cover_steps = cover
+        self._fv_stride = stride if record_fv else 0
+        self._fv = fv if record_fv else []
+        self._pos = [int(v) for v in cur_v]
+        return [int(c) for c in cover]  # type: ignore[arg-type]
 
     def _run_regular(
         self,
@@ -1375,7 +1556,10 @@ class FleetSRW(_StepwiseFleet):
 
         Vertex ids for a ``"vertices"`` run, edge ids for ``"edges"`` —
         matching ``first_visit_time`` / ``first_edge_visit_time`` of the
-        reference walk at its cover instant.
+        reference walk at its cover instant.  Implicit-graph (oracle)
+        edge runs index by canonical dart instead of edge id (entry
+        ``edge_slot(v, k)`` is the edge's first-traversal step); giant
+        runs where recording was shut off return ``[]``.
         """
         s = self._fv_stride
         seg = self._fv[lane * s : (lane + 1) * s]

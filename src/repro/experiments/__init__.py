@@ -39,6 +39,7 @@ from repro.experiments.spec import (
     ExperimentSpec,
     SweepSpec,
     family_params_from_size,
+    family_vertex_count,
     family_workload,
 )
 from repro.experiments.store import (
@@ -55,6 +56,7 @@ __all__ = [
     "FAMILY_BUILDERS",
     "WALK_BUILDERS",
     "family_params_from_size",
+    "family_vertex_count",
     "family_workload",
     "ResultStore",
     "TrialRecord",

@@ -33,6 +33,9 @@ from repro.engine import ENGINES, NAMED_WALK_FACTORIES
 from repro.errors import ReproError
 from repro.graphs import (
     Graph,
+    ImplicitHashedRegular,
+    ImplicitHypercube,
+    ImplicitTorus,
     complete_graph,
     cycle_graph,
     hypercube_graph,
@@ -47,6 +50,7 @@ __all__ = [
     "WALK_BUILDERS",
     "ExperimentSpec",
     "SweepSpec",
+    "family_vertex_count",
     "family_workload",
 ]
 
@@ -79,9 +83,27 @@ def _build_lps(params: Mapping[str, Any], rng) -> Graph:
     return lps_graph(params["p"], params["q"])
 
 
+def _build_implicit_hypercube(params: Mapping[str, Any], rng):
+    return ImplicitHypercube(params["r"])
+
+
+def _build_implicit_torus(params: Mapping[str, Any], rng):
+    return ImplicitTorus(params["rows"], params["cols"])
+
+
+def _build_implicit_hashed(params: Mapping[str, Any], rng):
+    # The wiring key comes off the trial's graph stream — a fresh random
+    # d-regular-ish multigraph per trial, the implicit counterpart of the
+    # "regular" family's per-trial configuration-model draw.
+    return ImplicitHashedRegular(params["n"], params["degree"], key=rng.getrandbits(64))
+
+
 #: Families an :class:`ExperimentSpec` can name.  Each entry pins the exact
 #: parameter set so specs with stray/missing params fail at construction,
-#: not at run time inside a worker.
+#: not at run time inside a worker.  The ``implicit_*`` families build
+#: neighbor-oracle graphs (:mod:`repro.graphs.implicit`) — O(1) memory at
+#: any size, stepped by the oracle engines; walks that need per-edge state
+#: refuse them by name (see :mod:`repro.engine`).
 FAMILY_BUILDERS: Dict[str, Tuple[Tuple[str, ...], Callable[[Mapping[str, Any], Any], Graph]]] = {
     "regular": (("n", "degree"), _build_regular),
     "cycle": (("n",), _build_cycle),
@@ -89,7 +111,27 @@ FAMILY_BUILDERS: Dict[str, Tuple[Tuple[str, ...], Callable[[Mapping[str, Any], A
     "torus": (("rows", "cols"), _build_torus),
     "hypercube": (("r",), _build_hypercube),
     "lps": (("p", "q"), _build_lps),
+    "implicit_hypercube": (("r",), _build_implicit_hypercube),
+    "implicit_torus": (("cols", "rows"), _build_implicit_torus),
+    "implicit_hashed_regular": (("degree", "n"), _build_implicit_hashed),
 }
+
+
+def family_vertex_count(family: str, params: Mapping[str, Any]) -> Optional[int]:
+    """Vertex count of a family member, derived from params alone.
+
+    Analytic — never builds the graph, so a giant implicit spec can
+    validate its start vertex without materializing anything.  ``None``
+    for families whose size needs the actual build (currently ``lps``,
+    whose vertex count depends on Legendre-symbol arithmetic).
+    """
+    if family in ("regular", "cycle", "complete", "implicit_hashed_regular"):
+        return int(params["n"])
+    if family in ("torus", "implicit_torus"):
+        return int(params["rows"]) * int(params["cols"])
+    if family in ("hypercube", "implicit_hypercube"):
+        return 1 << int(params["r"])
+    return None
 
 
 class _FamilyWorkload:
@@ -203,6 +245,16 @@ class ExperimentSpec:
                 raise ReproError(
                     f"start must be a vertex id or 'random', got {self.start!r}"
                 ) from None
+            # Families with param-derived sizes validate the start range
+            # here, analytically — a bad --start on a 10^7-vertex implicit
+            # spec errors at construction, not after building anything.
+            n = family_vertex_count(self.family, self.params)
+            if n is not None and not 0 <= self.start < n:
+                inner = ",".join(f"{k}={v}" for k, v in self.family_params)
+                raise ReproError(
+                    f"start vertex {self.start} out of range 0..{n - 1} "
+                    f"for {self.family}({inner})"
+                )
         if self.max_steps is not None and self.max_steps < 1:
             raise ReproError(f"max_steps must be >= 1, got {self.max_steps}")
 
@@ -249,7 +301,14 @@ class ExperimentSpec:
     def describe(self) -> str:
         """Compact human-readable one-liner for progress lines and `store ls`."""
         inner = ",".join(f"{k}={v}" for k, v in self.family_params)
-        bits = f"{self.family}({inner}) {self.walk}/{self.target}"
+        bits = f"{self.family}({inner})"
+        if self.family.startswith("implicit_"):
+            # Implicit members never materialize, so surface the derived
+            # size — the number a reader wants — next to the raw params.
+            n = family_vertex_count(self.family, self.params)
+            if n is not None:
+                bits += f"[n={n}]"
+        bits += f" {self.walk}/{self.target}"
         if self.start != "random":
             bits += f" start={self.start}"
         return f"{bits} seed={self.root_seed} trials={self.trials}"
@@ -395,14 +454,17 @@ def family_params_from_size(family: str, n: int, degree: int = 4) -> Dict[str, A
         return {"n": _adjust_regular_n(n, degree), "degree": degree}
     if family in ("cycle", "complete"):
         return {"n": n}
-    if family == "torus":
+    if family in ("torus", "implicit_torus"):
         side = max(3, int(math.isqrt(n)))
         return {"rows": side, "cols": side}
-    if family == "hypercube":
+    if family in ("hypercube", "implicit_hypercube"):
         return {"r": max(1, int(round(math.log2(n))))}
+    if family == "implicit_hashed_regular":
+        return {"n": _adjust_regular_n(n, degree), "degree": degree}
     raise ReproError(
-        f"family {family!r} has no size-derived params; "
-        f"sizeable families: ['complete', 'cycle', 'hypercube', 'regular', 'torus']"
+        f"family {family!r} has no size-derived params; sizeable families: "
+        f"['complete', 'cycle', 'hypercube', 'implicit_hashed_regular', "
+        f"'implicit_hypercube', 'implicit_torus', 'regular', 'torus']"
     )
 
 

@@ -29,6 +29,13 @@ from repro.graphs.generators import (
     torus_grid,
 )
 from repro.graphs.graph import Graph, GraphBuilder
+from repro.graphs.implicit import (
+    ImplicitGraph,
+    ImplicitHashedRegular,
+    ImplicitHypercube,
+    ImplicitTorus,
+    is_implicit,
+)
 from repro.graphs.properties import (
     bfs_distances,
     connected_components,
@@ -67,6 +74,12 @@ from repro.graphs.transform import (
 __all__ = [
     "Graph",
     "GraphBuilder",
+    # implicit neighbor-oracle backend
+    "ImplicitGraph",
+    "ImplicitHashedRegular",
+    "ImplicitHypercube",
+    "ImplicitTorus",
+    "is_implicit",
     # builders
     "from_adjacency",
     "from_edges",

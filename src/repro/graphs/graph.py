@@ -156,13 +156,33 @@ class Graph:
     def neighbors(self, vertex: int) -> Tuple[int, ...]:
         """Distinct neighbours of ``vertex`` in ascending order.
 
-        A vertex with a loop is its own neighbour.
+        A vertex with a loop is its own neighbour.  Cached per graph:
+        property code and walk setup call this in loops, and re-sorting a
+        fresh set on every call dominated their profiles.
         """
-        return tuple(sorted({w for (_, w) in self._incidence[vertex]}))
+        cache = self.scratch_cache()
+        table = cache.get("neighbors")
+        if table is None:
+            table = cache["neighbors"] = {}
+        out = table.get(vertex)
+        if out is None:
+            out = table[vertex] = tuple(
+                sorted({w for (_, w) in self._incidence[vertex]})
+            )
+        return out
 
     def incident_edges(self, vertex: int) -> Tuple[int, ...]:
-        """Distinct ids of edges incident with ``vertex``."""
-        return tuple(sorted({eid for (eid, _) in self._incidence[vertex]}))
+        """Distinct ids of edges incident with ``vertex`` (cached)."""
+        cache = self.scratch_cache()
+        table = cache.get("incident_edges")
+        if table is None:
+            table = cache["incident_edges"] = {}
+        out = table.get(vertex)
+        if out is None:
+            out = table[vertex] = tuple(
+                sorted({eid for (eid, _) in self._incidence[vertex]})
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Aggregate properties

@@ -1,0 +1,571 @@
+"""Implicit neighbor-oracle graphs: walk at n ≥ 10^7 without an edge list.
+
+Every walk in the library only ever asks a graph two questions per step —
+"what is the degree of v?" and "what is the k-th incident neighbor of v?" —
+yet a materialized :class:`~repro.graphs.graph.Graph` answers them from
+O(m) CSR arrays, capping experiments near n ~ 10^6.  An
+:class:`ImplicitGraph` answers the same questions from a closed-form
+*oracle* in O(1) memory, which is what lets the cover-time separation
+(E-process Θ(n) vs SRW Θ(n log n)) be measured in the regime where it is
+unmistakable.
+
+The contract that makes implicit runs **bit-identical** to materialized
+ones is the *canonical slot order*: for every family here,
+``kth_neighbor(v, k)`` equals the neighbor in entry ``k`` of
+``materialize().incidence(v)``.  A walk stepping by slot index therefore
+draws the same ``randrange`` sequence and visits the same vertices on both
+backends; the test suite pins this per (family, walk, engine).
+
+Edge identity without edge ids uses *darts* (half-edges): dart
+``j = v·d + k`` is slot ``k`` at vertex ``v``, and an edge's canonical id
+is the smaller of its two darts (``edge_slot``).  Families guarantee the
+canonical-dart order matches the materialized twin's edge-id order, so
+edge cover counts agree too.
+
+Families
+--------
+``ImplicitHypercube(r)``
+    The r-dimensional hypercube: ``kth_neighbor(x, k) = x ^ (1 << k)``.
+``ImplicitTorus(rows, cols)``
+    The rows×cols wraparound grid (both sides ≥ 3 so the graph is simple);
+    slot order is neighbors ascending by vertex id.
+``ImplicitHashedRegular(n, degree, key)``
+    A keyed-hash configuration-model d-regular multigraph: half-edges are
+    paired by a Feistel permutation of the dart space, so the whole edge
+    set is a pure function of ``(n, degree, key)``.  Connected with high
+    probability for ``degree ≥ 3`` (a disconnected draw shows up as a
+    :class:`~repro.errors.CoverTimeout`); loops and parallel edges are
+    possible and handled exactly as :class:`Graph` would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "ImplicitGraph",
+    "ImplicitHypercube",
+    "ImplicitTorus",
+    "ImplicitHashedRegular",
+    "is_implicit",
+]
+
+
+def is_implicit(graph: object) -> bool:
+    """Whether ``graph`` is an implicit neighbor-oracle graph."""
+    return isinstance(graph, ImplicitGraph)
+
+
+class _ConstantDegrees(Sequence):
+    """An O(1) stand-in for the degree tuple of a regular graph."""
+
+    __slots__ = ("_d", "_n")
+
+    def __init__(self, d: int, n: int):
+        self._d = d
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(self._d for _ in range(*index.indices(self._n)))
+        if not -self._n <= index < self._n:
+            raise IndexError(index)
+        return self._d
+
+    def __iter__(self):
+        for _ in range(self._n):
+            yield self._d
+
+
+class ImplicitGraph:
+    """Base class for regular graphs defined by a neighbor oracle.
+
+    Subclasses set ``_n``, ``_d`` and ``_name`` and implement the oracle
+    (:meth:`kth_neighbor`, :meth:`reverse_slot`, :meth:`edge_slot`,
+    :meth:`materialize`, and the vectorized :meth:`kth_neighbors` /
+    :meth:`edge_slots`).  The read-only surface mirrors the slice of the
+    :class:`Graph` API the engines and runner touch, so an implicit graph
+    slots into ``cover_time_trials`` / ``ExperimentSpec`` workloads
+    unchanged — and ``__reduce__`` keeps the multiprocessing payload at a
+    parameter tuple instead of O(m) state.
+    """
+
+    _n: int
+    _d: int
+    _name: str
+
+    # ------------------------------------------------------------------
+    # Graph-API surface (the slice walks and the runner use)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges (each edge consumes two darts)."""
+        return (self._n * self._d) // 2
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def degree(self, vertex: int) -> int:
+        self._check_vertex(vertex)
+        return self._d
+
+    def degrees(self) -> Sequence[int]:
+        return _ConstantDegrees(self._d, self._n)
+
+    @property
+    def max_degree(self) -> int:
+        return self._d
+
+    @property
+    def min_degree(self) -> int:
+        return self._d
+
+    @property
+    def total_degree(self) -> int:
+        return self._n * self._d
+
+    def is_regular(self) -> bool:
+        return True
+
+    def regularity(self) -> int:
+        return self._d
+
+    def has_even_degrees(self) -> bool:
+        return self._d % 2 == 0
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self._n:
+            raise GraphError(f"vertex {vertex} out of range 0..{self._n - 1}")
+
+    def _check_slot(self, vertex: int, k: int) -> None:
+        self._check_vertex(vertex)
+        if not 0 <= k < self._d:
+            raise GraphError(f"slot {k} out of range 0..{self._d - 1}")
+
+    # ------------------------------------------------------------------
+    # Oracle surface (implemented per family)
+    # ------------------------------------------------------------------
+    def kth_neighbor(self, vertex: int, k: int) -> int:
+        """Neighbor in incidence slot ``k`` of ``vertex``.
+
+        Matches ``materialize().incidence(vertex)[k][1]`` exactly — the
+        bit-identity contract rests on this equality.
+        """
+        raise NotImplementedError
+
+    def kth_neighbors(self, vertices, slots):
+        """Vectorized :meth:`kth_neighbor` over int64 numpy arrays."""
+        raise NotImplementedError
+
+    def reverse_slot(self, vertex: int, k: int) -> int:
+        """The slot of the same edge at the other endpoint.
+
+        For a loop this is the *partner* slot at ``vertex`` itself (a loop
+        occupies two slots, mirroring the two consecutive incidence
+        entries a materialized :class:`Graph` stores for it).
+        """
+        raise NotImplementedError
+
+    def edge_slot(self, vertex: int, k: int) -> int:
+        """Canonical dart id of the edge in slot ``k`` at ``vertex``.
+
+        A dart is a half-edge; darts are numbered so every edge has one
+        canonical (smallest) dart in ``[0, n·d)``, and ascending canonical
+        dart order equals the materialized twin's edge-id order.  This is
+        the edge identity the oracle engines count edge cover with.
+        """
+        raise NotImplementedError
+
+    def edge_slots(self, vertices, slots):
+        """Vectorized :meth:`edge_slot` over int64 numpy arrays."""
+        raise NotImplementedError
+
+    def slot_neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """All neighbors of ``vertex`` in slot order (loops appear twice)."""
+        self._check_vertex(vertex)
+        return tuple(self.kth_neighbor(vertex, k) for k in range(self._d))
+
+    def materialize(self) -> Graph:
+        """An explicit :class:`Graph` with identical incidence order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description with the analytic vertex range."""
+        return f"{self._name}: n={self._n} d={self._d} (implicit oracle)"
+
+    # ------------------------------------------------------------------
+    # Identity / pickling
+    # ------------------------------------------------------------------
+    def _params(self) -> tuple:
+        raise NotImplementedError
+
+    def __reduce__(self):
+        # Tiny payload: workers rebuild from parameters, never O(m) state.
+        return (type(self), self._params())
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._params() == other._params()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._params()))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} n={self._n} d={self._d} {self._name!r}>"
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self):
+        return iter(range(self._n))
+
+
+class ImplicitHypercube(ImplicitGraph):
+    """The r-dimensional hypercube on ``n = 2^r`` vertices.
+
+    Slot ``k`` is dimension ``k``: ``kth_neighbor(x, k) = x ^ (1 << k)``.
+    The materialized twin emits edges dimension-major (all dim-0 edges,
+    then dim-1, ...), which makes entry ``k`` of every incidence list the
+    dim-``k`` edge — the slot order above, realized exactly.
+    """
+
+    def __init__(self, r: int):
+        if r < 1:
+            raise GraphError(f"hypercube dimension must be >= 1, got {r}")
+        self.r = int(r)
+        self._n = 1 << self.r
+        self._d = self.r
+        self._name = f"implicit_hypercube_r{self.r}"
+
+    def _params(self) -> tuple:
+        return (self.r,)
+
+    def kth_neighbor(self, vertex: int, k: int) -> int:
+        return vertex ^ (1 << k)
+
+    def kth_neighbors(self, vertices, slots):
+        import numpy as np
+
+        one = np.int64(1)
+        return np.bitwise_xor(vertices, np.left_shift(one, slots))
+
+    def reverse_slot(self, vertex: int, k: int) -> int:
+        return k
+
+    def edge_slot(self, vertex: int, k: int) -> int:
+        # Slot-major linearization (k·n + lower endpoint): ascending order
+        # is the dimension-major emission order of materialize().
+        w = vertex ^ (1 << k)
+        return k * self._n + (vertex if vertex < w else w)
+
+    def edge_slots(self, vertices, slots):
+        import numpy as np
+
+        w = np.bitwise_xor(vertices, np.left_shift(np.int64(1), slots))
+        return slots * np.int64(self._n) + np.minimum(vertices, w)
+
+    def materialize(self) -> Graph:
+        edges = []
+        n, r = self._n, self.r
+        for k in range(r):
+            bit = 1 << k
+            edges.extend((x, x | bit) for x in range(n) if not x & bit)
+        return Graph(n, edges, name=self._name)
+
+
+class ImplicitTorus(ImplicitGraph):
+    """The rows×cols toroidal grid (wraparound in both directions).
+
+    Both sides must be ≥ 3, which keeps the graph simple (side 2 would
+    create parallel wrap edges, side 1 loops).  Slot order at a vertex is
+    its four neighbors **ascending by vertex id**; the materialized twin
+    emits edges sorted lexicographically by normalized endpoint pair,
+    which realizes exactly that incidence order.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 3 or cols < 3:
+            raise GraphError(
+                f"implicit torus needs rows, cols >= 3 (got {rows}x{cols}); "
+                "smaller sides create loops/parallel edges"
+            )
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self._n = self.rows * self.cols
+        self._d = 4
+        self._name = f"implicit_torus_{self.rows}x{self.cols}"
+
+    def _params(self) -> tuple:
+        return (self.rows, self.cols)
+
+    def _raw_neighbors(self, vertex: int) -> List[int]:
+        rows, cols = self.rows, self.cols
+        i, j = divmod(vertex, cols)
+        return sorted(
+            (
+                ((i - 1) % rows) * cols + j,
+                ((i + 1) % rows) * cols + j,
+                i * cols + (j - 1) % cols,
+                i * cols + (j + 1) % cols,
+            )
+        )
+
+    def kth_neighbor(self, vertex: int, k: int) -> int:
+        return self._raw_neighbors(vertex)[k]
+
+    def kth_neighbors(self, vertices, slots):
+        import numpy as np
+
+        rows = np.int64(self.rows)
+        cols = np.int64(self.cols)
+        i, j = np.divmod(vertices, cols)
+        cand = np.stack(
+            (
+                ((i - 1) % rows) * cols + j,
+                ((i + 1) % rows) * cols + j,
+                i * cols + (j - 1) % cols,
+                i * cols + (j + 1) % cols,
+            ),
+            axis=-1,
+        )
+        cand.sort(axis=-1)
+        return cand[np.arange(len(vertices)), slots]
+
+    def reverse_slot(self, vertex: int, k: int) -> int:
+        w = self.kth_neighbor(vertex, k)
+        return self._raw_neighbors(w).index(vertex)
+
+    def edge_slot(self, vertex: int, k: int) -> int:
+        w = self.kth_neighbor(vertex, k)
+        if vertex < w:
+            return vertex * 4 + k
+        return w * 4 + self._raw_neighbors(w).index(vertex)
+
+    def edge_slots(self, vertices, slots):
+        import numpy as np
+
+        out = np.empty(len(vertices), dtype=np.int64)
+        for i, (v, k) in enumerate(zip(vertices.tolist(), slots.tolist())):
+            out[i] = self.edge_slot(v, k)
+        return out
+
+    def materialize(self) -> Graph:
+        pairs = set()
+        for v in range(self._n):
+            for w in self._raw_neighbors(v):
+                pairs.add((v, w) if v < w else (w, v))
+        return Graph(self._n, sorted(pairs), name=self._name)
+
+
+# --- keyed Feistel permutation over the dart space -----------------------
+_M64 = (1 << 64) - 1
+_FEISTEL_ROUNDS = 4
+# splitmix64-flavoured round constants (golden-ratio multiples).
+_ROUND_KEYS = (
+    0x9E3779B97F4A7C15,
+    0xBF58476D1CE4E5B9,
+    0x94D049BB133111EB,
+    0xD6E8FEB86659FD93,
+)
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer (scalar; masked to 64 bits)."""
+    x &= _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return x
+
+
+class ImplicitHashedRegular(ImplicitGraph):
+    """A keyed-hash d-regular configuration-model multigraph.
+
+    The ``n·d`` darts are paired by a Feistel-network permutation ``π`` of
+    ``[0, n·d)`` (cycle-walking over the enclosing power-of-4 domain, so
+    it is an exact bijection): preimages ``2i`` and ``2i + 1`` form edge
+    ``i``, i.e. ``mate(j) = π(π⁻¹(j) ^ 1)``.  The whole graph is a pure
+    function of ``(n, degree, key)`` — O(1) state, deterministic across
+    workers.
+
+    Slot order at ``v`` sorts its ``d`` darts by canonical edge key
+    ``min(dart, mate)`` (ties — the two darts of a loop — by dart id),
+    and :meth:`materialize` emits edges ascending by the same key, which
+    realizes the incidence order exactly, loops included (a loop's two
+    darts land in adjacent slots, matching the two consecutive incidence
+    entries :class:`Graph` stores).
+
+    ``n·d`` must be even.  As with any configuration model, loops and
+    parallel edges occur; connectivity holds whp for ``degree ≥ 3``.
+    """
+
+    def __init__(self, n: int, degree: int, key: int = 0):
+        if n < 1:
+            raise GraphError(f"need n >= 1 vertices, got {n}")
+        if degree < 1:
+            raise GraphError(f"need degree >= 1, got {degree}")
+        if (n * degree) % 2:
+            raise GraphError(
+                f"n*degree must be even to pair half-edges, got n={n} d={degree}"
+            )
+        self._n = int(n)
+        self._d = int(degree)
+        self.key = int(key) & _M64
+        self._name = f"implicit_hashed_d{self._d}_n{self._n}"
+        # Feistel geometry: halves of t bits each, 4^t >= n*d.
+        darts = self._n * self._d
+        self._darts = darts
+        bits = max((darts - 1).bit_length(), 2)
+        self._t = (bits + 1) // 2
+        self._half_mask = (1 << self._t) - 1
+        self._round_keys = tuple(
+            _mix64(self.key ^ rk) for rk in _ROUND_KEYS[:_FEISTEL_ROUNDS]
+        )
+
+    def _params(self) -> tuple:
+        return (self._n, self._d, self.key)
+
+    # -- scalar permutation -------------------------------------------
+    def _feistel_fwd(self, x: int) -> int:
+        t, mask = self._t, self._half_mask
+        left, right = x >> t, x & mask
+        for rk in self._round_keys:
+            left, right = right, left ^ (_mix64(right ^ rk) & mask)
+        return (left << t) | right
+
+    def _feistel_inv(self, x: int) -> int:
+        t, mask = self._t, self._half_mask
+        left, right = x >> t, x & mask
+        for rk in reversed(self._round_keys):
+            left, right = right ^ (_mix64(left ^ rk) & mask), left
+        return (left << t) | right
+
+    def _perm(self, x: int) -> int:
+        # Cycle-walk: the 2t-bit Feistel is a bijection; iterating until
+        # the image lands back in [0, darts) restricts it to one.
+        y = self._feistel_fwd(x)
+        while y >= self._darts:
+            y = self._feistel_fwd(y)
+        return y
+
+    def _perm_inv(self, x: int) -> int:
+        y = self._feistel_inv(x)
+        while y >= self._darts:
+            y = self._feistel_inv(y)
+        return y
+
+    def mate(self, dart: int) -> int:
+        """The dart at the other end of ``dart``'s edge (itself never)."""
+        return self._perm(self._perm_inv(dart) ^ 1)
+
+    # -- numpy permutation (same arithmetic on uint64 lanes) ----------
+    def _mates_vec(self, darts):
+        import numpy as np
+
+        u = darts.astype(np.uint64)
+        t = np.uint64(self._t)
+        mask = np.uint64(self._half_mask)
+        limit = np.uint64(self._darts)
+        c1 = np.uint64(0xBF58476D1CE4E5B9)
+        c2 = np.uint64(0x94D049BB133111EB)
+        s30, s27, s31 = np.uint64(30), np.uint64(27), np.uint64(31)
+
+        def mix(x):
+            x = x ^ (x >> s30)
+            x = x * c1
+            x = x ^ (x >> s27)
+            x = x * c2
+            return x ^ (x >> s31)
+
+        def walk(x, rounds, forward):
+            # One full Feistel pass; cycle-walk stragglers until in-range.
+            def passes(vals):
+                left, right = vals >> t, vals & mask
+                for rk in rounds:
+                    if forward:
+                        left, right = right, left ^ (mix(right ^ rk) & mask)
+                    else:
+                        left, right = right ^ (mix(left ^ rk) & mask), left
+                return (left << t) | right
+
+            y = passes(x)
+            out = (y >= limit).nonzero()[0]
+            while out.size:
+                y[out] = passes(y[out])
+                out = out[(y[out] >= limit).nonzero()[0]]
+            return y
+
+        fwd_keys = tuple(np.uint64(rk) for rk in self._round_keys)
+        pre = walk(u, tuple(reversed(fwd_keys)), forward=False)
+        return walk(pre ^ np.uint64(1), fwd_keys, forward=True).astype(np.int64)
+
+    def _sorted_darts(self, vertex: int) -> List[int]:
+        base = vertex * self._d
+        darts = range(base, base + self._d)
+        return sorted(darts, key=lambda j: (min(j, self.mate(j)), j))
+
+    def kth_neighbor(self, vertex: int, k: int) -> int:
+        return self.mate(self._sorted_darts(vertex)[k]) // self._d
+
+    def kth_neighbors(self, vertices, slots):
+        import numpy as np
+
+        d = self._d
+        a = len(vertices)
+        darts = vertices.astype(np.int64)[:, None] * d + np.arange(d, dtype=np.int64)
+        mates = self._mates_vec(darts.reshape(-1)).reshape(a, d)
+        keys = np.minimum(darts, mates)
+        # stable sort: ties (loop darts) break by ascending dart id, since
+        # darts ascend along the axis already.
+        order = np.argsort(keys, axis=1, kind="stable")
+        rows = np.arange(a)
+        chosen = order[rows, slots]
+        return mates[rows, chosen] // d
+
+    def reverse_slot(self, vertex: int, k: int) -> int:
+        j = self._sorted_darts(vertex)[k]
+        mj = self.mate(j)
+        return self._sorted_darts(mj // self._d).index(mj)
+
+    def edge_slot(self, vertex: int, k: int) -> int:
+        j = self._sorted_darts(vertex)[k]
+        return min(j, self.mate(j))
+
+    def edge_slots(self, vertices, slots):
+        import numpy as np
+
+        d = self._d
+        a = len(vertices)
+        darts = vertices.astype(np.int64)[:, None] * d + np.arange(d, dtype=np.int64)
+        mates = self._mates_vec(darts.reshape(-1)).reshape(a, d)
+        keys = np.minimum(darts, mates)
+        order = np.argsort(keys, axis=1, kind="stable")
+        rows = np.arange(a)
+        return keys[rows, order[rows, slots]]
+
+    def materialize(self) -> Graph:
+        edges = []
+        for i in range(self._darts // 2):
+            a = self._perm(2 * i)
+            b = self._perm(2 * i + 1)
+            edges.append((min(a, b), a // self._d, b // self._d))
+        edges.sort(key=lambda e: e[0])
+        return Graph(self._n, [(u, v) for (_, u, v) in edges], name=self._name)

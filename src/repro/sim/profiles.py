@@ -9,13 +9,19 @@ isolated stars dominate the cover time).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, IO, List, Optional, Union
 
 from repro.errors import ReproError
 from repro.walks.base import WalkProcess, default_step_budget
 
-__all__ = ["ProfilePoint", "ExplorationProfile", "record_profile"]
+__all__ = [
+    "ProfilePoint",
+    "ExplorationProfile",
+    "ProfileStreamWriter",
+    "record_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -93,17 +99,76 @@ class ExplorationProfile:
         return 0.0
 
 
+class ProfileStreamWriter:
+    """Append profile checkpoints to a JSONL sink as they are recorded.
+
+    An ``on_point`` callback for :func:`record_profile`: each checkpoint
+    becomes one ``{"step": t, "vertices": nv, "edges": ne}`` line written
+    (and flushed) the moment it is taken, so a giant run's curve survives
+    a timeout or kill mid-run and the recorder never has to hold the
+    curve in memory.  ``sink`` is a path (opened/closed by the writer's
+    context manager) or an already-open text handle (left open).
+    """
+
+    def __init__(self, sink: Union[str, IO[str]]):
+        self._own = isinstance(sink, str)
+        self._path = sink if self._own else None
+        self._fh: Optional[IO[str]] = None if self._own else sink
+        self.rows = 0
+
+    def __enter__(self) -> "ProfileStreamWriter":
+        if self._own:
+            self._fh = open(self._path, "a", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._own and self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __call__(self, point: ProfilePoint) -> None:
+        if self._fh is None:
+            raise ReproError(
+                "ProfileStreamWriter must be entered (with-statement) "
+                "before recording when constructed from a path"
+            )
+        self._fh.write(
+            json.dumps(
+                {
+                    "step": point.step,
+                    "vertices": point.vertices_visited,
+                    "edges": point.edges_visited,
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        self._fh.flush()
+        self.rows += 1
+
+
 def record_profile(
     walk: WalkProcess,
     checkpoints: int = 200,
     max_steps: Optional[int] = None,
     until: str = "vertices",
+    on_point: Optional[Callable[[ProfilePoint], None]] = None,
+    keep_points: bool = True,
 ) -> ExplorationProfile:
     """Run ``walk`` to cover, checkpointing coverage ~``checkpoints`` times.
 
     ``until`` is ``"vertices"`` or ``"edges"`` (edge mode requires edge
     tracking).  Checkpoints are geometrically spaced after an initial linear
     ramp so both the early burst and the long tail are resolved.
+
+    Checkpoints stream: each one is handed to ``on_point`` the moment it
+    is taken (e.g. a :class:`ProfileStreamWriter` appending JSONL rows),
+    so a run that dies mid-way still leaves its curve behind.  With
+    ``keep_points=False`` the recorder drops the in-memory curve — O(1)
+    memory however many checkpoints, for giant implicit-graph runs where
+    only the streamed rows and the exact landmarks matter; the returned
+    profile then has only the landmark fields (``points`` is empty, so
+    curve accessors have nothing to iterate).
     """
     if walk.steps != 0:
         raise ReproError("record_profile needs a fresh walk (t = 0)")
@@ -121,7 +186,19 @@ def record_profile(
             edges_visited=walk.num_visited_edges,
         )
 
-    points = [snap()]
+    points: List[ProfilePoint] = []
+    last_step = -1
+
+    def emit() -> None:
+        nonlocal last_step
+        point = snap()
+        last_step = point.step
+        if keep_points:
+            points.append(point)
+        if on_point is not None:
+            on_point(point)
+
+    emit()
     next_checkpoint = 1
     # A geometric ladder from 1 to the full budget in ~`checkpoints` rungs:
     # growth^checkpoints = budget.  (The early rungs degenerate to the +1
@@ -138,20 +215,20 @@ def record_profile(
     near_target = graph.n - max(1, graph.n // 100)
     half_step = 0 if walk.num_visited_vertices * 2 >= graph.n else None
     near_step = 0 if walk.num_visited_vertices >= near_target else None
+    cover_step = 0 if walk.vertices_covered else None
     while not done() and walk.steps < budget:
         walk.step()
         if half_step is None and walk.num_visited_vertices * 2 >= graph.n:
             half_step = walk.steps
         if near_step is None and walk.num_visited_vertices >= near_target:
             near_step = walk.steps
+        if cover_step is None and walk.num_visited_vertices == graph.n:
+            cover_step = walk.steps
         if walk.steps >= next_checkpoint:
-            points.append(snap())
+            emit()
             next_checkpoint = max(next_checkpoint + 1, int(next_checkpoint * growth))
-    if points[-1].step != walk.steps:
-        points.append(snap())
-
-    # vertex cover step = latest first-visit time (valid in both modes)
-    cover_step = max(walk.first_visit_time) if walk.vertices_covered else None
+    if last_step != walk.steps:
+        emit()
     return ExplorationProfile(
         points=points,
         vertex_cover_step=cover_step,

@@ -13,8 +13,17 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.graphs.graph import Graph
+from repro.graphs.implicit import (
+    ImplicitHashedRegular,
+    ImplicitHypercube,
+    ImplicitTorus,
+)
 
-__all__ = ["connected_even_multigraphs", "simple_connected_graphs"]
+__all__ = [
+    "connected_even_multigraphs",
+    "implicit_graphs",
+    "simple_connected_graphs",
+]
 
 
 @st.composite
@@ -60,3 +69,27 @@ def simple_connected_graphs(draw, min_vertices: int = 2, max_vertices: int = 16)
         if u != v:
             edges.add((min(u, v), max(u, v)))
     return Graph(n, sorted(edges), name=f"hyp-simple-{n}")
+
+
+@st.composite
+def implicit_graphs(draw, max_vertices: int = 64):
+    """A small implicit neighbor-oracle graph from any of the families.
+
+    Small enough to :meth:`materialize` cheaply, so every property test
+    can compare the oracle against the explicit incidence structure.
+    Hashed members may contain loops and parallel edges and need not be
+    connected — tests that walk to cover should filter or pick keys.
+    """
+    family = draw(st.sampled_from(["hypercube", "torus", "hashed"]))
+    if family == "hypercube":
+        return ImplicitHypercube(draw(st.integers(min_value=1, max_value=6)))
+    if family == "torus":
+        rows = draw(st.integers(min_value=3, max_value=8))
+        cols = draw(st.integers(min_value=3, max_value=max(3, max_vertices // rows)))
+        return ImplicitTorus(rows, cols)
+    degree = draw(st.integers(min_value=1, max_value=8))
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    if n * degree % 2:
+        n += 1
+    key = draw(st.integers(min_value=0, max_value=2**64 - 1))
+    return ImplicitHashedRegular(n, degree, key)
