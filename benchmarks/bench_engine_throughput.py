@@ -63,6 +63,7 @@ from repro.graphs.random_regular import (
     random_even_degree_graph,
 )
 from repro.sim.rng import spawn
+from repro.telemetry import Telemetry, session
 from repro.walks.choice import RandomWalkWithChoice
 from repro.walks.rotor import RotorRouterWalk
 from repro.walks.srw import SimpleRandomWalk
@@ -456,15 +457,23 @@ def main(argv=None) -> int:
             "cold": _measure_pair(make_reference, make_array, False, args.chunk, args.rounds),
         }
     irregular = _irregular_graph(args.n, spawn(ROOT_SEED, "E12-json-irr"))
-    fleet = {
-        section: {
-            f"k{K}": _measure_fleet(
-                graph if kind == "regular" else irregular, walk, K, args.rounds
-            )
-            for K in sizes
+    # The fleet sections run under an *enabled* telemetry context so the
+    # report carries the engines' own counters (word-bank refills,
+    # per-degree rejection rates, block/lane accounting) next to the
+    # timings — telemetry reads counts only, so the timed numbers are the
+    # same trajectories either way.
+    tel = Telemetry()
+    with session(tel):
+        fleet = {
+            section: {
+                f"k{K}": _measure_fleet(
+                    graph if kind == "regular" else irregular, walk, K, args.rounds
+                )
+                for K in sizes
+            }
+            for section, (walk, kind, sizes) in FLEET_SECTIONS.items()
         }
-        for section, (walk, kind, sizes) in FLEET_SECTIONS.items()
-    }
+    snap = tel.snapshot()
     report = {
         "benchmark": "engine_throughput",
         "n": args.n,
@@ -475,6 +484,16 @@ def main(argv=None) -> int:
         "native_kernel": native.kernel_path() or "unavailable",
         "engines": engines,
         "fleet": fleet,
+        "metrics": {
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "note": (
+                "engine telemetry aggregated over every fleet round above "
+                "(numpy + native + the per-trial comparators); "
+                "wordbank.degree[q].rejected_words / wordbank.degree[q].draws "
+                "is the rejection-sampling waste per degree class"
+            ),
+        },
         "methodology": (
             "best-of-rounds run() throughput on one shared graph; 'steady' "
             "warms each walk past vertex+edge cover first, 'cold' starts "

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import resource
 import sys
 import time
 from pathlib import Path
@@ -35,6 +34,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine import NAMED_WALK_FACTORIES  # noqa: E402
 from repro.graphs import ImplicitHashedRegular, ImplicitHypercube  # noqa: E402
 from repro.sim.rng import DEFAULT_ROOT_SEED, spawn  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    HeartbeatReporter,
+    Telemetry,
+    peak_rss_bytes,
+    session,
+)
 
 OUT_PATH = Path(__file__).resolve().parent / "out" / "BENCH_implicit_scale.json"
 
@@ -42,12 +47,10 @@ OUT_PATH = Path(__file__).resolve().parent / "out" / "BENCH_implicit_scale.json"
 def peak_rss_mb() -> float:
     """Peak resident set size of this process, in MiB.
 
-    ``ru_maxrss`` is KiB on Linux, bytes on macOS.
+    Delegates to :func:`repro.telemetry.peak_rss_bytes`, which owns the
+    Linux-KiB-vs-macOS-bytes ``ru_maxrss`` normalization.
     """
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - linux CI
-        return peak / (1024 * 1024)
-    return peak / 1024
+    return peak_rss_bytes() / (1024 * 1024)
 
 
 def run_one(graph, walk: str, seed_label: str) -> dict:
@@ -82,6 +85,11 @@ def main(argv=None) -> int:
                         choices=["srw", "eprocess", "vprocess"])
     parser.add_argument("--rss-limit-mb", type=float, default=None,
                         help="fail (exit 1) if peak RSS exceeds this")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="emit a progress line to stderr every SECONDS "
+                        "seconds while a trial runs (giant runs take "
+                        "minutes; this shows they are alive)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: r=21 SRW trial under a 2048 MB RSS "
                         "ceiling; no files written")
@@ -100,9 +108,18 @@ def main(argv=None) -> int:
                                       key=spawn(DEFAULT_ROOT_SEED, "E13-key").getrandbits(64))
     print(f"graph: {graph.describe()}", flush=True)
 
+    tel = (
+        Telemetry(heartbeat=HeartbeatReporter(args.heartbeat))
+        if args.heartbeat is not None
+        else None
+    )
     results = []
     for walk in args.walks:
-        row = run_one(graph, walk, f"E13-{walk}")
+        if tel is not None:
+            with session(tel):
+                row = run_one(graph, walk, f"E13-{walk}")
+        else:
+            row = run_one(graph, walk, f"E13-{walk}")
         results.append(row)
         print(
             f"{walk}: cover={row['cover_steps']} steps "

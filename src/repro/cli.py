@@ -23,9 +23,11 @@ go to stdout.
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro._version import __version__
 from repro.core.eprocess import EdgeProcess
@@ -119,6 +121,78 @@ def _native_pref(args: argparse.Namespace) -> "bool | None":
     return {"auto": None, "on": True, "off": False}[getattr(args, "native", "auto")]
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream telemetry events to this JSONL file, finishing with "
+        "a run manifest (validate with `python -m repro.telemetry.manifest`)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="emit a progress line to stderr every SECONDS seconds "
+        "(steps, %% covered, steps/sec, ETA, peak RSS)",
+    )
+
+
+@contextmanager
+def _telemetry_session(
+    args: argparse.Namespace, command: str, walk: Optional[str] = None
+) -> Iterator[dict]:
+    """Install a telemetry context for one command, when requested.
+
+    Yields a holder dict; commands with a store set ``holder["store"]`` so
+    the closing manifest is also saved under the store's ``manifests/``
+    directory.  Without ``--telemetry``/``--heartbeat`` this is a no-op
+    pass-through (the null context stays installed — zero overhead).
+    """
+    path = getattr(args, "telemetry", None)
+    interval = getattr(args, "heartbeat", None)
+    holder: dict = {"store": None}
+    if path is None and interval is None:
+        yield holder
+        return
+    from repro.telemetry import (
+        HeartbeatReporter,
+        Telemetry,
+        TelemetryJSONLWriter,
+        build_manifest,
+        session,
+    )
+
+    writer = TelemetryJSONLWriter(path) if path else None
+    heartbeat = HeartbeatReporter(interval) if interval is not None else None
+    tel = Telemetry(heartbeat=heartbeat, writer=writer)
+    status = "ok"
+    try:
+        with session(tel):
+            yield holder
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        manifest = build_manifest(
+            tel,
+            command=command,
+            engine=getattr(args, "engine", None),
+            walk=walk if walk is not None else getattr(args, "walk", None),
+            backend=getattr(args, "family", None),
+            native=getattr(args, "native", None),
+            status=status,
+        )
+        if writer is not None:
+            writer.finish(manifest)
+            print(f"telemetry: {writer.path}", file=sys.stderr, flush=True)
+        store = holder.get("store")
+        if store is not None:
+            saved = store.record_manifest(manifest)
+            print(f"manifest: {saved}", file=sys.stderr, flush=True)
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     degrees = sorted(set(args.degrees))
     sweep_spec = SweepSpec.figure1(
@@ -129,14 +203,16 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     store = ResultStore(args.store) if args.store else None
-    result = run_sweep(
-        sweep_spec,
-        store=store,
-        workers=args.workers,
-        progress=print_progress,
-        fleet_size=args.fleet_size,
-        fleet_native=_native_pref(args),
-    )
+    with _telemetry_session(args, "figure1", walk="eprocess") as tctx:
+        tctx["store"] = store
+        result = run_sweep(
+            sweep_spec,
+            store=store,
+            workers=args.workers,
+            progress=print_progress,
+            fleet_size=args.fleet_size,
+            fleet_native=_native_pref(args),
+        )
     runs = [(p.spec, p.run) for p in result.points]
     series: List[Series] = regular_degree_series(runs, normalize_by_n=True)
     print(format_series_table(series, x_header="n", title="Figure 1: normalized cover time C_V/n (E-process, d-regular)"))
@@ -223,15 +299,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep_spec = _sweep_spec_from_args(args)
     store = ResultStore(args.store)
     try:
-        result = run_sweep(
-            sweep_spec,
-            store=store,
-            workers=args.workers,
-            use_cache=not args.force,
-            progress=print_progress,
-            fleet_size=args.fleet_size,
-            fleet_native=_native_pref(args),
-        )
+        with _telemetry_session(args, "sweep") as tctx:
+            tctx["store"] = store
+            result = run_sweep(
+                sweep_spec,
+                store=store,
+                workers=args.workers,
+                use_cache=not args.force,
+                progress=print_progress,
+                fleet_size=args.fleet_size,
+                fleet_native=_native_pref(args),
+            )
     except KeyboardInterrupt:
         print(
             f"interrupted — completed trials are saved in {store.root}; "
@@ -254,6 +332,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
+    if args.action == "ls" and getattr(args, "manifests", False):
+        rows = []
+        for path, manifest in store.manifests():
+            counters = manifest.get("counters", {}) or {}
+            rss = manifest.get("peak_rss_bytes", 0) or 0
+            rows.append(
+                [
+                    path.name,
+                    manifest.get("command", "?"),
+                    manifest.get("walk") or "-",
+                    manifest.get("engine") or "-",
+                    counters.get("runner.steps", "-"),
+                    manifest.get("wall_seconds", "-"),
+                    round(rss / (1024 * 1024), 1) if rss else "-",
+                ]
+            )
+        print(
+            format_table(
+                ["manifest", "command", "walk", "engine", "steps", "wall s", "rss MB"],
+                rows,
+                title=f"run manifests in {store.manifest_dir()}",
+            )
+        )
+        return 0
     if args.action == "ls":
         rows = []
         total_trials = 0
@@ -325,19 +427,20 @@ def _cmd_cover(args: argparse.Namespace) -> int:
     # Walks go by name: the runner resolves the engine from the registry
     # and raises the explicit no-such-engine error for walks without the
     # requested twin (never a silent reference fallback).
-    run = cover_time_trials(
-        workload=graph,
-        walk_factory=args.walk,
-        trials=args.trials,
-        root_seed=args.seed,
-        target=args.target,
-        start=start,
-        label=f"cli-cover-{args.walk}",
-        engine=engine,
-        workers=workers,
-        fleet_size=getattr(args, "fleet_size", None),
-        fleet_native=_native_pref(args),
-    )
+    with _telemetry_session(args, "cover"):
+        run = cover_time_trials(
+            workload=graph,
+            walk_factory=args.walk,
+            trials=args.trials,
+            root_seed=args.seed,
+            target=args.target,
+            start=start,
+            label=f"cli-cover-{args.walk}",
+            engine=engine,
+            workers=workers,
+            fleet_size=getattr(args, "fleet_size", None),
+            fleet_native=_native_pref(args),
+        )
     denom = graph.n if args.target == "vertices" else graph.m
     print(
         format_kv_block(
@@ -539,6 +642,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="E-process experiments (Berenbrink-Cooper-Friedetzky, PODC'12)",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging on stderr (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less logging on stderr (-q: ERROR, -qq: CRITICAL)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
@@ -582,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig1.add_argument("--trials", type=int, default=5)
     fig1.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
     _add_engine_arguments(fig1)
+    _add_telemetry_arguments(fig1)
     fig1.add_argument(
         "--store",
         default=None,
@@ -620,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_grid_arguments(swp)
     _add_engine_arguments(swp)
+    _add_telemetry_arguments(swp)
     swp.add_argument(
         "--resume",
         action="store_true",
@@ -644,6 +763,12 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("store", help="inspect or compact an experiment store")
     st.add_argument("action", choices=["ls", "gc"])
     st.add_argument("--store", default=".repro-store", metavar="DIR")
+    st.add_argument(
+        "--manifests",
+        action="store_true",
+        help="with ls: list run manifests saved under the store's "
+        "manifests/ directory instead of trial records",
+    )
     st.set_defaults(fn=_cmd_store)
 
     cover = sub.add_parser("cover", help="cover time of one walk on one family")
@@ -659,6 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cover.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
     _add_engine_arguments(cover)
+    _add_telemetry_arguments(cover)
     cover.set_defaults(fn=_cmd_cover)
 
     spectral = sub.add_parser("spectral", help="eigenvalue gap / conductance")
@@ -701,10 +827,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Map the global -v/-q counts onto the root logger's level.
+
+    WARNING is the silent default; each ``-v`` lowers the threshold one
+    notch (INFO, then DEBUG), each ``-q`` raises it (ERROR, CRITICAL).
+    Logs share stderr with progress lines, keeping stdout's tables clean.
+    """
+    level = logging.WARNING - 10 * args.verbose + 10 * args.quiet
+    level = max(logging.DEBUG, min(logging.CRITICAL, level))
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     try:
         return args.fn(args)
     except ReproError as exc:

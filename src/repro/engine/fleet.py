@@ -68,6 +68,7 @@ from repro.engine.base import (
 from repro.errors import CoverTimeout, GraphError, ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.implicit import is_implicit
+from repro.telemetry import get_telemetry
 from repro.walks.base import default_step_budget
 
 __all__ = [
@@ -256,11 +257,12 @@ class _LaneDraws:
     lanes); the state-dependent kernels use :class:`_WordBank` instead.
     """
 
-    __slots__ = ("rng", "mt", "base", "pulls", "moves", "count", "taken", "factor", "shift", "lim", "d")
+    __slots__ = ("rng", "mt", "base", "pulls", "moves", "count", "taken", "factor", "shift", "lim", "d", "_tel")
 
     def __init__(self, rng: random.Random, d: int):
         import numpy as np
 
+        self._tel = get_telemetry()
         self.rng = rng
         self.base = rng.getstate()  # (version, 625-tuple, gauss)
         self.mt = np.random.MT19937(0)
@@ -299,6 +301,9 @@ class _LaneDraws:
             self.moves[self.count : self.count + new] = raw[acc] >> self.shift
             self.count += new
             self.taken += est
+            if self._tel.enabled:
+                self._tel.count("wordbank.refills")
+                self._tel.count("wordbank.words_refilled", est)
 
     def sync(self, steps_consumed: int) -> None:
         """Set the lane's ``random.Random`` past exactly ``steps_consumed``
@@ -309,11 +314,12 @@ class _LaneDraws:
             self.rng.setstate(self.base)
             return
         # The pull that produced draw number `steps_consumed`.
-        before, state, est = self.pulls[0]
-        for rec in self.pulls:
+        idx = 0
+        for j, rec in enumerate(self.pulls):
             if rec[0] >= steps_consumed:
                 break
-            before, state, est = rec
+            idx = j
+        before, state, est = self.pulls[idx]
         mt = self.mt
         mt.state = state
         raw = mt.random_raw(est)
@@ -322,6 +328,11 @@ class _LaneDraws:
         mt.state = state
         mt.random_raw(words)
         self.rng.setstate(mt_state_from_numpy(mt, self.base))
+        if self._tel.enabled:
+            self._tel.count(
+                "wordbank.words_consumed",
+                sum(p[2] for p in self.pulls[:idx]) + words,
+            )
 
 
 class _LaneWords:
@@ -390,6 +401,7 @@ class _WordBank:
         import numpy as np
 
         self.np = np
+        self._tel = get_telemetry()
         self.lanes = [_LaneWords(rng) for rng in rngs]
         self.width = width
         A = len(self.lanes)
@@ -412,6 +424,9 @@ class _WordBank:
         self.words[lo + tail : lo + w] = self.lanes[i].pull(p)
         self.used[i] += p
         self.ptr[i] = 0
+        if self._tel.enabled:
+            self._tel.count("wordbank.refills")
+            self._tel.count("wordbank.words_refilled", p)
 
     def draw(self, moduli, shifts):
         """One accepted draw per lane; ``moduli[i] >= 1``, ``shifts[i] =
@@ -426,6 +441,8 @@ class _WordBank:
         first = ok.argmax(1)
         out = r.take(self._out_base + first)
         found = ok.any(1)
+        if self._tel.enabled:
+            self._count_draw(moduli, first, found)
         ptr += first + 1
         if not found.all():
             words, rowbase = self.words, self.rowbase
@@ -444,6 +461,30 @@ class _WordBank:
                         out[i] = rv
                         break
         return out
+
+    def _count_draw(self, moduli, first, found) -> None:
+        """Telemetry for one lockstep draw (enabled contexts only).
+
+        ``first[i]`` words were rejected before lane i's accepted word, so
+        per-modulus rejection rates come straight from two bincounts; a
+        lane with no accepted panel word falls to the scalar retry loop
+        and counts as ``panel_exhausted``.
+        """
+        np = self.np
+        tel = self._tel
+        A = int(moduli.shape[0])
+        nfound = int(found.sum())
+        tel.count("wordbank.draws", A)
+        tel.count("wordbank.panel_words", int(first[found].sum()) + nfound)
+        if A - nfound:
+            tel.count("wordbank.panel_exhausted", A - nfound)
+        per = np.bincount(moduli)
+        rej = np.bincount(moduli, weights=first * found)
+        for q in np.flatnonzero(per).tolist():
+            tel.count(f"wordbank.degree[{q}].draws", int(per[q]))
+            rejected = int(rej[q]) if q < len(rej) else 0
+            if rejected:
+                tel.count(f"wordbank.degree[{q}].rejected_words", rejected)
 
     def refill_low(self, margin: int) -> None:
         """Top up every lane with fewer than ``margin`` buffered words.
@@ -798,6 +839,8 @@ class _StepwiseFleet(FleetWalkBase):
                 f"native=True but the fused kernel is unavailable: "
                 f"{native.unavailable_reason()}"
             )
+        if fn is None and self._native_pref is None:
+            get_telemetry().count("fleet.native_unavailable")
         return fn
 
     def _native_call(self, T: int, step0: int, t0: int):
@@ -924,6 +967,7 @@ class _StepwiseFleet(FleetWalkBase):
 
         if target not in ("vertices", "edges"):
             raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+        tel = get_telemetry()
         K, n = self.K, self.n
         names = list(labels) if labels is not None else list(range(K))
         budget = (
@@ -939,11 +983,24 @@ class _StepwiseFleet(FleetWalkBase):
         self._init_rows(act)
         self._bank = _WordBank([self.rngs[k] for k in act])
         self._native = self._native_setup() if act else None
+        if tel.enabled and act:
+            tel.count("fleet.fleets")
+            tel.count("fleet.lanes", len(act))
+            tel.count(
+                "fleet.native_fleets" if self._native is not None else "fleet.numpy_fleets"
+            )
+        lane_steps = 0
         steps = 0
         block = self.block_steps
         try:
             while act:
                 if len(act) <= TAIL_LANES:
+                    if tel.enabled:
+                        tel.count("fleet.tail_handoffs")
+                        tel.count("fleet.tail_lanes", len(act))
+                        tel.gauge("fleet.tail_handoff_step", steps)
+                        for row in range(len(act)):
+                            tel.count("fleet.words_consumed", self._bank.consumed(row))
                     for row in range(len(act)):
                         self._bank.sync_row(row)
                     # The bank's job ends at the hand-off sync: clear `act`
@@ -971,6 +1028,18 @@ class _StepwiseFleet(FleetWalkBase):
                 t, covered = self._run_block(T, steps)
                 steps += t
                 self._end_block(t, steps)
+                if tel.enabled:
+                    lane_steps += t * len(act)
+                    tel.count("fleet.blocks")
+                    tel.count("fleet.block_steps", t)
+                    tel.count("fleet.lane_steps", t * len(act))
+                    tel.progress(
+                        step=lane_steps,
+                        done=K - len(act),
+                        total=K,
+                        unit="lanes",
+                        label=f"fleet {self.walk_name}",
+                    )
                 if covered is not None:
                     # Retire the covered lanes at this exact instant: RNG
                     # synced to the words their reference twins consumed.
@@ -978,9 +1047,14 @@ class _StepwiseFleet(FleetWalkBase):
                         k = act[row]
                         cover[k] = steps
                         self._pos[k] = int(self._cur[row])
+                        if tel.enabled:
+                            tel.count("fleet.lane_retirements")
+                            tel.count("fleet.words_consumed", self._bank.consumed(row))
                         self._bank.sync_row(row)
                         self._on_lane_exit(row, k)
                     keep = ~covered
+                    if tel.enabled:
+                        tel.count("fleet.compactions")
                     self._bank.compact(keep)
                     self._cur = self._cur[keep]
                     self._compact_state(keep)
@@ -1104,6 +1178,7 @@ class FleetSRW(_StepwiseFleet):
 
         if target not in ("vertices", "edges"):
             raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+        tel = get_telemetry()
         K, n, m, d = self.K, self.n, self.m, self.d
         graph = self.graphs[0]
         names = list(labels) if labels is not None else list(range(K))
@@ -1134,6 +1209,11 @@ class FleetSRW(_StepwiseFleet):
                 draws[k] = _LaneDraws(self.rngs[k], d)
                 lanes.append(k)
 
+        if tel.enabled and lanes:
+            tel.count("fleet.fleets")
+            tel.count("fleet.lanes", len(lanes))
+            tel.count("fleet.oracle_fleets")
+        lane_steps = 0
         steps = 0
         block = self.block_steps
         kth = graph.kth_neighbors
@@ -1196,6 +1276,15 @@ class FleetSRW(_StepwiseFleet):
                         if c == full:
                             cover[k] = step_no
                 steps += T
+                if tel.enabled:
+                    lane_steps += T * A
+                    tel.count("fleet.blocks")
+                    tel.count("fleet.block_steps", T)
+                    tel.count("fleet.lane_steps", T * A)
+                    tel.count("oracle.kth_calls", T)
+                    tel.count("oracle.kth_vertices", T * A)
+                    if not by_vertices:
+                        tel.count("oracle.edge_slot_calls", T)
                 if any(cover[k] is not None for k in lanes):
                     for i, k in enumerate(lanes):
                         if cover[k] is None:
@@ -1203,7 +1292,17 @@ class FleetSRW(_StepwiseFleet):
                         t_cov = cover[k] - (steps - T) - 1
                         cur_v[k] = vtraj[t_cov, i]
                         draws[k].sync(cover[k])
+                        if tel.enabled:
+                            tel.count("fleet.lane_retirements")
                     lanes = [k for k in lanes if cover[k] is None]
+                if tel.enabled:
+                    tel.progress(
+                        step=lane_steps,
+                        done=K - len(lanes),
+                        total=K,
+                        unit="lanes",
+                        label="fleet srw oracle",
+                    )
         finally:
             for k in lanes:
                 if draws[k] is not None:
@@ -1236,6 +1335,7 @@ class FleetSRW(_StepwiseFleet):
 
         if target not in ("vertices", "edges"):
             raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
+        tel = get_telemetry()
         K, n, m, d = self.K, self.n, self.m, self.d
         names = list(labels) if labels is not None else list(range(K))
         budget = (
@@ -1271,11 +1371,20 @@ class FleetSRW(_StepwiseFleet):
                 draws[k] = _LaneDraws(self.rngs[k], d)
                 lanes.append(k)
 
+        if tel.enabled and lanes:
+            tel.count("fleet.fleets")
+            tel.count("fleet.lanes", len(lanes))
+            tel.count("fleet.block_fleets")
+        lane_steps = 0
         steps = 0
         block = self.block_steps
         try:
             while lanes:
                 if len(lanes) <= TAIL_LANES:
+                    if tel.enabled:
+                        tel.count("fleet.tail_handoffs")
+                        tel.count("fleet.tail_lanes", len(lanes))
+                        tel.gauge("fleet.tail_handoff_step", steps)
                     self._finish_scalar(
                         lanes, draws, steps, budget, target, cur_g,
                         visited, fv, counts, cover,
@@ -1349,6 +1458,11 @@ class FleetSRW(_StepwiseFleet):
                         if c == full:
                             cover[k] = step_no
                 steps += T
+                if tel.enabled:
+                    lane_steps += T * A
+                    tel.count("fleet.blocks")
+                    tel.count("fleet.block_steps", T)
+                    tel.count("fleet.lane_steps", T * A)
                 if any(cover[k] is not None for k in lanes):
                     # Rewind finished lanes to their cover instant: position
                     # and RNG.  The overshoot trajectory needs no undo — a
@@ -1359,7 +1473,17 @@ class FleetSRW(_StepwiseFleet):
                         t_cov = cover[k] - (steps - T) - 1
                         cur_g[k] = vtraj[t_cov, i]
                         draws[k].sync(cover[k])
+                        if tel.enabled:
+                            tel.count("fleet.lane_retirements")
                     lanes = [k for k in lanes if cover[k] is None]
+                if tel.enabled:
+                    tel.progress(
+                        step=lane_steps,
+                        done=K - len(lanes),
+                        total=K,
+                        unit="lanes",
+                        label="fleet srw",
+                    )
         finally:
             # Lanes still live on an abnormal exit (budget timeout): their
             # reference twins would have consumed exactly `steps` draws

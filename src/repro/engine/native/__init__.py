@@ -133,6 +133,12 @@ def load():
             _probed = True
             if _fn is None and not key and not _warned:
                 _warned = True
+                try:
+                    from repro.telemetry import get_telemetry
+
+                    get_telemetry().count("native.silent_fallbacks")
+                except Exception:
+                    pass
                 warnings.warn(
                     f"repro: native fused kernel unavailable ({_reason}); "
                     "fleet engines fall back to the numpy stepwise path "

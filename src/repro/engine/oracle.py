@@ -47,6 +47,7 @@ from repro.engine.base import (
     VisitedSet,
 )
 from repro.graphs.implicit import ImplicitGraph
+from repro.telemetry import get_telemetry
 from repro.walks.base import default_step_budget
 
 __all__ = [
@@ -217,6 +218,7 @@ class OracleWalkBase:
 
     def run_until_vertex_cover(self, max_steps: Optional[int] = None) -> int:
         budget = max_steps if max_steps is not None else default_step_budget(self.graph)
+        tel = get_telemetry()
         while not self.vertices_covered:
             if self.steps >= budget:
                 raise CoverTimeout(
@@ -225,13 +227,25 @@ class OracleWalkBase:
                     steps=self.steps,
                     remaining=self.graph.n - self.num_visited_vertices,
                 )
+            before = self.steps
             self._chunk(min(self.chunk_size, budget - self.steps), STOP_VERTICES)
+            if tel.enabled:
+                tel.count("oracle.chunks")
+                tel.count("oracle.steps", self.steps - before)
+                tel.progress(
+                    step=self.steps,
+                    done=self.num_visited_vertices,
+                    total=self.graph.n,
+                    unit="vertices",
+                    label=type(self).__name__,
+                )
         return self.steps
 
     def run_until_edge_cover(self, max_steps: Optional[int] = None) -> int:
         if not self._edge_tracking:
             raise GraphError("edge tracking is disabled for this process")
         budget = max_steps if max_steps is not None else default_step_budget(self.graph)
+        tel = get_telemetry()
         while not self.edges_covered:
             if self.steps >= budget:
                 raise CoverTimeout(
@@ -240,7 +254,18 @@ class OracleWalkBase:
                     steps=self.steps,
                     remaining=self.graph.m - self.num_visited_edges,
                 )
+            before = self.steps
             self._chunk(min(self.chunk_size, budget - self.steps), STOP_EDGES)
+            if tel.enabled:
+                tel.count("oracle.chunks")
+                tel.count("oracle.steps", self.steps - before)
+                tel.progress(
+                    step=self.steps,
+                    done=self.num_visited_edges,
+                    total=self.graph.m,
+                    unit="edges",
+                    label=type(self).__name__,
+                )
         return self.steps
 
     def __repr__(self) -> str:
@@ -334,6 +359,11 @@ class OracleSRW(OracleWalkBase):
                 self.num_visited_edges = nve
             self.current = cur
             self.steps = steps
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("oracle.kth_calls", applied)
+            if tracking:
+                tel.count("oracle.edge_slot_calls", applied)
         return applied
 
     def _chunk_batched(self, num_steps: int, stop: int) -> None:
@@ -374,6 +404,7 @@ class OracleSRW(OracleWalkBase):
             stream.end(unused)
 
     def _chunk_scalar(self, num_steps: int, stop: int) -> None:
+        steps0 = self.steps
         grb = self._grb
         d = self._d
         kq = self._kbits[d]
@@ -431,6 +462,11 @@ class OracleSRW(OracleWalkBase):
                 self.num_visited_edges = nve
             self.current = cur
             self.steps = steps
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("oracle.kth_calls", self.steps - steps0)
+            if tracking:
+                tel.count("oracle.edge_slot_calls", self.steps - steps0)
 
 
 class OracleEdgeProcess(OracleWalkBase):

@@ -25,6 +25,7 @@ incremental top-up of 15 cells per point, not a recompute.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -32,6 +33,7 @@ from repro.errors import ReproError
 from repro.experiments.spec import ExperimentSpec, SweepSpec
 from repro.experiments.store import ResultStore
 from repro.sim.runner import CoverRun, TrialOutcome, aggregate_outcomes, run_trials
+from repro.telemetry import get_telemetry
 
 __all__ = ["PointResult", "SweepRunResult", "run_point", "run_sweep", "print_progress"]
 
@@ -114,6 +116,11 @@ def run_point(
             if trial < spec.trials
         }
     missing = [t for t in range(spec.trials) if t not in cached]
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("scheduler.points")
+        tel.count("scheduler.trials_cached", len(cached))
+        tel.count("scheduler.trials_scheduled", len(missing))
     if progress is not None:
         progress(
             f"{spec.describe()} [{spec.spec_hash}]: "
@@ -129,7 +136,13 @@ def run_point(
         # Cached cells were excluded from `missing`, so from here every
         # computed trial is a genuinely new cell: plain append.
         def on_result(outcome: TrialOutcome, _spec=spec) -> None:
-            store.record(_spec, outcome)
+            if tel.enabled:
+                t0 = time.perf_counter()
+                store.record(_spec, outcome)
+                tel.time_add("store.checkpoint_seconds", time.perf_counter() - t0)
+                tel.count("store.checkpoints")
+            else:
+                store.record(_spec, outcome)
 
     fresh = run_trials(
         workload=spec.workload(),
@@ -196,5 +209,9 @@ def run_sweep(
 
 
 def print_progress(msg: str) -> None:
-    """Default progress sink: stderr, so tables on stdout stay diff-able."""
-    print(msg, file=sys.stderr)
+    """Default progress sink: stderr, so tables on stdout stay diff-able.
+
+    Flushed per line: progress exists to be watched live (terminals,
+    ``tee``, CI logs), and block-buffered stderr would batch it.
+    """
+    print(msg, file=sys.stderr, flush=True)

@@ -47,7 +47,8 @@ __all__ = ["STORE_SCHEMA_VERSION", "TrialRecord", "StoreEntry", "GcStats", "Resu
 
 #: Bump when the trial-record layout changes incompatibly; mismatched
 #: records are quarantined on read (never silently reinterpreted).
-STORE_SCHEMA_VERSION = 1
+#: v2 added ``peak_rss_bytes`` to every trial record.
+STORE_SCHEMA_VERSION = 2
 
 _REQUIRED_FIELDS = ("schema", "spec_hash", "trial", "cover_time")
 
@@ -63,6 +64,7 @@ class TrialRecord:
     wall_time: float
     engine: str
     code_version: str
+    peak_rss_bytes: int = 0
 
     def to_outcome(self) -> TrialOutcome:
         """View as a runner outcome (so reports treat cached == fresh)."""
@@ -71,6 +73,7 @@ class TrialRecord:
             steps=self.cover_time,
             extras=dict(self.extras),
             wall_time=self.wall_time,
+            peak_rss_bytes=self.peak_rss_bytes,
         )
 
 
@@ -178,6 +181,7 @@ class ResultStore:
             wall_time=float(outcome.wall_time),
             engine=spec.engine,
             code_version=self.code_version,
+            peak_rss_bytes=int(getattr(outcome, "peak_rss_bytes", 0)),
         )
         line = json.dumps(
             {
@@ -189,6 +193,7 @@ class ResultStore:
                 "wall_time": record.wall_time,
                 "engine": record.engine,
                 "code_version": record.code_version,
+                "peak_rss_bytes": record.peak_rss_bytes,
                 "recorded_at": time.time(),
             },
             sort_keys=True,
@@ -265,6 +270,9 @@ class ResultStore:
             wall_time = float(obj.get("wall_time", 0.0))
         except (TypeError, ValueError) as exc:
             raise ReproError(f"non-numeric extras/wall_time: {exc}") from None
+        rss = obj.get("peak_rss_bytes", 0)
+        if not isinstance(rss, int) or isinstance(rss, bool) or rss < 0:
+            raise ReproError(f"invalid peak_rss_bytes {rss!r}")
         return TrialRecord(
             spec_hash=spec_hash,
             trial=trial,
@@ -273,6 +281,7 @@ class ResultStore:
             wall_time=wall_time,
             engine=str(obj.get("engine", "reference")),
             code_version=str(obj.get("code_version", "unknown")),
+            peak_rss_bytes=rss,
         )
 
     def _quarantine_new(self, spec_hash: str, bad: List[Dict[str, str]]) -> None:
@@ -293,6 +302,11 @@ class ResultStore:
         fresh = [entry for entry in bad if entry["line"] not in already]
         if not fresh:
             return
+        from repro.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("store.quarantined_lines", len(fresh))
         quarantine.parent.mkdir(parents=True, exist_ok=True)
         with quarantine.open("a") as handle:
             for entry in fresh:
@@ -355,6 +369,51 @@ class ResultStore:
             if path.exists():
                 total += sum(1 for line in path.read_text().splitlines() if line.strip())
         return total
+
+    # -- run manifests ------------------------------------------------------
+
+    def manifest_dir(self) -> Path:
+        """Directory holding run manifests (next to the trial shards)."""
+        return self.root / "manifests"
+
+    def record_manifest(self, manifest: Dict) -> Path:
+        """Save a run manifest (see :mod:`repro.telemetry.manifest`).
+
+        Manifests are provenance, not results: ``gc`` never touches them,
+        and nothing is keyed on them — they record which runs produced the
+        trial records sitting alongside.  Returns the written path.
+        """
+        self._ensure_meta()
+        directory = self.manifest_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        command = str(manifest.get("command", "run")).replace("/", "_") or "run"
+        path = directory / f"{stamp}-{command}.json"
+        i = 1
+        while path.exists():
+            path = directory / f"{stamp}-{command}-{i}.json"
+            i += 1
+        path.write_text(json.dumps(manifest, sort_keys=True, indent=2, default=str) + "\n")
+        return path
+
+    def manifests(self) -> List[tuple]:
+        """All stored run manifests as ``(path, dict)``, oldest first.
+
+        Unparseable files are skipped (same tolerance as shard reads —
+        a bad manifest costs itself, not the listing).
+        """
+        directory = self.manifest_dir()
+        if not directory.exists():
+            return []
+        out: List[tuple] = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                obj = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue
+            if isinstance(obj, dict):
+                out.append((path, obj))
+        return out
 
     # -- inventory ----------------------------------------------------------
 

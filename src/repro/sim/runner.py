@@ -42,6 +42,7 @@ from repro.errors import ReproError
 from repro.graphs.graph import Graph
 from repro.sim.results import Aggregate, aggregate
 from repro.sim.rng import spawn
+from repro.telemetry import get_telemetry, peak_rss_bytes
 from repro.walks.base import WalkProcess
 
 logger = logging.getLogger(__name__)
@@ -60,12 +61,18 @@ WalkFactory = Callable[[Graph, int, random.Random], WalkProcess]
 
 
 class TrialOutcome(NamedTuple):
-    """Result of one trial: where it sat in the seed tree and what it measured."""
+    """Result of one trial: where it sat in the seed tree and what it measured.
+
+    ``peak_rss_bytes`` is the *process* peak RSS observed as the trial
+    finished — a monotone high-water mark shared by every trial of the
+    run, not a per-trial allocation figure (0 where unsupported).
+    """
 
     trial: int
     steps: int
     extras: Dict[str, float]
     wall_time: float
+    peak_rss_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -134,11 +141,25 @@ def _run_trial(spec: _TrialSpec) -> TrialOutcome:
     extras: Dict[str, float] = {}
     if spec.extra_metrics is not None:
         extras = {key: float(value) for key, value in spec.extra_metrics(walk).items()}
+    wall = time.perf_counter() - t0
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("runner.trials")
+        tel.count("runner.steps", steps)
+        tel.time_add("runner.trial_seconds", wall)
+        tel.event(
+            "trial",
+            trial=spec.trial,
+            steps=steps,
+            wall_seconds=round(wall, 6),
+            steps_per_sec=int(steps / wall) if wall > 0 else 0,
+        )
     return TrialOutcome(
         trial=spec.trial,
         steps=steps,
         extras=extras,
-        wall_time=time.perf_counter() - t0,
+        wall_time=wall,
+        peak_rss_bytes=peak_rss_bytes(),
     )
 
 
@@ -184,8 +205,24 @@ def _run_fleet_batch(template: _TrialSpec, trials: Sequence[int]) -> List[TrialO
         target=template.target, max_steps=template.max_steps, labels=list(trials)
     )
     wall = (time.perf_counter() - t0) / len(trials)
+    rss = peak_rss_bytes()
+    tel = get_telemetry()
+    if tel.enabled:
+        total = sum(cover)
+        tel.count("runner.trials", len(trials))
+        tel.count("runner.steps", total)
+        tel.count("runner.fleet_batches")
+        tel.time_add("runner.trial_seconds", wall * len(trials))
+        tel.event(
+            "fleet_batch",
+            trials=list(trials),
+            steps=total,
+            wall_seconds=round(wall * len(trials), 6),
+        )
     return [
-        TrialOutcome(trial=trial, steps=steps, extras={}, wall_time=wall)
+        TrialOutcome(
+            trial=trial, steps=steps, extras={}, wall_time=wall, peak_rss_bytes=rss
+        )
         for trial, steps in zip(trials, cover)
     ]
 
@@ -321,6 +358,27 @@ def run_trials(
     )
     if not indices:
         return []
+    logger.info(
+        "run_trials: %d trial(s), walk=%s engine=%s target=%s workers=%d",
+        len(indices),
+        walk_factory if isinstance(walk_factory, str) else "<custom>",
+        engine,
+        target,
+        workers,
+    )
+    tel = get_telemetry()
+    if tel.enabled and workers > 1:
+        # Pool workers inherit the *null* context (telemetry is installed
+        # per process, not pickled into specs), so engine counters from
+        # their trials stay behind; record that the gap exists.
+        tel.count("runner.pool_runs")
+        tel.event(
+            "note",
+            text=(
+                f"workers={workers}: engine counters from pool workers "
+                "are not aggregated into this run's telemetry"
+            ),
+        )
     if fleet:
         size = fleet_size if fleet_size is not None else DEFAULT_FLEET_SIZE
         batches = [

@@ -1,0 +1,212 @@
+"""Telemetry core: counters/gauges/timers with a zero-overhead off switch.
+
+The instrumentation contract, stated once and relied on everywhere:
+
+* **Zero overhead when off.**  The module-level active context defaults to
+  :data:`NULL_TELEMETRY`, whose ``enabled`` attribute is ``False``.  Every
+  instrumented hot path captures the active context once (at run start)
+  and guards its bookkeeping with ``if tel.enabled:`` — one attribute
+  check per block/step, nothing else.
+* **Never touches RNG.**  Telemetry reads step counts, visitation counts
+  and wall clocks; it draws no randomness and reorders no draws, so the
+  bit-identical replay contract (every engine consumes the Mersenne
+  Twister stream identically) is untouched by construction.
+  ``tests/test_telemetry_identity.py`` pins this per engine.
+* **Context, not plumbing.**  The active context is installed with
+  :func:`session` (or :func:`set_telemetry`) rather than threaded through
+  factory signatures — walk factories stay ``(graph, start, rng)`` and
+  picklable.  Consequence: ``multiprocessing`` pool workers run with the
+  null context, so engine counters from ``workers > 1`` runs are not
+  aggregated (per-trial results still stream back; only the counters stay
+  behind).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "session",
+    "peak_rss_bytes",
+]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unsupported).
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in KiB on Linux and bytes
+    on macOS; this helper normalizes to bytes.  The value is a monotone
+    process-lifetime peak, not a current reading.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-posix
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(peak)
+    return int(peak) * 1024
+
+
+class Telemetry:
+    """An active instrumentation context: counters, gauges, timers, sinks.
+
+    Parameters
+    ----------
+    heartbeat:
+        Optional :class:`~repro.telemetry.heartbeat.HeartbeatReporter`;
+        :meth:`progress` forwards to it (and mirrors every emitted
+        heartbeat into the writer as a structured event).
+    writer:
+        Optional :class:`~repro.telemetry.jsonl.TelemetryJSONLWriter`;
+        :meth:`event` streams structured events to it.
+    """
+
+    enabled = True
+
+    def __init__(self, heartbeat=None, writer=None):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timings: Dict[str, float] = {}
+        self.heartbeat = heartbeat
+        self.writer = writer
+        self._t0 = time.perf_counter()
+
+    # -- accumulators --------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def time_add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the cumulative timing ``name``."""
+        timings = self.timings
+        timings[name] = timings.get(name, 0.0) + float(seconds)
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time a block into timing ``name`` (and count ``name + ".calls"``)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.time_add(name, time.perf_counter() - t0)
+            self.count(name + ".calls")
+
+    # -- sinks ---------------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        """Stream one structured event to the JSONL writer (if any)."""
+        if self.writer is not None:
+            self.writer.event(kind, **fields)
+
+    def progress(
+        self,
+        *,
+        step: int,
+        done: Optional[int] = None,
+        total: Optional[int] = None,
+        unit: str = "",
+        label: str = "",
+    ) -> None:
+        """Offer a progress observation to the heartbeat (if any).
+
+        Cheap to call often: the reporter early-exits on a clock check
+        until its interval elapses.  ``step`` is cumulative work (walk
+        steps, lane-steps); ``done``/``total`` the covering progress in
+        ``unit`` (vertices, edges, lanes).
+        """
+        hb = self.heartbeat
+        if hb is None:
+            return
+        payload = hb.tick(step=step, done=done, total=total, unit=unit, label=label)
+        if payload is not None:
+            self.count("heartbeat.lines")
+            if self.writer is not None:
+                self.writer.event("heartbeat", **payload)
+
+    # -- export --------------------------------------------------------------
+
+    def wall_seconds(self) -> float:
+        """Seconds since this context was created."""
+        return time.perf_counter() - self._t0
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-ready copy of counters, gauges and timings."""
+        return {
+            "counters": {k: int(v) for k, v in sorted(self.counters.items())},
+            "gauges": {k: float(v) for k, v in sorted(self.gauges.items())},
+            "timings": {k: round(float(v), 6) for k, v in sorted(self.timings.items())},
+        }
+
+
+class NullTelemetry(Telemetry):
+    """The disabled context: every method is a no-op, ``enabled`` is False.
+
+    Instrumented code paths guard with ``if tel.enabled:`` so the null
+    context costs one attribute check; the method overrides below are the
+    safety net for unguarded (cold-path) calls.
+    """
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def time_add(self, name: str, seconds: float) -> None:
+        pass
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def progress(self, **kwargs) -> None:
+        pass
+
+
+#: The process-wide default context (disabled).  Shared singleton: install
+#: a real :class:`Telemetry` with :func:`session` to turn collection on.
+NULL_TELEMETRY = NullTelemetry()
+
+_ACTIVE: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """The active telemetry context (:data:`NULL_TELEMETRY` by default)."""
+    return _ACTIVE
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> None:
+    """Install ``telemetry`` as the active context (None restores null)."""
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+@contextmanager
+def session(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``telemetry`` for the duration of a ``with`` block.
+
+    The previous context is restored on exit (sessions nest).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else NULL_TELEMETRY
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,77 @@
+"""Streaming JSONL event sink with a closing run manifest.
+
+One JSON object per line: events as they happen (flushed per event so a
+killed run keeps everything written so far), and — on :meth:`finish` — a
+final line of ``kind == "manifest"`` summarizing the whole run (see
+:mod:`repro.telemetry.manifest`).  ``python -m repro.telemetry.manifest
+FILE`` validates such a file, which is what CI does.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ReproError
+
+__all__ = ["TelemetryJSONLWriter"]
+
+
+class TelemetryJSONLWriter:
+    """Append telemetry events to ``path``, one JSON object per line.
+
+    The file is truncated on construction (one file per run).  After
+    :meth:`finish` (or :meth:`close`) the writer is inert: further events
+    are dropped rather than raising, so sinks outlive engine teardown
+    ordering without ceremony.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        if str(self.path.parent) not in ("", "."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._fh = self.path.open("w", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot open telemetry file {self.path}: {exc}") from None
+        self.events_written = 0
+        self.finished = False
+
+    def event(self, kind: str, **fields) -> None:
+        """Write one event line (no-op once closed)."""
+        if self._fh is None:
+            return
+        record: Dict = {"kind": str(kind)}
+        record.update(fields)
+        record["at"] = round(time.time(), 3)
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"), default=str) + "\n"
+        )
+        self._fh.flush()
+        self.events_written += 1
+
+    def finish(self, manifest: Dict) -> None:
+        """Write the run manifest as the final line and close the file."""
+        if self._fh is None:
+            return
+        self._fh.write(
+            json.dumps(manifest, sort_keys=True, separators=(",", ":"), default=str) + "\n"
+        )
+        self._fh.flush()
+        self._fh.close()
+        self._fh = None
+        self.finished = True
+
+    def close(self) -> None:
+        """Close without a manifest (abnormal teardown)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetryJSONLWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.errors import CoverTimeout, GraphError
 from repro.graphs.graph import Graph
+from repro.telemetry import get_telemetry
 
 __all__ = ["WalkProcess", "default_step_budget"]
 
@@ -185,6 +186,7 @@ class WalkProcess(ABC):
             If the budget (default :func:`default_step_budget`) runs out.
         """
         budget = max_steps if max_steps is not None else default_step_budget(self.graph)
+        tel = get_telemetry()
         while not self.vertices_covered:
             if self.steps >= budget:
                 raise CoverTimeout(
@@ -194,6 +196,14 @@ class WalkProcess(ABC):
                     remaining=self.graph.n - self.num_visited_vertices,
                 )
             self._cover_advance(budget, "vertices")
+            if tel.enabled:
+                tel.progress(
+                    step=self.steps,
+                    done=self.num_visited_vertices,
+                    total=self.graph.n,
+                    unit="vertices",
+                    label=type(self).__name__,
+                )
         return self.steps
 
     def run_until_edge_cover(self, max_steps: Optional[int] = None) -> int:
@@ -201,6 +211,7 @@ class WalkProcess(ABC):
         if not self._edge_tracking:
             raise GraphError("edge tracking is disabled for this process")
         budget = max_steps if max_steps is not None else default_step_budget(self.graph)
+        tel = get_telemetry()
         while not self.edges_covered:
             if self.steps >= budget:
                 raise CoverTimeout(
@@ -210,6 +221,14 @@ class WalkProcess(ABC):
                     remaining=self.graph.m - self.num_visited_edges,
                 )
             self._cover_advance(budget, "edges")
+            if tel.enabled:
+                tel.progress(
+                    step=self.steps,
+                    done=self.num_visited_edges,
+                    total=self.graph.m,
+                    unit="edges",
+                    label=type(self).__name__,
+                )
         return self.steps
 
     # ------------------------------------------------------------------
