@@ -121,6 +121,37 @@ def _native_pref(args: argparse.Namespace) -> "bool | None":
     return {"auto": None, "on": True, "off": False}[getattr(args, "native", "auto")]
 
 
+def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="transient-failure budget: worker crashes (per pool), trial "
+        "timeouts / write errors (per trial), and store checkpoint "
+        "OSErrors each retry up to N times before failing (default: 2; "
+        "retried trials are bit-identical to uninterrupted ones)",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock cap per trial (fleet batches pool it); a trial "
+        "over budget is killed and retried under --retries (default: "
+        "none; distinct from the walk's step budget)",
+    )
+    parser.add_argument(
+        "--on-worker-crash",
+        default="retry",
+        choices=["retry", "inline", "fail"],
+        help="when a pool worker dies: 'retry' requeues the lost trials "
+        "(degrading to in-process execution after --retries consecutive "
+        "pool failures), 'inline' degrades immediately, 'fail' aborts "
+        "(default: retry)",
+    )
+
+
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -193,6 +224,10 @@ def _telemetry_session(
             print(f"manifest: {saved}", file=sys.stderr, flush=True)
 
 
+def _store_durability(args: argparse.Namespace) -> str:
+    return "fsync" if getattr(args, "durable", False) else "standard"
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     degrees = sorted(set(args.degrees))
     sweep_spec = SweepSpec.figure1(
@@ -202,7 +237,11 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         root_seed=args.seed,
         engine=args.engine,
     )
-    store = ResultStore(args.store) if args.store else None
+    store = (
+        ResultStore(args.store, durability=_store_durability(args))
+        if args.store
+        else None
+    )
     with _telemetry_session(args, "figure1", walk="eprocess") as tctx:
         tctx["store"] = store
         result = run_sweep(
@@ -212,6 +251,9 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
             progress=print_progress,
             fleet_size=args.fleet_size,
             fleet_native=_native_pref(args),
+            retries=args.retries,
+            trial_timeout=args.trial_timeout,
+            on_worker_crash=args.on_worker_crash,
         )
     runs = [(p.spec, p.run) for p in result.points]
     series: List[Series] = regular_degree_series(runs, normalize_by_n=True)
@@ -297,7 +339,7 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep_spec = _sweep_spec_from_args(args)
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, durability=_store_durability(args))
     try:
         with _telemetry_session(args, "sweep") as tctx:
             tctx["store"] = store
@@ -309,6 +351,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 progress=print_progress,
                 fleet_size=args.fleet_size,
                 fleet_native=_native_pref(args),
+                retries=args.retries,
+                trial_timeout=args.trial_timeout,
+                on_worker_crash=args.on_worker_crash,
             )
     except KeyboardInterrupt:
         print(
@@ -440,6 +485,9 @@ def _cmd_cover(args: argparse.Namespace) -> int:
             workers=workers,
             fleet_size=getattr(args, "fleet_size", None),
             fleet_native=_native_pref(args),
+            retries=args.retries,
+            trial_timeout=args.trial_timeout,
+            on_worker_crash=args.on_worker_crash,
         )
     denom = graph.n if args.target == "vertices" else graph.m
     print(
@@ -699,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig1.add_argument("--trials", type=int, default=5)
     fig1.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
     _add_engine_arguments(fig1)
+    _add_robustness_arguments(fig1)
     _add_telemetry_arguments(fig1)
     fig1.add_argument(
         "--store",
@@ -706,6 +755,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="experiment store directory; trials cached there are reused "
         "and fresh ones persisted (default: ephemeral, nothing saved)",
+    )
+    fig1.add_argument(
+        "--durable",
+        action="store_true",
+        help="fsync every store write (checkpoints survive power loss, "
+        "not just process crashes; slower)",
     )
     fig1.set_defaults(fn=_cmd_figure1)
 
@@ -738,7 +793,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_grid_arguments(swp)
     _add_engine_arguments(swp)
+    _add_robustness_arguments(swp)
     _add_telemetry_arguments(swp)
+    swp.add_argument(
+        "--durable",
+        action="store_true",
+        help="fsync every store write (checkpoints survive power loss, "
+        "not just process crashes; slower)",
+    )
     swp.add_argument(
         "--resume",
         action="store_true",
@@ -784,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cover.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
     _add_engine_arguments(cover)
+    _add_robustness_arguments(cover)
     _add_telemetry_arguments(cover)
     cover.set_defaults(fn=_cmd_cover)
 

@@ -53,6 +53,16 @@ class CoverTimeout(ReproError):
         self.remaining = remaining
 
 
+class TrialTimeout(ReproError):
+    """A trial (or fleet batch) exceeded its wall-clock timeout.
+
+    Distinct from :class:`CoverTimeout`, which caps the *step budget* — a
+    deterministic property of the walk.  Wall-clock overruns depend on
+    machine load, so the runner's supervisor treats this as retryable
+    (bit-identity makes the retry reproduce the trial exactly).
+    """
+
+
 class RuleError(ReproError):
     """An edge-selection rule returned an invalid choice."""
 

@@ -20,10 +20,21 @@ interrupted sweep re-run with ``--resume`` (the default behaviour — the
 flag is documentation) finishes the gaps and reports aggregates
 bit-identical to the cold run; raising ``trials=5`` to ``trials=20`` is an
 incremental top-up of 15 cells per point, not a recompute.
+
+Fault tolerance: execution is supervised (the runner requeues trials lost
+to dead workers — see :mod:`repro.sim.runner`), and the checkpoint write
+itself retries transient ``OSError`` (full disk, NFS blips) with a capped
+backoff before failing the run, counted in ``store.checkpoint_retries``.
+Because the store locks shard appends, any number of ``run_sweep``
+processes may share one store: each computes whatever cells the store
+was missing when it looked, appends race safely, and duplicate cells
+(both processes computed the same missing trial) collapse under
+first-record-wins with identical bytes in either order.
 """
 
 from __future__ import annotations
 
+import logging
 import sys
 import time
 from dataclasses import dataclass
@@ -34,6 +45,61 @@ from repro.experiments.spec import ExperimentSpec, SweepSpec
 from repro.experiments.store import ResultStore
 from repro.sim.runner import CoverRun, TrialOutcome, aggregate_outcomes, run_trials
 from repro.telemetry import get_telemetry
+from repro.testing import faults
+
+logger = logging.getLogger(__name__)
+
+#: Checkpoint-append retry backoff (seconds): base doubles per attempt, capped.
+_CHECKPOINT_BACKOFF_BASE = 0.05
+_CHECKPOINT_BACKOFF_CAP = 1.0
+
+
+def _checkpoint(
+    store: ResultStore, spec: ExperimentSpec, outcome: TrialOutcome, retries: int
+) -> None:
+    """Persist one trial, riding out transient write failures.
+
+    A checkpoint that cannot be written after ``retries`` attempts fails
+    the run loudly — continuing would silently recompute the cell on
+    every future resume, which on campaign-scale sweeps is worse than
+    stopping.  After the successful write comes the
+    ``post_checkpoint_kill`` fault site: the kill-between-checkpoint-
+    and-ack window, where a crash must cost zero records on resume.
+    """
+    tel = get_telemetry()
+    attempt = 0
+    while True:
+        try:
+            if tel.enabled:
+                t0 = time.perf_counter()
+                store.record(spec, outcome)
+                tel.time_add("store.checkpoint_seconds", time.perf_counter() - t0)
+                tel.count("store.checkpoints")
+            else:
+                store.record(spec, outcome)
+            break
+        except OSError as exc:
+            attempt += 1
+            if attempt > retries:
+                raise ReproError(
+                    f"could not checkpoint trial {outcome.trial} of "
+                    f"{spec.describe()} after {retries} retr"
+                    f"{'y' if retries == 1 else 'ies'}: {exc}"
+                ) from exc
+            if tel.enabled:
+                tel.count("store.checkpoint_retries")
+            logger.warning(
+                "checkpoint of trial %d failed (%s); retry %d/%d",
+                outcome.trial,
+                exc,
+                attempt,
+                retries,
+            )
+            time.sleep(
+                min(_CHECKPOINT_BACKOFF_CAP, _CHECKPOINT_BACKOFF_BASE * (2 ** (attempt - 1)))
+            )
+    faults.maybe_kill("post_checkpoint_kill", trial=outcome.trial)
+
 
 __all__ = ["PointResult", "SweepRunResult", "run_point", "run_sweep", "print_progress"]
 
@@ -94,6 +160,9 @@ def run_point(
     progress: Optional[Progress] = None,
     fleet_size: Optional[int] = None,
     fleet_native: Optional[bool] = None,
+    retries: int = 2,
+    trial_timeout: Optional[float] = None,
+    on_worker_crash: str = "retry",
 ) -> PointResult:
     """Run one experiment point, filling only the store's missing trials.
 
@@ -107,6 +176,11 @@ def run_point(
     into fleet-sized lockstep batches — so a partially cached point
     fleets only its gaps, and the fleet/array/reference engines all land
     in the same store bucket (the spec hash excludes the engine).
+
+    ``retries``/``trial_timeout``/``on_worker_crash`` parameterise the
+    runner's supervisor (see :func:`repro.sim.runner.run_trials`);
+    ``retries`` also bounds how many transient ``OSError`` a checkpoint
+    write absorbs before the run fails.
     """
     cached: Dict[int, TrialOutcome] = {}
     if store is not None and use_cache:
@@ -136,13 +210,7 @@ def run_point(
         # Cached cells were excluded from `missing`, so from here every
         # computed trial is a genuinely new cell: plain append.
         def on_result(outcome: TrialOutcome, _spec=spec) -> None:
-            if tel.enabled:
-                t0 = time.perf_counter()
-                store.record(_spec, outcome)
-                tel.time_add("store.checkpoint_seconds", time.perf_counter() - t0)
-                tel.count("store.checkpoints")
-            else:
-                store.record(_spec, outcome)
+            _checkpoint(store, _spec, outcome, retries)
 
     fresh = run_trials(
         workload=spec.workload(),
@@ -158,6 +226,9 @@ def run_point(
         fleet_size=fleet_size,
         fleet_native=fleet_native,
         on_result=on_result,
+        retries=retries,
+        trial_timeout=trial_timeout,
+        on_worker_crash=on_worker_crash,
     )
     by_trial = dict(cached)
     by_trial.update({outcome.trial: outcome for outcome in fresh})
@@ -178,6 +249,9 @@ def run_sweep(
     progress: Optional[Progress] = None,
     fleet_size: Optional[int] = None,
     fleet_native: Optional[bool] = None,
+    retries: int = 2,
+    trial_timeout: Optional[float] = None,
+    on_worker_crash: str = "retry",
 ) -> SweepRunResult:
     """Run a whole sweep through :func:`run_point`, streaming progress.
 
@@ -200,6 +274,9 @@ def run_sweep(
                 progress=prefixed,
                 fleet_size=fleet_size,
                 fleet_native=fleet_native,
+                retries=retries,
+                trial_timeout=trial_timeout,
+                on_worker_crash=on_worker_crash,
             )
         )
     result = SweepRunResult(name=sweep.name, points=tuple(points))

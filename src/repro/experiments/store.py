@@ -19,29 +19,53 @@ are missing?" (:meth:`ResultStore.missing_trials`).
 Robustness contract: a corrupted or schema-mismatched line never crashes a
 read.  It is skipped, and a copy lands in ``quarantine/`` (with the reason
 attached, deduplicated by content), so one bad byte costs one trial, not
-the store.  Duplicate trials keep their first record — deterministic, and
-the first writer is as correct as any other.
+the store.  A *torn tail* — an unterminated final line, the signature of a
+writer killed mid-append — is gentler still: reads tolerate and skip it
+(counted in the ``store.truncated_tails`` telemetry counter, never
+quarantined, because the bytes may be an append still in flight), and the
+next locked append repairs it in place before writing.  Duplicate trials
+keep their first record — deterministic, and the first writer is as
+correct as any other.
 
-Concurrency: reads never modify shard files (they only append new lines to
-the quarantine), so any number of readers can overlap any number of
-appending writers without losing records.  The two compacting operations —
-``gc`` and ``clear_trials`` (forced-recompute preparation) — rewrite
-shards in place and assume no concurrent writer on the same store.
+Concurrency: every mutation of a spec's shard — appends, ``gc``/
+``clear_trials`` rewrites, spec registration — happens under an advisory
+``fcntl.flock`` on a per-spec lock file in ``locks/``, so N processes can
+write one store without interleaving partial lines (contended
+acquisitions are counted in ``store.lock_waits``).  Reads take no lock:
+they never modify shard files (they only append new lines to the
+quarantine), so any number of readers can overlap any number of writers
+without losing records.  Store-level files (``meta.json``, spec stubs)
+are created via atomic tmp + ``os.replace``; when two writers race, the
+loser's replace installs equivalent content — a tolerated overwrite, not
+a torn file.
+
+Durability: ``ResultStore(..., durability="fsync")`` fsyncs every shard
+append (and the directory after compaction rewrites), trading checkpoint
+latency for power-loss safety; the default flushes to the OS only, which
+already survives process crashes.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+try:  # advisory file locking is POSIX-only; degrade to lockless elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix
+    fcntl = None  # type: ignore[assignment]
 
 from repro._version import __version__
 from repro.errors import ReproError
 from repro.experiments.spec import ExperimentSpec
 from repro.sim.runner import TrialOutcome
+from repro.telemetry import get_telemetry
+from repro.testing import faults
 
 __all__ = ["STORE_SCHEMA_VERSION", "TrialRecord", "StoreEntry", "GcStats", "ResultStore"]
 
@@ -108,16 +132,105 @@ class GcStats:
     orphan_shards_removed: int
 
 
+def _fsync_directory(path: Path) -> None:
+    """Fsync a directory so a just-replaced entry survives power loss.
+
+    Best-effort: some filesystems (and all of Windows) refuse directory
+    fsync; durability then degrades to the data fsync already done.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_text(path: Path, text: str, durable: bool = False) -> None:
+    """Write a file atomically: unique tmp in the same directory + replace.
+
+    Readers see either the old content or the whole new content, never a
+    prefix.  The tmp name embeds the pid so two processes racing to create
+    the same file never interleave writes into one tmp; the loser's
+    ``os.replace`` harmlessly reinstalls equivalent content.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if durable:
+        _fsync_directory(path.parent)
+
+
+class _FileLock:
+    """Advisory exclusive lock on a sidecar file (``fcntl.flock``).
+
+    Reentrant-unsafe and deliberately simple: one ``with`` block per
+    critical section.  A contended acquisition is counted in the
+    ``store.lock_waits`` telemetry counter before blocking.  On platforms
+    without ``fcntl`` the lock degrades to a no-op (single-writer
+    behaviour, as before the locking layer existed).
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is None:  # pragma: no cover - non-posix
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(str(self.path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.count("store.lock_waits")
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
 class ResultStore:
     """Append-only trial store under one directory.
 
     Reads tolerate a missing/empty directory (fresh store); the directory
     tree is created on first write.
+
+    Parameters
+    ----------
+    durability:
+        ``"standard"`` (default) flushes appends to the OS — safe against
+        process crashes; ``"fsync"`` additionally fsyncs every checkpoint
+        append — safe against power loss, at per-record latency cost.
     """
 
-    def __init__(self, root: Union[str, Path], code_version: str = __version__):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        code_version: str = __version__,
+        durability: str = "standard",
+    ):
+        if durability not in ("standard", "fsync"):
+            raise ReproError(
+                f"durability must be 'standard' or 'fsync', got {durability!r}"
+            )
         self.root = Path(root)
         self.code_version = code_version
+        self.durability = durability
 
     # -- paths --------------------------------------------------------------
 
@@ -130,11 +243,18 @@ class ResultStore:
     def _quarantine_path(self, spec_hash: str) -> Path:
         return self.root / "quarantine" / f"{spec_hash}.jsonl"
 
+    def _lock(self, name: str) -> _FileLock:
+        """The advisory lock guarding one spec's shard (or ``meta``)."""
+        return _FileLock(self.root / "locks" / f"{name}.lock")
+
     def _ensure_meta(self) -> None:
         meta = self.root / "meta.json"
         if not meta.exists():
             self.root.mkdir(parents=True, exist_ok=True)
-            meta.write_text(
+            # Atomic create; when two writers race here the loser replaces
+            # meta.json with equivalent content (only created_at differs).
+            _atomic_write_text(
+                meta,
                 json.dumps(
                     {
                         "schema": STORE_SCHEMA_VERSION,
@@ -143,36 +263,79 @@ class ResultStore:
                     },
                     sort_keys=True,
                 )
-                + "\n"
+                + "\n",
             )
 
     # -- writes -------------------------------------------------------------
 
+    def _register_spec(self, spec: ExperimentSpec) -> None:
+        """Create the spec's identity stub if missing (atomic, race-tolerant).
+
+        Two concurrent writers may both see the file missing; each writes
+        a complete stub to its own tmp file and replaces — the loser
+        overwrites the winner with identical identity content (only the
+        ``first_recorded_at`` stamp differs), never a torn file.
+        """
+        spec_path = self._spec_path(spec.spec_hash)
+        if spec_path.exists():
+            return
+        spec_path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            spec_path,
+            json.dumps(
+                {
+                    "schema": STORE_SCHEMA_VERSION,
+                    "spec_hash": spec.spec_hash,
+                    "identity": spec.identity(),
+                    "first_recorded_at": time.time(),
+                },
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n",
+            durable=self.durability == "fsync",
+        )
+
+    def _repair_tail_locked(self, handle) -> None:
+        """Fix an unterminated final line before appending (lock held).
+
+        A writer killed mid-append leaves bytes without a trailing
+        newline; appending after them would weld two records into one
+        corrupt line.  Under the shard lock no append is in flight, so
+        the tail is definitively torn: terminate it if it parses as a
+        complete record, truncate it away (counted in
+        ``store.truncated_tails``) if not.
+        """
+        fd = handle.fileno()
+        size = os.fstat(fd).st_size
+        if size == 0 or os.pread(fd, 1, size - 1) == b"\n":
+            return
+        data = os.pread(fd, size, 0)
+        tail = data[data.rfind(b"\n") + 1 :]
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            os.ftruncate(fd, size - len(tail))
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.count("store.truncated_tails")
+                tel.event("store_truncated_tail", bytes=len(tail))
+        else:
+            # A complete record that only lost its newline: keep it.
+            os.pwrite(fd, b"\n", size)
+
     def record(self, spec: ExperimentSpec, outcome: TrialOutcome) -> TrialRecord:
         """Append one finished trial (registers the spec on first write).
 
-        Reads are first-record-wins, so re-recording an existing cell is a
-        no-op until gc; to supersede stored cells (forced recompute), call
-        :meth:`clear_trials` first.
+        The append happens under the spec's advisory file lock, so any
+        number of processes can record into one shard without interleaving
+        partial lines; a torn tail left by a previously killed writer is
+        repaired first.  Reads are first-record-wins, so re-recording an
+        existing cell is a no-op until gc; to supersede stored cells
+        (forced recompute), call :meth:`clear_trials` first.
         """
         spec_hash = spec.spec_hash
         self._ensure_meta()
-        spec_path = self._spec_path(spec_hash)
-        if not spec_path.exists():
-            spec_path.parent.mkdir(parents=True, exist_ok=True)
-            spec_path.write_text(
-                json.dumps(
-                    {
-                        "schema": STORE_SCHEMA_VERSION,
-                        "spec_hash": spec_hash,
-                        "identity": spec.identity(),
-                        "first_recorded_at": time.time(),
-                    },
-                    sort_keys=True,
-                    indent=2,
-                )
-                + "\n"
-            )
         record = TrialRecord(
             spec_hash=spec_hash,
             trial=int(outcome.trial),
@@ -199,10 +362,24 @@ class ResultStore:
             sort_keys=True,
             separators=(",", ":"),
         )
+        faults.maybe_ioerror("store_write", trial=record.trial)
         shard = self._shard_path(spec_hash)
         shard.parent.mkdir(parents=True, exist_ok=True)
-        with shard.open("a") as handle:
-            handle.write(line + "\n")
+        with self._lock(spec_hash):
+            self._register_spec(spec)
+            # "a+" so the tail-repair pass can pread the existing bytes.
+            with shard.open("a+") as handle:
+                self._repair_tail_locked(handle)
+                if faults.should_fire("store_write_torn", trial=record.trial):
+                    handle.write(line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    raise OSError(
+                        errno.EIO, f"injected torn write at trial {record.trial}"
+                    )
+                handle.write(line + "\n")
+                handle.flush()
+                if self.durability == "fsync":
+                    os.fsync(handle.fileno())
         return record
 
     def clear_trials(
@@ -212,30 +389,63 @@ class ResultStore:
 
         One shard rewrite regardless of how many cells are dropped — the
         forced-recompute preparation: clear once, then plain-append the
-        fresh values.  Like ``gc``, assumes no concurrent writer on this
-        spec.  Returns the number of record lines removed.
+        fresh values.  The rewrite holds the spec's shard lock, so a
+        concurrent appender is serialized rather than lost.  Returns the
+        number of record lines removed.
         """
         shard = self._shard_path(spec.spec_hash)
         if not shard.exists():
             return 0
         drop = set(range(spec.trials) if trial_indices is None else trial_indices)
-        kept: List[str] = []
-        removed = 0
-        for existing in shard.read_text().splitlines():
-            if not existing.strip():
-                continue
-            try:
-                if json.loads(existing).get("trial") in drop:
-                    removed += 1
-                    continue
-            except json.JSONDecodeError:
-                pass  # unreadable lines are the read path's problem
-            kept.append(existing)
-        if removed:
-            self._rewrite_shard(spec.spec_hash, kept)
+        with self._lock(spec.spec_hash):
+            lines, _torn = self._shard_lines(spec.spec_hash, count_torn=True)
+            kept: List[str] = []
+            removed = 0
+            for existing in lines:
+                try:
+                    if json.loads(existing).get("trial") in drop:
+                        removed += 1
+                        continue
+                except json.JSONDecodeError:
+                    pass  # unreadable lines are the read path's problem
+                kept.append(existing)
+            if removed:
+                self._rewrite_shard(spec.spec_hash, kept)
         return removed
 
     # -- reads --------------------------------------------------------------
+
+    def _shard_lines(
+        self, spec_hash: str, count_torn: bool = False
+    ) -> Tuple[List[str], bool]:
+        """A shard's record lines, tolerating an unterminated final line.
+
+        A trailing line without ``\\n`` is either a record that lost only
+        its newline (promoted into the result — it parses) or the torn
+        half-line of a killed writer (dropped; ``torn=True``, counted in
+        ``store.truncated_tails`` when ``count_torn``).  Torn tails are
+        never quarantined: under a live concurrent writer the same bytes
+        may be an append still in flight, completed a millisecond later.
+        """
+        shard = self._shard_path(spec_hash)
+        if not shard.exists():
+            return [], False
+        data = shard.read_bytes()
+        lines = [l for l in data.decode("utf-8", errors="replace").splitlines() if l.strip()]
+        if data.endswith(b"\n") or not lines:
+            return lines, False
+        tail = lines[-1]
+        try:
+            json.loads(tail)
+        except json.JSONDecodeError:
+            lines.pop()
+            if count_torn:
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.count("store.truncated_tails")
+                    tel.event("store_torn_tail_skipped", bytes=len(tail))
+            return lines, True
+        return lines, False
 
     def _parse_line(self, spec_hash: str, line: str) -> TrialRecord:
         """Validate one shard line; raise ReproError describing the defect."""
@@ -316,17 +526,15 @@ class ResultStore:
         """Read a shard, skipping (and quarantining a copy of) bad lines.
 
         First record per trial wins.  The shard file itself is never
-        touched here — compaction is ``gc``'s job — so reads can overlap
-        concurrent appends without losing anything.
+        touched here — compaction is ``gc``'s job, torn-tail truncation
+        the next locked append's — so reads can overlap concurrent
+        appends without losing anything.  An unterminated final line is
+        skipped without quarantine (see :meth:`_shard_lines`).
         """
-        shard = self._shard_path(spec_hash)
-        if not shard.exists():
-            return {}
+        lines, _torn = self._shard_lines(spec_hash, count_torn=True)
         records: Dict[int, TrialRecord] = {}
         bad: List[Dict[str, str]] = []
-        for line in shard.read_text().splitlines():
-            if not line.strip():
-                continue
+        for line in lines:
             try:
                 record = self._parse_line(spec_hash, line)
             except ReproError as exc:
@@ -339,13 +547,18 @@ class ResultStore:
         return records
 
     def _rewrite_shard(self, spec_hash: str, lines: List[str]) -> None:
+        """Replace a shard's contents atomically (compaction path).
+
+        Always fsyncs the tmp file before the replace and the directory
+        after: a crash mid-compaction must never surface an empty or
+        truncated shard where records existed — the replace either
+        happened durably or the old file is intact.
+        """
         shard = self._shard_path(spec_hash)
         if not lines:
             shard.unlink(missing_ok=True)
             return
-        tmp = shard.with_suffix(".jsonl.tmp")
-        tmp.write_text("\n".join(lines) + "\n")
-        os.replace(tmp, shard)
+        _atomic_write_text(shard, "\n".join(lines) + "\n", durable=True)
 
     def trials_for(self, spec: Union[ExperimentSpec, str]) -> Dict[int, TrialRecord]:
         """All valid cached trials of a spec (or raw hash), keyed by index."""
@@ -448,33 +661,31 @@ class ResultStore:
         orphan_shards_removed = 0
         for spec_hash in self._known_hashes():
             shard = self._shard_path(spec_hash)
-            raw_lines = (
-                [l for l in shard.read_text().splitlines() if l.strip()]
-                if shard.exists()
-                else []
-            )
-            kept: Dict[int, str] = {}
-            bad: List[Dict[str, str]] = []
-            for line in raw_lines:
-                try:
-                    record = self._parse_line(spec_hash, line)
-                except ReproError as exc:
-                    bad.append({"reason": str(exc), "line": line})
+            with self._lock(spec_hash):
+                raw_lines, torn = self._shard_lines(spec_hash, count_torn=True)
+                kept: Dict[int, str] = {}
+                bad: List[Dict[str, str]] = []
+                for line in raw_lines:
+                    try:
+                        record = self._parse_line(spec_hash, line)
+                    except ReproError as exc:
+                        bad.append({"reason": str(exc), "line": line})
+                        continue
+                    if record.trial in kept:
+                        duplicates_dropped += 1
+                        continue
+                    kept[record.trial] = line
+                if bad:
+                    self._quarantine_new(spec_hash, bad)
+                if not kept:
+                    # No valid trials: drop the empty shard and its spec stub.
+                    shard.unlink(missing_ok=True)
+                    self._spec_path(spec_hash).unlink(missing_ok=True)
+                    if raw_lines or torn:
+                        orphan_shards_removed += 1
                     continue
-                if record.trial in kept:
-                    duplicates_dropped += 1
-                    continue
-                kept[record.trial] = line
-            if bad:
-                self._quarantine_new(spec_hash, bad)
-            if not kept:
-                # No valid trials: drop the empty shard and its spec stub.
-                shard.unlink(missing_ok=True)
-                self._spec_path(spec_hash).unlink(missing_ok=True)
-                if raw_lines:
-                    orphan_shards_removed += 1
-                continue
-            self._rewrite_shard(spec_hash, [kept[t] for t in sorted(kept)])
+                # The rewrite drops any torn tail along with the duplicates.
+                self._rewrite_shard(spec_hash, [kept[t] for t in sorted(kept)])
             specs_kept += 1
             records_kept += len(kept)
         # Counted after the shard pass so lines quarantined *during* this gc

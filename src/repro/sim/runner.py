@@ -8,13 +8,27 @@ few declarative lines.
 
 Trials are independent by construction — every trial derives its graph,
 start vertex, and walk noise from ``(root_seed, label, kind, trial)``
-through the seed tree — so the runner can fan them out across a
-``multiprocessing`` pool (``workers=N``) and the results are bit-identical
-regardless of worker count or scheduling.  Likewise the ``engine`` switch
+through the seed tree — so the runner can fan them out across a process
+pool (``workers=N``) and the results are bit-identical regardless of
+worker count or scheduling.  Likewise the ``engine`` switch
 ("reference", "array", or "fleet", per walk availability in
 :data:`repro.engine.NAMED_WALK_FACTORIES`) changes throughput, never
 numbers — ``engine="fleet"`` additionally regroups trials into lockstep
 batches (``fleet_size`` per fleet, whole batches per pool worker).
+
+Pooled execution is *supervised*: a worker that dies (OOM kill, segfault,
+``kill -9``) breaks only its pool generation, not the run — the
+supervisor detects the broken pool, requeues exactly the trials that were
+lost, backs off exponentially (capped), and rebuilds the pool; after
+``retries`` consecutive pool failures it degrades to inline
+single-process execution (``on_worker_crash="retry"``, the default —
+``"inline"`` degrades on the first crash, ``"fail"`` raises).  Because
+trial seeds are positional in the seed tree, a requeued trial reproduces
+the lost one bit-for-bit.  Transient per-trial failures (``OSError``,
+wall-clock :class:`~repro.errors.TrialTimeout` under ``trial_timeout``)
+are retried per trial with the same budget.  Telemetry counts
+``runner.retries`` / ``runner.worker_crashes`` / ``runner.timeouts`` /
+``runner.inline_fallbacks``.
 
 Two layers:
 
@@ -34,15 +48,31 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import random
+import signal
+import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TrialTimeout
 from repro.graphs.graph import Graph
 from repro.sim.results import Aggregate, aggregate
 from repro.sim.rng import spawn
 from repro.telemetry import get_telemetry, peak_rss_bytes
+from repro.testing import faults
 from repro.walks.base import WalkProcess
 
 logger = logging.getLogger(__name__)
@@ -109,6 +139,44 @@ class _TrialSpec(NamedTuple):
     extra_metrics: Optional[Callable[[WalkProcess], Dict[str, float]]]
     walk_name: Optional[str] = None  # registry name; set when walks go by name
     fleet_native: Optional[bool] = None  # fused-kernel preference (fleets)
+    trial_timeout: Optional[float] = None  # wall-clock ceiling per trial
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float], what: str) -> Iterator[None]:
+    """Raise :class:`TrialTimeout` if the block outlives ``seconds``.
+
+    Distinct from the step budget: this is a *wall-clock* ceiling, the
+    guard against a stalled worker (NFS hang, swap death) blocking a
+    sweep forever.  Enforced with ``SIGALRM``/``setitimer``, which exists
+    on POSIX and only fires in a process's main thread — exactly where
+    trials run, both inline and inside pool workers.  Where that doesn't
+    hold (Windows, embedding in a thread) the limit is best-effort: the
+    block runs unlimited rather than failing spuriously.
+    """
+    if seconds is None:
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):  # pragma: no cover - platform/embedding dependent
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TrialTimeout(
+            f"{what} exceeded its wall-clock timeout of {seconds:g}s "
+            "(step budgets are max_steps; this is elapsed time)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _trial_inputs(spec: _TrialSpec) -> Tuple[Graph, int, random.Random]:
@@ -132,15 +200,24 @@ def _trial_inputs(spec: _TrialSpec) -> Tuple[Graph, int, random.Random]:
 def _run_trial(spec: _TrialSpec) -> TrialOutcome:
     """Run one trial from its spec (serial path and pool workers alike)."""
     t0 = time.perf_counter()
-    graph, start_vertex, walk_rng = _trial_inputs(spec)
-    walk = spec.walk_factory(graph, start_vertex, walk_rng)
-    if spec.target == "vertices":
-        steps = walk.run_until_vertex_cover(spec.max_steps)
-    else:
-        steps = walk.run_until_edge_cover(spec.max_steps)
-    extras: Dict[str, float] = {}
-    if spec.extra_metrics is not None:
-        extras = {key: float(value) for key, value in spec.extra_metrics(walk).items()}
+    if multiprocessing.parent_process() is not None:
+        # Fault site: only ever kill *worker* processes — after the
+        # supervisor degrades to inline execution the same standing rule
+        # must not take the orchestrator down with it.
+        faults.maybe_kill("worker_kill", trial=spec.trial)
+    with _wall_clock_limit(spec.trial_timeout, f"trial {spec.trial}"):
+        faults.maybe_stall("trial_stall", trial=spec.trial)
+        graph, start_vertex, walk_rng = _trial_inputs(spec)
+        walk = spec.walk_factory(graph, start_vertex, walk_rng)
+        if spec.target == "vertices":
+            steps = walk.run_until_vertex_cover(spec.max_steps)
+        else:
+            steps = walk.run_until_edge_cover(spec.max_steps)
+        extras: Dict[str, float] = {}
+        if spec.extra_metrics is not None:
+            extras = {
+                key: float(value) for key, value in spec.extra_metrics(walk).items()
+            }
     wall = time.perf_counter() - t0
     tel = get_telemetry()
     if tel.enabled:
@@ -179,31 +256,44 @@ def _run_fleet_batch(template: _TrialSpec, trials: Sequence[int]) -> List[TrialO
     from repro.engine.fleet import fleet_supported
 
     t0 = time.perf_counter()
-    graphs: List[Graph] = []
-    starts: List[int] = []
-    rngs: List[random.Random] = []
-    for trial in trials:
-        graph, start_vertex, walk_rng = _trial_inputs(template._replace(trial=trial))
-        graphs.append(graph)
-        starts.append(start_vertex)
-        rngs.append(walk_rng)
-    walk = template.walk_name
-    ok, reason = fleet_supported(graphs, rngs, walk=walk, labels=list(trials))
-    if not ok:
-        from repro.engine import NAMED_WALK_FACTORIES
-
-        alternatives = " or ".join(
-            f"engine={e!r}" for e in NAMED_WALK_FACTORIES[walk] if e != "fleet"
-        )
-        raise ReproError(
-            f"engine='fleet': trial batch {list(trials)} of walk {walk!r} "
-            f"cannot step as a fleet: {reason}. Use {alternatives} for "
-            "identical per-trial results."
-        )
-    fleet = FLEET_ENGINES[walk](graphs, starts, rngs, native=template.fleet_native)
-    cover = fleet.run_until_cover(
-        target=template.target, max_steps=template.max_steps, labels=list(trials)
+    if multiprocessing.parent_process() is not None:
+        for trial in trials:
+            faults.maybe_kill("worker_kill", trial=trial)
+    # The wall-clock budget pools across the batch: K lockstep trials get
+    # K trial-timeouts of elapsed time, since they advance together.
+    limit = (
+        None
+        if template.trial_timeout is None
+        else template.trial_timeout * len(trials)
     )
+    with _wall_clock_limit(limit, f"fleet batch {list(trials)}"):
+        for trial in trials:
+            faults.maybe_stall("trial_stall", trial=trial)
+        graphs: List[Graph] = []
+        starts: List[int] = []
+        rngs: List[random.Random] = []
+        for trial in trials:
+            graph, start_vertex, walk_rng = _trial_inputs(template._replace(trial=trial))
+            graphs.append(graph)
+            starts.append(start_vertex)
+            rngs.append(walk_rng)
+        walk = template.walk_name
+        ok, reason = fleet_supported(graphs, rngs, walk=walk, labels=list(trials))
+        if not ok:
+            from repro.engine import NAMED_WALK_FACTORIES
+
+            alternatives = " or ".join(
+                f"engine={e!r}" for e in NAMED_WALK_FACTORIES[walk] if e != "fleet"
+            )
+            raise ReproError(
+                f"engine='fleet': trial batch {list(trials)} of walk {walk!r} "
+                f"cannot step as a fleet: {reason}. Use {alternatives} for "
+                "identical per-trial results."
+            )
+        fleet = FLEET_ENGINES[walk](graphs, starts, rngs, native=template.fleet_native)
+        cover = fleet.run_until_cover(
+            target=template.target, max_steps=template.max_steps, labels=list(trials)
+        )
     wall = (time.perf_counter() - t0) / len(trials)
     rss = peak_rss_bytes()
     tel = get_telemetry()
@@ -247,6 +337,148 @@ def _run_pool_fleet(trials: Tuple[int, ...]) -> List[TrialOutcome]:
     return _run_fleet_batch(_POOL_SPEC, trials)
 
 
+#: Supervisor backoff: 0.05s doubling per consecutive failure, capped.
+_BACKOFF_BASE_SECONDS = 0.05
+_BACKOFF_CAP_SECONDS = 2.0
+
+_CRASH_MODES = ("retry", "inline", "fail")
+
+
+def _backoff_sleep(failures: int) -> None:
+    time.sleep(min(_BACKOFF_CAP_SECONDS, _BACKOFF_BASE_SECONDS * (2 ** (failures - 1))))
+
+
+def _supervised_run(
+    template: _TrialSpec,
+    items: List,
+    pool_fn: Callable,
+    inline_fn: Callable,
+    workers: int,
+    consume: Callable,
+    retries: int,
+    on_worker_crash: str,
+    describe: Callable[[object], str],
+) -> None:
+    """Drive work items (trials or fleet batches) to completion, supervised.
+
+    The failure model, and what happens for each failure:
+
+    * **Worker death** (``BrokenProcessPool``: OOM kill, segfault, an
+      injected ``worker_kill``).  Items already consumed stay consumed;
+      exactly the lost items are requeued into a fresh pool after a
+      capped exponential backoff.  ``on_worker_crash`` decides the
+      policy: ``"retry"`` rebuilds the pool up to ``retries`` times and
+      then degrades to inline execution, ``"inline"`` degrades
+      immediately, ``"fail"`` raises :class:`ReproError` at once.
+    * **Retryable item failure** (:class:`TrialTimeout` from the
+      wall-clock limit, or ``OSError`` — transient I/O).  The item is
+      retried up to ``retries`` times, then :class:`ReproError` names it.
+    * **Anything else** (validation errors, walk bugs) is deterministic:
+      it propagates immediately, exactly as unsupervised execution would.
+
+    Requeued items reproduce the lost results bit-for-bit because every
+    trial's randomness is positional in the seed tree — supervision can
+    change *when* a trial runs, never what it returns.  ``consume`` is
+    invoked in the calling process once per completed item.
+    """
+    tel = get_telemetry()
+    attempts: Dict = {}
+
+    def note_item_failure(item, exc: BaseException) -> None:
+        """Account one retryable failure; raise when the budget is spent."""
+        count = attempts[item] = attempts.get(item, 0) + 1
+        if tel.enabled and isinstance(exc, TrialTimeout):
+            tel.count("runner.timeouts")
+        if count > retries:
+            raise ReproError(
+                f"{describe(item)} failed after {retries} retr"
+                f"{'y' if retries == 1 else 'ies'}: {exc}"
+            ) from exc
+        if tel.enabled:
+            tel.count("runner.retries")
+        logger.warning(
+            "%s failed (%s); retry %d/%d", describe(item), exc, count, retries
+        )
+        _backoff_sleep(count)
+
+    pending = list(items)
+    pool_failures = 0
+    inline_mode = workers <= 1
+    while pending and not inline_mode:
+        current, pending = pending, []
+        consumed = set()
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(current)),
+            initializer=_init_pool_worker,
+            initargs=(template,),
+        )
+        try:
+            future_items = {pool.submit(pool_fn, item): item for item in current}
+            for future in as_completed(future_items):
+                item = future_items[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    raise
+                except (TrialTimeout, OSError) as exc:
+                    note_item_failure(item, exc)
+                    consumed.add(item)  # accounted: requeued, not lost
+                    pending.append(item)
+                    continue
+                consume(result)
+                consumed.add(item)
+        except BrokenProcessPool as exc:
+            lost = [item for item in current if item not in consumed]
+            pool_failures += 1
+            if tel.enabled:
+                tel.count("runner.worker_crashes")
+                tel.event(
+                    "worker_crash",
+                    lost=[describe(i) for i in lost],
+                    pool_failures=pool_failures,
+                )
+            if on_worker_crash == "fail":
+                raise ReproError(
+                    f"a worker process died while running "
+                    f"{', '.join(describe(i) for i in lost[:4])}"
+                    f"{' ...' if len(lost) > 4 else ''} "
+                    "(on_worker_crash='fail'; 'retry' or 'inline' would "
+                    "recover the lost trials bit-identically)"
+                ) from exc
+            pending = lost + pending
+            if on_worker_crash == "inline" or pool_failures > retries:
+                if tel.enabled:
+                    tel.count("runner.inline_fallbacks")
+                logger.warning(
+                    "worker pool failed %d time(s); degrading to inline "
+                    "single-process execution for %d remaining item(s)",
+                    pool_failures,
+                    len(pending),
+                )
+                inline_mode = True
+            else:
+                logger.warning(
+                    "worker pool crash %d/%d: requeueing %d lost item(s) "
+                    "into a fresh pool",
+                    pool_failures,
+                    retries,
+                    len(lost),
+                )
+                _backoff_sleep(pool_failures)
+        finally:
+            # Never block a failure exit on queued work: cancel what has
+            # not started and let running futures finish in the abandoned
+            # executor (a broken pool has nothing left to wait for).
+            pool.shutdown(wait=False, cancel_futures=True)
+    for item in pending:
+        while True:
+            try:
+                consume(inline_fn(item))
+                break
+            except (TrialTimeout, OSError) as exc:
+                note_item_failure(item, exc)
+
+
 def _resolve_start(start: Union[int, str]) -> Optional[int]:
     """Normalize the ``start`` argument; None means random-per-trial.
 
@@ -277,6 +509,9 @@ def run_trials(
     fleet_size: Optional[int] = None,
     fleet_native: Optional[bool] = None,
     on_result: Optional[Callable[[TrialOutcome], None]] = None,
+    retries: int = 2,
+    trial_timeout: Optional[float] = None,
+    on_worker_crash: str = "retry",
 ) -> List[TrialOutcome]:
     """Run an explicit set of trials; the per-trial core of the runner.
 
@@ -296,7 +531,9 @@ def run_trials(
         Optional callback invoked in the calling process with each
         :class:`TrialOutcome` as it completes (completion order, not index
         order, under ``workers > 1``) — the hook persistent stores use to
-        checkpoint trials the moment they finish.
+        checkpoint trials the moment they finish.  A trial's callback
+        fires exactly once even when supervision re-runs it (only
+        unconsumed trials are requeued after a worker crash).
 
     Under ``engine="fleet"`` the requested indices are cut into batches
     of ``fleet_size`` (default :data:`repro.engine.DEFAULT_FLEET_SIZE`)
@@ -307,6 +544,14 @@ def run_trials(
     selects the fleets' fused C kernel (None auto-detects, False forces
     the numpy path, True requires the kernel) — a throughput switch only,
     the numbers are bit-identical either way.
+
+    Supervision knobs (see the module docstring for the failure model):
+    ``retries`` bounds both per-item retry budgets and consecutive pool
+    rebuilds; ``trial_timeout`` is a per-trial wall-clock ceiling in
+    seconds (fleet batches pool it: ``fleet_size`` trials get
+    ``fleet_size`` timeouts together); ``on_worker_crash`` is
+    ``"retry"`` / ``"inline"`` / ``"fail"``.  None of them can change
+    results — only whether and where a trial is recomputed.
     """
     indices = [int(t) for t in trial_indices]
     if any(t < 0 for t in indices):
@@ -317,6 +562,14 @@ def run_trials(
         raise ReproError(f"target must be 'vertices' or 'edges', got {target!r}")
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    if trial_timeout is not None and trial_timeout <= 0:
+        raise ReproError(f"trial_timeout must be > 0 seconds, got {trial_timeout}")
+    if on_worker_crash not in _CRASH_MODES:
+        raise ReproError(
+            f"on_worker_crash must be one of {_CRASH_MODES}, got {on_worker_crash!r}"
+        )
     from repro.engine import DEFAULT_FLEET_SIZE, resolve_walk_factory
 
     factory = resolve_walk_factory(walk_factory, engine)
@@ -355,6 +608,7 @@ def run_trials(
         extra_metrics=extra_metrics,
         walk_name=walk_factory if isinstance(walk_factory, str) else None,
         fleet_native=fleet_native,
+        trial_timeout=trial_timeout,
     )
     if not indices:
         return []
@@ -379,14 +633,14 @@ def run_trials(
                 "are not aggregated into this run's telemetry"
             ),
         )
+    by_trial: Dict[int, TrialOutcome] = {}
     if fleet:
         size = fleet_size if fleet_size is not None else DEFAULT_FLEET_SIZE
         batches = [
             tuple(indices[i : i + size]) for i in range(0, len(indices), size)
         ]
-        by_trial: Dict[int, TrialOutcome] = {}
 
-        def consume(outcomes: List[TrialOutcome]) -> None:
+        def consume_batch(outcomes: List[TrialOutcome]) -> None:
             # Fire on_result the moment a batch lands (not after the whole
             # pool drains): the store-checkpoint contract — an interrupt
             # loses at most the trials in flight — holds per batch.
@@ -395,36 +649,44 @@ def run_trials(
                     on_result(outcome)
                 by_trial[outcome.trial] = outcome
 
-        if workers == 1:
-            for batch in batches:
-                consume(_run_fleet_batch(template, batch))
-        else:
-            with multiprocessing.get_context().Pool(
-                min(workers, len(batches)),
-                initializer=_init_pool_worker,
-                initargs=(template,),
-            ) as pool:
-                for outcomes in pool.imap_unordered(_run_pool_fleet, batches):
-                    consume(outcomes)
-        return [by_trial[t] for t in indices]
-    if workers == 1:
-        outcomes = []
-        for t in indices:
-            outcome = _run_trial(template._replace(trial=t))
-            if on_result is not None:
-                on_result(outcome)
-            outcomes.append(outcome)
-        return outcomes
-    with multiprocessing.get_context().Pool(
-        min(workers, len(indices)),
-        initializer=_init_pool_worker,
-        initargs=(template,),
-    ) as pool:
-        by_trial = {}
-        for outcome in pool.imap_unordered(_run_pool_trial, indices):
+        _supervised_run(
+            template,
+            batches,
+            pool_fn=_run_pool_fleet,
+            inline_fn=lambda batch: _run_fleet_batch(template, batch),
+            workers=workers,
+            consume=consume_batch,
+            retries=retries,
+            on_worker_crash=on_worker_crash,
+            describe=lambda batch: f"fleet batch {list(batch)}",
+        )
+    else:
+
+        def consume_trial(outcome: TrialOutcome) -> None:
             if on_result is not None:
                 on_result(outcome)
             by_trial[outcome.trial] = outcome
+
+        _supervised_run(
+            template,
+            indices,
+            pool_fn=_run_pool_trial,
+            inline_fn=lambda t: _run_trial(template._replace(trial=t)),
+            workers=workers,
+            consume=consume_trial,
+            retries=retries,
+            on_worker_crash=on_worker_crash,
+            describe=lambda t: f"trial {t}",
+        )
+    unaccounted = [t for t in indices if t not in by_trial]
+    if unaccounted:
+        # Supervision guarantees every item was consumed or raised; a gap
+        # here is an internal scheduling bug — name the trials rather
+        # than letting indexing crash with a bare KeyError.
+        raise ReproError(
+            f"trial(s) {unaccounted} were scheduled but never completed "
+            "(internal supervision error; please report)"
+        )
     return [by_trial[t] for t in indices]
 
 
@@ -456,6 +718,9 @@ def cover_time_trials(
     workers: int = 1,
     fleet_size: Optional[int] = None,
     fleet_native: Optional[bool] = None,
+    retries: int = 2,
+    trial_timeout: Optional[float] = None,
+    on_worker_crash: str = "retry",
 ) -> CoverRun:
     """Run repeated cover-time trials.
 
@@ -513,6 +778,22 @@ def cover_time_trials(
         opts out), False forces the pure-numpy path, True requires the
         kernel (:class:`ReproError` when it is not built).  Bit-identical
         results either way.
+    retries:
+        Retry budget for supervised execution: per-trial transient
+        failures (``OSError``, wall-clock timeouts) and consecutive
+        worker-pool crashes each get this many retries before the run
+        fails (or degrades — see ``on_worker_crash``).
+    trial_timeout:
+        Per-trial wall-clock ceiling in seconds (None: unlimited);
+        distinct from ``max_steps``, which caps *steps* deterministically.
+        A fleet batch pools the budget (``fleet_size`` trials advance in
+        lockstep, so the batch gets ``fleet_size`` timeouts together).
+    on_worker_crash:
+        What to do when a pool worker dies: ``"retry"`` (default)
+        requeues the lost trials into a fresh pool, degrading to inline
+        execution after ``retries`` consecutive pool failures;
+        ``"inline"`` degrades immediately; ``"fail"`` raises.  All modes
+        preserve bit-identical results for whatever completes.
     """
     if trials < 1:
         raise ReproError(f"need at least one trial, got {trials}")
@@ -530,6 +811,9 @@ def cover_time_trials(
         workers=workers,
         fleet_size=fleet_size,
         fleet_native=fleet_native,
+        retries=retries,
+        trial_timeout=trial_timeout,
+        on_worker_crash=on_worker_crash,
     )
     return aggregate_outcomes(outcomes)
 

@@ -1,0 +1,34 @@
+"""Deterministic testing utilities (fault injection for the robustness suite).
+
+This package is shipped with the library — not just the test tree —
+because fault plans must be importable inside ``multiprocessing`` pool
+workers and CLI subprocesses, where ``tests/`` is not on the path.
+"""
+
+from repro.testing.faults import (
+    FAULTS_ENV_VAR,
+    KILL_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_plan,
+    maybe_ioerror,
+    maybe_kill,
+    maybe_stall,
+    parse_plan,
+    should_fire,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "KILL_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fault_plan",
+    "maybe_ioerror",
+    "maybe_kill",
+    "maybe_stall",
+    "parse_plan",
+    "should_fire",
+]
