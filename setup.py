@@ -13,25 +13,55 @@ bit-identical — only slower.  ``Extension(..., optional=True)`` makes
 setuptools tolerate per-extension build failures, and the ``build_ext``
 subclass catches the remaining failure modes (no compiler found at all)
 that some setuptools versions still raise eagerly.
+
+``REPRO_SANITIZE=1`` flips both properties: the kernel is compiled under
+AddressSanitizer + UndefinedBehaviorSanitizer and a build failure becomes
+a hard error (a CI lane asking for an instrumented kernel must never
+silently fall back to the uninstrumented numpy path).  Sanitized builds
+are a correctness tool only — the instrumentation overhead disqualifies
+them from any timing measurement.  Loading the instrumented ``.so`` into
+a stock CPython needs the ASan runtime preloaded::
+
+    LD_PRELOAD=$(gcc -print-file-name=libasan.so) python -m pytest tests/test_native.py
 """
+
+import os
 
 from setuptools import Extension, setup
 from setuptools.command.build_ext import build_ext
 
+SANITIZE = os.environ.get("REPRO_SANITIZE", "").strip().lower() in {"1", "true", "yes", "on"}
+
+_SANITIZE_FLAGS = [
+    "-fsanitize=address,undefined",
+    "-fno-sanitize-recover=all",
+    "-fno-omit-frame-pointer",
+    "-g",
+    "-O1",
+]
+
 
 class OptionalBuildExt(build_ext):
-    """Never fail the install over the optional native kernel."""
+    """Never fail the install over the optional native kernel.
+
+    Under ``REPRO_SANITIZE=1`` the tolerance inverts: the whole point of
+    that build is the instrumented kernel, so failures propagate.
+    """
 
     def run(self):
         try:
             super().run()
         except Exception as exc:  # pragma: no cover - toolchain-dependent
+            if SANITIZE:
+                raise
             self._skip(exc)
 
     def build_extension(self, ext):
         try:
             super().build_extension(ext)
         except Exception as exc:  # pragma: no cover - toolchain-dependent
+            if SANITIZE:
+                raise
             self._skip(exc)
 
     def _skip(self, exc):
@@ -47,7 +77,9 @@ setup(
         Extension(
             "repro.engine.native._fused",
             sources=["src/repro/engine/native/_fused.c"],
-            optional=True,
+            optional=not SANITIZE,
+            extra_compile_args=_SANITIZE_FLAGS if SANITIZE else [],
+            extra_link_args=["-fsanitize=address,undefined"] if SANITIZE else [],
         )
     ],
     cmdclass={"build_ext": OptionalBuildExt},

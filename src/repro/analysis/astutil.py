@@ -1,0 +1,124 @@
+"""Shared AST plumbing for the rule checkers.
+
+Parent links, dotted-name rendering, import-alias resolution, and
+enclosing-scope queries — the mechanics every rule needs, kept out of the
+rule logic itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = [
+    "build_parents",
+    "dotted_name",
+    "enclosing_class",
+    "enclosing_function",
+    "import_aliases",
+    "is_dunder",
+    "iter_ancestors",
+    "resolve_call_target",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def build_parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    """Child -> parent map over the whole module."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_ancestors(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Iterator[ast.AST]:
+    """The node's ancestors, innermost first."""
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def enclosing_function(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[FunctionNode]:
+    """The innermost function the node sits in (None at module level)."""
+    for ancestor in iter_ancestors(node, parents):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def enclosing_class(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[ast.ClassDef]:
+    """The innermost class the node sits in (None outside classes)."""
+    for ancestor in iter_ancestors(node, parents):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def is_dunder(name: str) -> bool:
+    """Whether ``name`` is a ``__protocol__`` method name."""
+    return len(name) > 4 and name.startswith("__") and name.endswith("__")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` for Name/Attribute chains; None for anything else
+    (subscripts, calls, literals) — rules treat those as unresolvable."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted module/object path, from imports.
+
+    Covers ``import x``, ``import x.y as z``, ``from x import y [as z]``
+    anywhere in the module (function-local imports included — a rule about
+    randomness discipline must see ``from random import randrange`` inside
+    a helper too).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_target(
+    func: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Canonical dotted path of a call target, through import aliases.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; an unresolvable callee returns None.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical_head = aliases.get(head, head)
+    return f"{canonical_head}.{rest}" if rest else canonical_head

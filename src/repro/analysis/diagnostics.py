@@ -1,0 +1,74 @@
+"""Diagnostic records the linter's rules emit.
+
+A :class:`Diagnostic` names the file, line, column, rule and severity of
+one finding, in a stable ``path:line:col: RULE[name] severity: message``
+text form (and a JSON form for tooling).  Severities are ordered so
+callers can filter (``--fail-on error`` treats warnings as advisory).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ReproError
+
+__all__ = ["Diagnostic", "Severity"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered: warnings are advisory, errors gate CI."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """``"warning"``/``"error"`` (case-insensitive) to a severity."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ReproError(
+                f"unknown severity {text!r}; choose from "
+                f"{[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, how severe, and why it matters."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    name: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line text form (what ``repro lint`` prints)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}[{self.name}] {self.severity}: {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-safe dict (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "name": self.name,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+    def sort_key(self):
+        """Stable report order: by file, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule)

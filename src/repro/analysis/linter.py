@@ -1,0 +1,182 @@
+"""Linter core: file discovery, scope paths, rule dispatch, suppression.
+
+The rules reason about *package-relative* paths (``engine/fleet.py``), so
+the linter maps every filesystem path to a scope path first:
+
+1. a path under a directory literally named ``repro`` uses the part after
+   the last such segment (``src/repro/engine/fleet.py`` →
+   ``engine/fleet.py``) — how ``repro lint src/repro`` and editor
+   integrations see the real tree;
+2. otherwise, a file found under an explicitly passed directory is taken
+   relative to that directory — how the test fixtures lay out bad/clean
+   twins under mirrored ``engine/``/``experiments/`` subtrees;
+3. a bare file path falls back to its basename.
+
+Findings on a line carrying a matching ``# repro: allow[...]`` pragma are
+suppressed; pragmas naming unknown rules are themselves findings (a typo
+must not silently fail to suppress).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import ALL_RULES, FileContext, Rule
+from repro.errors import ReproError
+
+__all__ = ["lint_file", "lint_paths", "lint_source"]
+
+#: Selectors every pragma may use beyond rule ids/names.
+_WILDCARD = "*"
+
+
+def _after_last_repro(parts: Tuple[str, ...]) -> Optional[str]:
+    """The path tail after the last ``repro`` segment, if any."""
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    tail = parts[idx + 1 :]
+    return "/".join(tail) if tail else None
+
+
+def _scope_relpath(path: Path, root: Optional[Path]) -> str:
+    """The package-relative scope path for ``path`` (see module doc).
+
+    The root-relative form is preferred when a root directory is known:
+    it keeps fixture trees addressable even when the *checkout* path
+    happens to contain a ``repro`` segment.
+    """
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            rel = resolved.relative_to(root.resolve())
+        except ValueError:
+            rel = None
+        if rel is not None:
+            return _after_last_repro(rel.parts) or rel.as_posix()
+    return _after_last_repro(resolved.parts) or path.name
+
+
+def _iter_files(paths: Sequence[Path]) -> Iterator[Tuple[Path, Optional[Path]]]:
+    """Yield ``(file, root)`` pairs; root is the CLI dir a file came from."""
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        elif path.is_file():
+            yield path, None
+        else:
+            raise ReproError(f"no such file or directory: {path}")
+
+
+def _known_selectors(rules: Sequence[Rule]) -> frozenset:
+    known = {_WILDCARD}
+    for rule in ALL_RULES:  # pragmas may name any rule, selected or not
+        known.add(rule.id.lower())
+        known.add(rule.name.lower())
+    return frozenset(known)
+
+
+def _pragma_findings(ctx: FileContext, rules: Sequence[Rule]) -> List[Diagnostic]:
+    """Malformed or unknown-rule pragmas, as error findings."""
+    findings = []
+    for line, col, comment in ctx.pragmas.malformed:
+        findings.append(
+            Diagnostic(
+                path=ctx.path,
+                line=line,
+                col=col + 1,
+                rule="P1",
+                name="pragma-syntax",
+                severity=Severity.ERROR,
+                message=(
+                    f"malformed suppression {comment!r}; the form is "
+                    "`# repro: allow[R1]` (rule id, rule name, or *)"
+                ),
+            )
+        )
+    known = _known_selectors(rules)
+    for line, selectors in sorted(ctx.pragmas.selectors().items()):
+        for selector in sorted(selectors - known):
+            findings.append(
+                Diagnostic(
+                    path=ctx.path,
+                    line=line,
+                    col=1,
+                    rule="P1",
+                    name="pragma-syntax",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"pragma allows unknown rule {selector!r}; known: "
+                        + ", ".join(f"{r.id}/{r.name}" for r in ALL_RULES)
+                    ),
+                )
+            )
+    return findings
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[Rule]] = None,
+    path: str = "<string>",
+) -> List[Diagnostic]:
+    """Lint one in-memory module under scope path ``relpath``."""
+    rules = tuple(rules) if rules is not None else ALL_RULES
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule="P0",
+                name="parse-error",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
+    findings = _pragma_findings(ctx, rules)
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for diag in rule.check(ctx):
+            if ctx.pragmas.allows(diag.line, rule.id, rule.name):
+                continue
+            findings.append(diag)
+    findings.sort(key=Diagnostic.sort_key)
+    return findings
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint one file from disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from None
+    relpath = _scope_relpath(path, root)
+    return lint_source(source, relpath, rules=rules, path=str(path))
+
+
+def lint_paths(
+    paths: Iterable[object],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint files and directory trees; returns sorted findings."""
+    path_list = [Path(str(p)) for p in paths]
+    if not path_list:
+        raise ReproError("nothing to lint: pass at least one file or directory")
+    findings: List[Diagnostic] = []
+    for file, root in _iter_files(path_list):
+        findings.extend(lint_file(file, rules=rules, root=root))
+    findings.sort(key=Diagnostic.sort_key)
+    return findings

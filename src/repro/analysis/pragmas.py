@@ -1,0 +1,94 @@
+"""``# repro: allow[RULE]`` pragma suppressions.
+
+A pragma suppresses findings **on its own physical line** — the line the
+diagnostic reports.  The bracket list takes rule ids (``R1``), rule names
+(``rng-discipline``), comma-separated mixtures, or ``*`` for everything::
+
+    wall = time.perf_counter() - t0  # repro: allow[R2] reported wall time
+
+Same-line-and-explicit is the point: every sanctioned exception to a
+contract stays visible in the diff and grep-able in the tree.  Comments
+are found with :mod:`tokenize`, so pragma-looking text inside string
+literals never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+__all__ = ["PragmaIndex"]
+
+#: Pragma shape inside a comment.  The group is the bracket list.
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+#: A comment that starts a repro pragma but doesn't parse as one —
+#: surfaced as a finding so a typo can't silently fail to suppress.
+_NEAR_MISS_RE = re.compile(r"#\s*repro:\s*allow\b")
+
+
+class PragmaIndex:
+    """Per-line suppression sets scanned from one file's comments."""
+
+    def __init__(
+        self,
+        allowed: Dict[int, FrozenSet[str]],
+        malformed: Tuple[Tuple[int, int, str], ...] = (),
+    ):
+        self._allowed = allowed
+        #: ``(line, col, comment)`` for allow-pragmas that failed to parse.
+        self.malformed = malformed
+
+    @classmethod
+    def scan(cls, source: str) -> "PragmaIndex":
+        """Index every pragma comment in ``source``."""
+        allowed: Dict[int, FrozenSet[str]] = {}
+        malformed: List[Tuple[int, int, str]] = []
+        for line, col, comment in _iter_comments(source):
+            match = _PRAGMA_RE.search(comment)
+            if match is None:
+                if _NEAR_MISS_RE.search(comment):
+                    malformed.append((line, col, comment.strip()))
+                continue
+            selectors = frozenset(
+                token.strip().lower()
+                for token in match.group(1).split(",")
+                if token.strip()
+            )
+            if not selectors:
+                malformed.append((line, col, comment.strip()))
+                continue
+            allowed[line] = allowed.get(line, frozenset()) | selectors
+        return cls(allowed, tuple(malformed))
+
+    def allows(self, line: int, rule_id: str, rule_name: str) -> bool:
+        """Whether a finding of ``rule_id``/``rule_name`` at ``line`` is
+        suppressed (by id, name, or the ``*`` wildcard)."""
+        selectors = self._allowed.get(line)
+        if not selectors:
+            return False
+        return bool(
+            selectors & {"*", rule_id.lower(), rule_name.lower()}
+        )
+
+    def selectors(self) -> Dict[int, FrozenSet[str]]:
+        """Line -> selector set (for the unknown-selector check)."""
+        return dict(self._allowed)
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for each comment token in ``source``.
+
+    Tokenization errors (the linter already parsed the file, but tokenize
+    can still trip on odd trailing bytes) degrade to "no pragmas" rather
+    than crashing the lint run.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return

@@ -1,0 +1,113 @@
+"""Rule framework and registry.
+
+Each rule owns one invariant: an id (``R1``), a human name
+(``rng-discipline``), a *scope* (which package-relative paths it patrols)
+and a :meth:`Rule.check` pass over a parsed file.  Scopes are path-prefix
+based so the rules read like the contracts they enforce: R1 patrols the
+randomness-consuming layers, R3 the hot paths, R5 exactly one file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.errors import ReproError
+
+__all__ = ["ALL_RULES", "FileContext", "Rule", "rules_by_selector"]
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, path: str, relpath: str, source: str, tree: ast.Module):
+        from repro.analysis.astutil import build_parents, import_aliases
+        from repro.analysis.pragmas import PragmaIndex
+
+        self.path = path            #: filesystem path, as reported
+        self.relpath = relpath      #: package-relative scope path (posix)
+        self.source = source
+        self.tree = tree
+        self.parents = build_parents(tree)
+        self.aliases = import_aliases(tree)
+        self.pragmas = PragmaIndex.scan(source)
+
+
+class Rule:
+    """Base class: scope matching + diagnostic construction."""
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+    default_severity: Severity = Severity.ERROR
+    #: Path prefixes (or exact files) the rule patrols; empty = everywhere.
+    include: Tuple[str, ...] = ()
+    #: Path prefixes the rule never patrols (sanctioned layers).
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether ``relpath`` (posix, package-relative) is in scope."""
+        if any(relpath == e or relpath.startswith(e) for e in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(relpath == i or relpath.startswith(i) for i in self.include)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield findings for one in-scope file."""
+        raise NotImplementedError
+
+    def diag(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            name=self.name,
+            severity=severity if severity is not None else self.default_severity,
+            message=message,
+        )
+
+
+def _registry() -> Tuple[Rule, ...]:
+    from repro.analysis.rules.determinism import DeterminismRule
+    from repro.analysis.rules.errordiscipline import ErrorDisciplineRule
+    from repro.analysis.rules.rng import RngDisciplineRule
+    from repro.analysis.rules.spec_hash import SpecHashRule
+    from repro.analysis.rules.telemetry_guard import TelemetryOverheadRule
+
+    return (
+        RngDisciplineRule(),
+        DeterminismRule(),
+        TelemetryOverheadRule(),
+        ErrorDisciplineRule(),
+        SpecHashRule(),
+    )
+
+
+#: Every registered rule, in id order.
+ALL_RULES: Tuple[Rule, ...] = _registry()
+
+
+def rules_by_selector(selectors: Sequence[str]) -> Tuple[Rule, ...]:
+    """Resolve ids/names (case-insensitive) to rules; unknown is an error."""
+    if not selectors:
+        return ALL_RULES
+    chosen = []
+    for selector in selectors:
+        wanted = selector.strip().lower()
+        matched = [
+            r for r in ALL_RULES if wanted in (r.id.lower(), r.name.lower())
+        ]
+        if not matched:
+            known = ", ".join(f"{r.id}/{r.name}" for r in ALL_RULES)
+            raise ReproError(f"unknown rule {selector!r}; known rules: {known}")
+        chosen.extend(m for m in matched if m not in chosen)
+    return tuple(chosen)

@@ -1,0 +1,111 @@
+"""R2 determinism: no wall clocks or ambient environment in results.
+
+A reproduction's numbers must be a function of (spec, seed) and nothing
+else.  Wall-clock reads, ``datetime.now()``, ``uuid`` and environment
+lookups in result-determining modules are exactly how a reproduction
+degrades into a measurement artifact — the value differs per run and no
+test catches it until the stored tables stop matching.
+
+Scope: every library module *except* the sanctioned nondeterministic
+layers — ``telemetry/`` (the clock layer, by contract result-inert),
+``testing/`` (the fault harness deliberately sleeps and reads env) and
+``analysis/`` (this linter).  Inside scope, the sanctioned exceptions —
+runner wall-time measurement, store provenance timestamps, the
+``REPRO_NATIVE`` switch between bit-identical kernels — each carry a
+``# repro: allow[R2]`` pragma, so the complete exception list is one grep
+away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutil import dotted_name, resolve_call_target
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: ``time`` module functions that read a clock.
+_CLOCK_READS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+        "strftime",
+    }
+)
+
+#: ``datetime``/``date`` constructors that read a clock.
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+
+class DeterminismRule(Rule):
+    id = "R2"
+    name = "determinism"
+    rationale = (
+        "result-determining code must never read wall clocks, uuids, or "
+        "the ambient environment"
+    )
+    exclude = ("telemetry/", "testing/", "analysis/")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                message = self._classify_call(node, ctx)
+                if message is not None:
+                    yield self.diag(ctx, node, message)
+            elif isinstance(node, ast.Attribute):
+                if dotted_name(node) == "os.environ" and self._resolves_os(ctx):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "os.environ read makes behaviour env-dependent; "
+                        "results must be a function of (spec, seed) only",
+                    )
+
+    def _resolves_os(self, ctx: FileContext) -> bool:
+        return ctx.aliases.get("os", "os") == "os"
+
+    def _classify_call(self, node: ast.Call, ctx: FileContext) -> Optional[str]:
+        target = resolve_call_target(node.func, ctx.aliases)
+        if target is None:
+            return None
+        if target.startswith("time."):
+            func = target.split(".", 1)[1]
+            if func in _CLOCK_READS:
+                return (
+                    f"time.{func}() reads a wall clock in a "
+                    "result-determining module"
+                )
+            return None
+        if target.startswith("datetime."):
+            func = target.rsplit(".", 1)[-1]
+            if func in _DATETIME_NOW:
+                return f"{target}() reads a wall clock in a result-determining module"
+            return None
+        if target.startswith("uuid."):
+            return (
+                f"{target}() derives from clock/hardware entropy; derive "
+                "identifiers from the spec hash instead"
+            )
+        if target == "os.getenv":
+            return (
+                "os.getenv makes behaviour env-dependent; results must be "
+                "a function of (spec, seed) only"
+            )
+        if target == "os.urandom":
+            return "os.urandom reads OS entropy in a result-determining module"
+        return None

@@ -1,0 +1,169 @@
+"""R4 error-discipline: no swallowed exceptions, no anonymous raises.
+
+Library failures must be catchable as :class:`~repro.errors.ReproError`
+without also catching unrelated bugs — that contract dies the moment a
+module raises a bare ``ValueError`` (callers start catching stdlib types)
+or swallows everything with ``except: pass`` (bugs stop surfacing at
+all).
+
+Flagged:
+
+* bare ``except:`` handlers anywhere in library code;
+* ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass``/``...`` (a handler that *does something* — a capability probe
+  returning False, bookkeeping before a re-raise — is fine);
+* ``raise`` of a builtin exception type.  Allowed: ``ReproError``
+  subclasses (anything not in the builtin denylist), bare re-raises,
+  ``NotImplementedError`` (abstract hooks), and protocol-mandated types
+  (``IndexError``/``KeyError``/``StopIteration``/...) inside dunder
+  methods, where the language requires them.
+
+``testing/`` is out of scope: the fault harness raises ``OSError`` by
+design — it impersonates the operating system.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutil import enclosing_function, is_dunder
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["ErrorDisciplineRule"]
+
+#: Builtin exception types library code must not raise directly.
+_BUILTIN_RAISES = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "ConnectionError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "IOError",
+        "IndexError",
+        "InterruptedError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "RuntimeError",
+        "StopAsyncIteration",
+        "StopIteration",
+        "SystemError",
+        "TimeoutError",
+        "TypeError",
+        "UnicodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: Types the data-model protocols *require* from dunder methods.
+_PROTOCOL_RAISES = frozenset(
+    {
+        "AttributeError",
+        "IndexError",
+        "KeyError",
+        "NotImplementedError",
+        "StopAsyncIteration",
+        "StopIteration",
+        "TypeError",
+    }
+)
+
+
+def _is_trivial_body(body) -> bool:
+    """Whether a handler body is only ``pass``/``...`` (swallows silently)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def _names_in_type(node: Optional[ast.AST]):
+    """Exception class names a handler's type expression mentions."""
+    if node is None:
+        return
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+class ErrorDisciplineRule(Rule):
+    id = "R4"
+    name = "error-discipline"
+    rationale = (
+        "library errors must surface as ReproError subclasses, never be "
+        "silently swallowed"
+    )
+    exclude = ("testing/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                finding = self._check_handler(node)
+                if finding is not None:
+                    yield self.diag(ctx, node, finding)
+            elif isinstance(node, ast.Raise):
+                finding = self._check_raise(node, ctx)
+                if finding is not None:
+                    yield self.diag(ctx, node, finding)
+
+    def _check_handler(self, node: ast.ExceptHandler) -> Optional[str]:
+        if node.type is None:
+            return (
+                "bare except: catches everything including KeyboardInterrupt; "
+                "name the exception types (ReproError for library failures)"
+            )
+        broad = {"Exception", "BaseException"} & set(_names_in_type(node.type))
+        if broad and _is_trivial_body(node.body):
+            which = sorted(broad)[0]
+            return (
+                f"except {which}: pass silently swallows every failure; "
+                "narrow the type or handle the error"
+            )
+        return None
+
+    def _check_raise(self, node: ast.Raise, ctx: FileContext) -> Optional[str]:
+        exc = node.exc
+        if exc is None:
+            return None  # bare re-raise
+        if isinstance(exc, ast.Call):
+            callee = exc.func
+        else:
+            callee = exc
+        if not isinstance(callee, ast.Name):
+            return None  # dotted/derived targets are assumed disciplined
+        name = callee.id
+        if name == "NotImplementedError":
+            return None
+        if name not in _BUILTIN_RAISES:
+            return None  # ReproError subclasses and module-local types
+        func = enclosing_function(node, ctx.parents)
+        if (
+            func is not None
+            and is_dunder(func.name)
+            and name in _PROTOCOL_RAISES
+        ):
+            return None  # the data-model protocol mandates this type
+        return (
+            f"raise {name} in library code; raise a ReproError subclass "
+            "(repro.errors) so callers can catch library failures cleanly"
+        )

@@ -1,0 +1,142 @@
+"""R3 telemetry-overhead: hot-path telemetry must hide behind ``enabled``.
+
+The telemetry contract is *zero overhead when off*: hot paths capture the
+active context once and pay a single ``tel.enabled`` attribute check per
+block.  An unguarded ``tel.count(...)`` in ``engine/*`` or
+``walks/base.py`` silently turns every step into a dict update — the
+regression benchmarks would catch it weeks later, attributed to the wrong
+change.
+
+A telemetry call is *dominated* by a guard when one of these holds:
+
+* an enclosing ``if``/ternary whose test mentions ``.enabled`` (the call
+  on the truthy side);
+* an earlier ``if not tel.enabled: return`` in the same function body;
+* a short-circuit ``tel.enabled and tel.count(...)``.
+
+Telemetry receivers are recognized by naming convention (``tel``,
+``_tel``, ``telemetry``, ``self._tel``, ...) and by direct
+``get_telemetry()`` call chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import dotted_name, enclosing_function, iter_ancestors
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["TelemetryOverheadRule"]
+
+#: Methods of the Telemetry context that do per-call work.
+_TEL_METHODS = frozenset(
+    {"count", "gauge", "time_add", "timed", "event", "progress"}
+)
+
+#: Receiver names (last dotted segment) that denote a telemetry context.
+_TEL_RECEIVERS = frozenset({"tel", "_tel", "telemetry", "_telemetry"})
+
+
+def _is_telemetry_receiver(node: ast.AST) -> bool:
+    """Whether ``node`` (a call's receiver) is a telemetry context."""
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return dotted.split(".")[-1] in _TEL_RECEIVERS
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        return callee is not None and callee.split(".")[-1] == "get_telemetry"
+    return False
+
+
+def _mentions_enabled(node: ast.AST) -> bool:
+    """Whether any ``<x>.enabled`` attribute appears under ``node``."""
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+        for sub in ast.walk(node)
+    )
+
+
+class TelemetryOverheadRule(Rule):
+    id = "R3"
+    name = "telemetry-overhead"
+    rationale = (
+        "telemetry in hot paths must be dominated by a tel.enabled guard "
+        "so disabled runs pay one attribute check"
+    )
+    include = ("engine/", "walks/base.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _TEL_METHODS:
+                continue
+            if not _is_telemetry_receiver(func.value):
+                continue
+            if self._is_guarded(node, ctx):
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                f"telemetry call .{func.attr}() is not dominated by a "
+                "tel.enabled guard in its enclosing scope (hot-path "
+                "contract: zero overhead when off)",
+            )
+
+    # -- guard analysis ------------------------------------------------------
+
+    def _is_guarded(self, node: ast.Call, ctx: FileContext) -> bool:
+        parents = ctx.parents
+        child: ast.AST = node
+        for ancestor in iter_ancestors(node, parents):
+            if isinstance(ancestor, ast.If) and _mentions_enabled(ancestor.test):
+                if self._in_stmt_list(child, ancestor.body):
+                    return True
+            elif isinstance(ancestor, ast.IfExp) and _mentions_enabled(
+                ancestor.test
+            ):
+                if child is ancestor.body:
+                    return True
+            elif isinstance(ancestor, ast.BoolOp) and isinstance(
+                ancestor.op, ast.And
+            ):
+                idx = next(
+                    (i for i, v in enumerate(ancestor.values) if v is child), None
+                )
+                if idx is not None and any(
+                    _mentions_enabled(v) for v in ancestor.values[:idx]
+                ):
+                    return True
+            child = ancestor
+        return self._has_early_return_guard(node, ctx)
+
+    @staticmethod
+    def _in_stmt_list(node: ast.AST, stmts) -> bool:
+        """Whether ``node`` is one of ``stmts`` or nested under one."""
+        return any(
+            node is stmt or any(node is sub for sub in ast.walk(stmt))
+            for stmt in stmts
+        )
+
+    def _has_early_return_guard(self, node: ast.Call, ctx: FileContext) -> bool:
+        """``if not tel.enabled: return`` before the call, same function."""
+        func = enclosing_function(node, ctx.parents)
+        if func is None:
+            return False
+        for stmt in func.body:
+            if any(sub is node for sub in ast.walk(stmt)):
+                return False  # reached the call's statement: no guard yet
+            if not isinstance(stmt, ast.If):
+                continue
+            test = stmt.test
+            if (
+                isinstance(test, ast.UnaryOp)
+                and isinstance(test.op, ast.Not)
+                and _mentions_enabled(test.operand)
+                and any(isinstance(s, (ast.Return, ast.Raise)) for s in stmt.body)
+            ):
+                return True
+        return False

@@ -653,6 +653,12 @@ def _cmd_blanket(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
+
+
 def _cmd_stars(args: argparse.Namespace) -> int:
     counts = []
     for trial in range(args.trials):
@@ -886,6 +892,16 @@ def build_parser() -> argparse.ArgumentParser:
     stars.add_argument("--snapshot-steps", type=int, default=0, help="0 = 2m steps")
     stars.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
     stars.set_defaults(fn=_cmd_stars)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST invariant linter: rng discipline, determinism, telemetry "
+        "overhead, error discipline, spec-hash consistency",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(fn=_cmd_lint)
 
     return parser
 

@@ -472,6 +472,8 @@ class _WordBank:
         """
         np = self.np
         tel = self._tel
+        if not tel.enabled:
+            return
         A = int(moduli.shape[0])
         nfound = int(found.sum())
         tel.count("wordbank.draws", A)
@@ -840,7 +842,9 @@ class _StepwiseFleet(FleetWalkBase):
                 f"{native.unavailable_reason()}"
             )
         if fn is None and self._native_pref is None:
-            get_telemetry().count("fleet.native_unavailable")
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.count("fleet.native_unavailable")
         return fn
 
     def _native_call(self, T: int, step0: int, t0: int):

@@ -59,7 +59,9 @@ _warned = False
 
 def disabled() -> bool:
     """Whether ``REPRO_NATIVE`` explicitly opts out of the native kernel."""
-    return os.environ.get("REPRO_NATIVE", "").strip().lower() in _FALSEY
+    # The switch selects between bit-identical kernels; results are
+    # unchanged either way, only throughput.
+    return os.environ.get("REPRO_NATIVE", "").strip().lower() in _FALSEY  # repro: allow[R2]
 
 
 def _find_extension() -> Optional[str]:
@@ -133,12 +135,11 @@ def load():
             _probed = True
             if _fn is None and not key and not _warned:
                 _warned = True
-                try:
-                    from repro.telemetry import get_telemetry
+                from repro.telemetry import get_telemetry
 
-                    get_telemetry().count("native.silent_fallbacks")
-                except Exception:
-                    pass
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.count("native.silent_fallbacks")
                 warnings.warn(
                     f"repro: native fused kernel unavailable ({_reason}); "
                     "fleet engines fall back to the numpy stepwise path "

@@ -100,9 +100,11 @@ class OracleWalkBase:
             raise GraphError(f"start vertex {start} out of range 0..{graph.n - 1}")
         import numpy as np
 
+        from repro.sim.rng import fresh_generator
+
         self.graph = graph
         self.start = start
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_generator()
         self.current = start
         self.steps = 0
         self._d = graph.regularity()

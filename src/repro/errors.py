@@ -47,7 +47,7 @@ class CoverTimeout(ReproError):
         Number of targets (vertices or edges) still unvisited.
     """
 
-    def __init__(self, message: str, steps: int, remaining: int):
+    def __init__(self, message: str, steps: int, remaining: int) -> None:
         super().__init__(message)
         self.steps = steps
         self.remaining = remaining

@@ -26,13 +26,26 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.engine import ENGINES, NAMED_WALK_FACTORIES
 from repro.errors import ReproError
 from repro.graphs import (
     Graph,
+    ImplicitGraph,
     ImplicitHashedRegular,
     ImplicitHypercube,
     ImplicitTorus,
@@ -59,39 +72,39 @@ __all__ = [
 # Graph family registry: name -> (required params, builder(params, rng))
 # --------------------------------------------------------------------------
 
-def _build_regular(params: Mapping[str, Any], rng) -> Graph:
+def _build_regular(params: Mapping[str, Any], rng: random.Random) -> Graph:
     return random_connected_regular_graph(params["n"], params["degree"], rng)
 
 
-def _build_cycle(params: Mapping[str, Any], rng) -> Graph:
+def _build_cycle(params: Mapping[str, Any], rng: random.Random) -> Graph:
     return cycle_graph(params["n"])
 
 
-def _build_complete(params: Mapping[str, Any], rng) -> Graph:
+def _build_complete(params: Mapping[str, Any], rng: random.Random) -> Graph:
     return complete_graph(params["n"])
 
 
-def _build_torus(params: Mapping[str, Any], rng) -> Graph:
+def _build_torus(params: Mapping[str, Any], rng: random.Random) -> Graph:
     return torus_grid(params["rows"], params["cols"])
 
 
-def _build_hypercube(params: Mapping[str, Any], rng) -> Graph:
+def _build_hypercube(params: Mapping[str, Any], rng: random.Random) -> Graph:
     return hypercube_graph(params["r"])
 
 
-def _build_lps(params: Mapping[str, Any], rng) -> Graph:
+def _build_lps(params: Mapping[str, Any], rng: random.Random) -> Graph:
     return lps_graph(params["p"], params["q"])
 
 
-def _build_implicit_hypercube(params: Mapping[str, Any], rng):
+def _build_implicit_hypercube(params: Mapping[str, Any], rng: random.Random) -> ImplicitHypercube:
     return ImplicitHypercube(params["r"])
 
 
-def _build_implicit_torus(params: Mapping[str, Any], rng):
+def _build_implicit_torus(params: Mapping[str, Any], rng: random.Random) -> ImplicitTorus:
     return ImplicitTorus(params["rows"], params["cols"])
 
 
-def _build_implicit_hashed(params: Mapping[str, Any], rng):
+def _build_implicit_hashed(params: Mapping[str, Any], rng: random.Random) -> ImplicitHashedRegular:
     # The wiring key comes off the trial's graph stream — a fresh random
     # d-regular-ish multigraph per trial, the implicit counterpart of the
     # "regular" family's per-trial configuration-model draw.
@@ -104,7 +117,13 @@ def _build_implicit_hashed(params: Mapping[str, Any], rng):
 #: neighbor-oracle graphs (:mod:`repro.graphs.implicit`) — O(1) memory at
 #: any size, stepped by the oracle engines; walks that need per-edge state
 #: refuse them by name (see :mod:`repro.engine`).
-FAMILY_BUILDERS: Dict[str, Tuple[Tuple[str, ...], Callable[[Mapping[str, Any], Any], Graph]]] = {
+FAMILY_BUILDERS: Dict[
+    str,
+    Tuple[
+        Tuple[str, ...],
+        Callable[[Mapping[str, Any], random.Random], Union[Graph, ImplicitGraph]],
+    ],
+] = {
     "regular": (("n", "degree"), _build_regular),
     "cycle": (("n",), _build_cycle),
     "complete": (("n",), _build_complete),
@@ -142,7 +161,7 @@ class _FamilyWorkload:
     rebuild the identical workload.
     """
 
-    def __init__(self, family: str, params: Mapping[str, Any]):
+    def __init__(self, family: str, params: Mapping[str, Any]) -> None:
         if family not in FAMILY_BUILDERS:
             raise ReproError(
                 f"unknown graph family {family!r}; known: {sorted(FAMILY_BUILDERS)}"
@@ -150,7 +169,7 @@ class _FamilyWorkload:
         self.family = family
         self.params = dict(params)
 
-    def __call__(self, rng) -> Graph:
+    def __call__(self, rng: random.Random) -> Union[Graph, ImplicitGraph]:
         return FAMILY_BUILDERS[self.family][1](self.params, rng)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -207,7 +226,15 @@ class ExperimentSpec:
     start: Union[int, str] = "random"
     max_steps: Optional[int] = None
 
-    def __post_init__(self):
+    #: Execution knobs excluded from :attr:`spec_hash`: a trial top-up or
+    #: an engine switch must land in the same store bucket.  Every other
+    #: field is hashed by :meth:`identity`; the ``R5`` lint rule keeps the
+    #: three-way partition (fields / identity / this list) consistent.
+    HASH_EXCLUDED_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"trials", "engine"}
+    )
+
+    def __post_init__(self) -> None:
         object.__setattr__(self, "family_params", _normalize_params(self.family_params))
         if self.family not in FAMILY_BUILDERS:
             raise ReproError(
@@ -349,7 +376,7 @@ class SweepSpec:
     name: str
     specs: Tuple[ExperimentSpec, ...] = field(default_factory=tuple)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
         if not self.specs:
             raise ReproError(f"sweep {self.name!r} has no experiment points")

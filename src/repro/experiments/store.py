@@ -47,7 +47,6 @@ already survives process crashes.
 
 from __future__ import annotations
 
-import errno
 import json
 import os
 import time
@@ -259,7 +258,7 @@ class ResultStore:
                     {
                         "schema": STORE_SCHEMA_VERSION,
                         "code_version": self.code_version,
-                        "created_at": time.time(),
+                        "created_at": time.time(),  # repro: allow[R2] provenance stamp, result-inert
                     },
                     sort_keys=True,
                 )
@@ -287,7 +286,7 @@ class ResultStore:
                     "schema": STORE_SCHEMA_VERSION,
                     "spec_hash": spec.spec_hash,
                     "identity": spec.identity(),
-                    "first_recorded_at": time.time(),
+                    "first_recorded_at": time.time(),  # repro: allow[R2] provenance stamp, result-inert
                 },
                 sort_keys=True,
                 indent=2,
@@ -357,7 +356,7 @@ class ResultStore:
                 "engine": record.engine,
                 "code_version": record.code_version,
                 "peak_rss_bytes": record.peak_rss_bytes,
-                "recorded_at": time.time(),
+                "recorded_at": time.time(),  # repro: allow[R2] provenance stamp, result-inert
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -373,8 +372,8 @@ class ResultStore:
                 if faults.should_fire("store_write_torn", trial=record.trial):
                     handle.write(line[: max(1, len(line) // 2)])
                     handle.flush()
-                    raise OSError(
-                        errno.EIO, f"injected torn write at trial {record.trial}"
+                    raise faults.injected_ioerror(
+                        f"torn write at trial {record.trial}"
                     )
                 handle.write(line + "\n")
                 handle.flush()
@@ -599,7 +598,7 @@ class ResultStore:
         self._ensure_meta()
         directory = self.manifest_dir()
         directory.mkdir(parents=True, exist_ok=True)
-        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())  # repro: allow[R2] manifest filename stamp
         command = str(manifest.get("command", "run")).replace("/", "_") or "run"
         path = directory / f"{stamp}-{command}.json"
         i = 1

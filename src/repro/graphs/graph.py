@@ -29,7 +29,10 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from repro.errors import GraphError
 
@@ -60,7 +63,7 @@ class Graph:
 
     __slots__ = ("_n", "_edges", "_incidence", "_degrees", "_name", "_csr", "_scratch")
 
-    def __init__(self, num_vertices: int, edges: Iterable[Edge], name: str = ""):
+    def __init__(self, num_vertices: int, edges: Iterable[Edge], name: str = "") -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
         edge_list: List[Edge] = []
@@ -84,8 +87,10 @@ class Graph:
         )
         self._degrees: Tuple[int, ...] = tuple(degrees)
         self._name = name
-        self._csr = None  # lazily built flat-array incidence (see csr_arrays)
-        self._scratch = None  # lazily created memo dict (see scratch_cache)
+        # Lazily built flat-array incidence and memo dict (see csr_arrays /
+        # scratch_cache).
+        self._csr: Optional[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = None
+        self._scratch: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -259,7 +264,7 @@ class Graph:
     # ------------------------------------------------------------------
     # Flat-array (CSR) incidence layout
     # ------------------------------------------------------------------
-    def csr_arrays(self):
+    def csr_arrays(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
         """Flat-array (CSR-style) incidence layout as three numpy arrays.
 
         Returns ``(csr_offsets, csr_edge_ids, csr_neighbors)`` where the
@@ -296,17 +301,17 @@ class Graph:
         return self._csr
 
     @property
-    def csr_offsets(self):
+    def csr_offsets(self) -> "np.ndarray":
         """Per-vertex slice starts into the flat incidence arrays."""
         return self.csr_arrays()[0]
 
     @property
-    def csr_edge_ids(self):
+    def csr_edge_ids(self) -> "np.ndarray":
         """Edge ids of all incidence entries, vertex-major."""
         return self.csr_arrays()[1]
 
     @property
-    def csr_neighbors(self):
+    def csr_neighbors(self) -> "np.ndarray":
         """Neighbour endpoints of all incidence entries, vertex-major."""
         return self.csr_arrays()[2]
 
@@ -359,7 +364,7 @@ class Graph:
             (self._n, tuple(sorted(_normalize_edge(u, v) for (u, v) in self._edges)))
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Pickle structurally (vertex count + edge list); the lazy caches
         # are rebuilt on demand so worker-pool payloads stay small.
         return (Graph, (self._n, self._edges, self._name))
@@ -389,7 +394,7 @@ class GraphBuilder:
     (2, 1)
     """
 
-    def __init__(self, num_vertices: int = 0):
+    def __init__(self, num_vertices: int = 0) -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
         self._n = num_vertices

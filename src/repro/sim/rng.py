@@ -16,7 +16,13 @@ import hashlib
 import random
 from typing import List
 
-__all__ = ["DEFAULT_ROOT_SEED", "child_seed", "spawn", "seed_sequence"]
+__all__ = [
+    "DEFAULT_ROOT_SEED",
+    "child_seed",
+    "fresh_generator",
+    "seed_sequence",
+    "spawn",
+]
 
 DEFAULT_ROOT_SEED = 20120716  # PODC 2012 week, for flavour
 
@@ -36,3 +42,14 @@ def spawn(root_seed: int, *labels: object) -> random.Random:
 def seed_sequence(root_seed: int, count: int, *labels: object) -> List[int]:
     """``count`` distinct child seeds under a common label path."""
     return [child_seed(root_seed, *labels, i) for i in range(count)]
+
+
+def fresh_generator() -> random.Random:
+    """An OS-seeded generator for callers that explicitly opt out of replay.
+
+    This is the **only** sanctioned source of ambient entropy: walk and
+    engine constructors fall back to it when handed ``rng=None`` (ad-hoc
+    interactive use).  Everything replayable must pass a generator from
+    :func:`spawn` instead — the experiment runner always does.
+    """
+    return random.Random()

@@ -26,7 +26,11 @@ from __future__ import annotations
 import sys
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.heartbeat import HeartbeatReporter
+    from repro.telemetry.jsonl import TelemetryJSONLWriter
 
 __all__ = [
     "Telemetry",
@@ -72,7 +76,11 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, heartbeat=None, writer=None):
+    def __init__(
+        self,
+        heartbeat: Optional["HeartbeatReporter"] = None,
+        writer: Optional["TelemetryJSONLWriter"] = None,
+    ) -> None:
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
         self.timings: Dict[str, float] = {}
@@ -108,7 +116,7 @@ class Telemetry:
 
     # -- sinks ---------------------------------------------------------------
 
-    def event(self, kind: str, **fields) -> None:
+    def event(self, kind: str, **fields: Any) -> None:
         """Stream one structured event to the JSONL writer (if any)."""
         if self.writer is not None:
             self.writer.event(kind, **fields)
@@ -144,7 +152,7 @@ class Telemetry:
         """Seconds since this context was created."""
         return time.perf_counter() - self._t0
 
-    def snapshot(self) -> Dict[str, Dict]:
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
         """A JSON-ready copy of counters, gauges and timings."""
         return {
             "counters": {k: int(v) for k, v in sorted(self.counters.items())},
@@ -172,10 +180,10 @@ class NullTelemetry(Telemetry):
     def time_add(self, name: str, seconds: float) -> None:
         pass
 
-    def event(self, kind: str, **fields) -> None:
+    def event(self, kind: str, **fields: Any) -> None:
         pass
 
-    def progress(self, **kwargs) -> None:
+    def progress(self, **kwargs: Any) -> None:
         pass
 
 

@@ -80,6 +80,7 @@ __all__ = [
     "maybe_kill",
     "maybe_stall",
     "maybe_ioerror",
+    "injected_ioerror",
 ]
 
 FAULTS_ENV_VAR = "REPRO_FAULTS"
@@ -260,3 +261,13 @@ def maybe_ioerror(site: str, trial: Optional[int] = None) -> None:
     """Raise ``OSError(ENOSPC)`` if planned (transient-write-failure bait)."""
     if should_fire(site, trial) is not None:
         raise OSError(errno.ENOSPC, f"injected fault at {site!r} ({FAULTS_ENV_VAR})")
+
+
+def injected_ioerror(detail: str) -> OSError:
+    """An ``OSError(EIO)`` for a fault site that must do work mid-raise.
+
+    The torn-write site in the store writes half a line *before* failing,
+    so it cannot use :func:`maybe_ioerror`; it builds the exception here
+    instead, keeping every impersonated-OS error inside the fault harness.
+    """
+    return OSError(errno.EIO, f"injected {detail} ({FAULTS_ENV_VAR})")

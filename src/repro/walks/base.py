@@ -74,9 +74,13 @@ class WalkProcess(ABC):
             raise GraphError(f"start vertex {start} out of range 0..{graph.n - 1}")
         if graph.degree(start) == 0 and graph.n > 1:
             raise GraphError(f"start vertex {start} is isolated")
+        # Lazy import: repro.sim's package init pulls in the runner, which
+        # imports this module back.
+        from repro.sim.rng import fresh_generator
+
         self.graph = graph
         self.start = start
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_generator()
         self.current = start
         self.steps = 0
 

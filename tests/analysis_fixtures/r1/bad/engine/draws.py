@@ -1,0 +1,49 @@
+"""R1 fixture: every undisciplined randomness source in one module."""
+
+import os
+import random
+import secrets
+
+import numpy as np
+from random import randrange
+
+
+def module_generator_draw():
+    return random.random()
+
+
+def aliased_from_import():
+    return randrange(10)
+
+
+def unseeded_instance():
+    return random.Random()
+
+
+def seeded_instance():
+    return random.Random(7)
+
+
+def system_random():
+    return random.SystemRandom().random()
+
+
+def secrets_draw():
+    return secrets.token_bytes(8)
+
+
+def urandom_draw():
+    return os.urandom(8)
+
+
+def numpy_module_draw():
+    return np.random.rand(3)
+
+
+def numpy_default_rng():
+    return np.random.default_rng()
+
+
+def unseeded_mt19937():
+    # Unseeded MT19937 is ambient entropy, unlike the seeded transplant form.
+    return np.random.MT19937()

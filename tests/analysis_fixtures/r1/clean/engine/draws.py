@@ -1,0 +1,36 @@
+"""R1 clean twin: the sanctioned ways of obtaining randomness."""
+
+import random
+from typing import Optional
+
+import numpy as np
+
+
+class _WordBank:
+    """Sanctioned wrapper: may touch numpy's generator machinery."""
+
+    def __init__(self, seed_state):
+        self.state = np.random.MT19937(0)
+        self.raw = np.random.Generator(self.state)
+
+
+class MTWordStream:
+    def __init__(self):
+        self.state = np.random.MT19937(12345)
+
+
+def draw_through_parameter(rng: random.Random) -> int:
+    return rng.randrange(10)
+
+
+def constructor_accepts_generator(rng: Optional[random.Random]) -> random.Random:
+    if rng is None:
+        from repro.sim.rng import fresh_generator
+
+        rng = fresh_generator()
+    return rng
+
+
+def seeded_state_container() -> object:
+    # The transplant idiom: a seeded MT19937 used purely as a state box.
+    return np.random.MT19937(0)

@@ -1,0 +1,34 @@
+"""R2 fixture: wall clocks, uuids and environment reads in result code."""
+
+import datetime
+import os
+import time
+import uuid
+
+
+def wall_clock():
+    return time.time()
+
+
+def perf_clock():
+    return time.perf_counter()
+
+
+def date_now():
+    return datetime.datetime.now()
+
+
+def unique_id():
+    return uuid.uuid4()
+
+
+def env_lookup():
+    return os.getenv("REPRO_MODE")
+
+
+def environ_read():
+    return os.environ["HOME"]
+
+
+def entropy():
+    return os.urandom(4)

@@ -1,0 +1,17 @@
+"""R2 clean twin: deterministic code plus one pragma'd wall-time site."""
+
+import time
+
+
+def deterministic(x: int) -> int:
+    return x * 2
+
+
+def sleep_is_not_a_clock_read() -> None:
+    time.sleep(0)
+
+
+def reported_wall_time() -> float:
+    t0 = time.perf_counter()  # repro: allow[R2] reported wall time, result-inert
+    deterministic(21)
+    return time.perf_counter() - t0  # repro: allow[determinism] by rule name

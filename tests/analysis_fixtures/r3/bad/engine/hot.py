@@ -1,0 +1,26 @@
+"""R3 fixture: hot-path telemetry calls with no enabled guard."""
+
+from repro.telemetry import get_telemetry
+
+
+class Engine:
+    def __init__(self, tel):
+        self._tel = tel
+
+    def step(self) -> None:
+        self._tel.count("engine.steps")
+
+    def helper_without_guard(self) -> None:
+        tel = self._tel
+        tel.gauge("engine.lanes", 4.0)
+        tel.time_add("engine.seconds", 0.1)
+
+    def guard_on_wrong_branch(self) -> None:
+        if self._tel.enabled:
+            pass
+        else:
+            self._tel.count("engine.disabled_branch")
+
+
+def module_level_call() -> None:
+    get_telemetry().count("engine.module_calls")

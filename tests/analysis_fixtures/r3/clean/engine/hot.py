@@ -1,0 +1,33 @@
+"""R3 clean twin: every guard shape the rule recognizes."""
+
+from repro.telemetry import get_telemetry
+
+
+class Engine:
+    def __init__(self, tel):
+        self._tel = tel
+
+    def if_guard(self) -> None:
+        if self._tel.enabled:
+            self._tel.count("engine.steps")
+
+    def early_return_guard(self) -> None:
+        tel = self._tel
+        if not tel.enabled:
+            return
+        tel.gauge("engine.lanes", 4.0)
+        tel.time_add("engine.seconds", 0.1)
+
+    def boolop_guard(self) -> None:
+        tel = self._tel
+        tel.enabled and tel.count("engine.fast")
+
+    def compound_test_guard(self, verbose: bool) -> None:
+        if verbose and self._tel.enabled:
+            self._tel.event("engine.verbose", detail=1)
+
+
+def guarded_module_call() -> None:
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("engine.module_calls")

@@ -1,0 +1,38 @@
+"""R4 fixture: swallowed exceptions and anonymous builtin raises."""
+
+
+def bare_handler(thing):
+    try:
+        return thing()
+    except:
+        return None
+
+
+def swallow_exception(thing):
+    try:
+        return thing()
+    except Exception:
+        pass
+
+
+def swallow_base_exception(thing):
+    try:
+        return thing()
+    except BaseException:
+        ...
+
+
+def anonymous_value_error(x: int) -> int:
+    if x < 0:
+        raise ValueError(f"negative: {x}")
+    return x
+
+
+def anonymous_runtime_error() -> None:
+    raise RuntimeError("library code must not raise builtins")
+
+
+class Container:
+    def lookup(self, key):
+        # KeyError outside a dunder is not protocol-mandated.
+        raise KeyError(key)

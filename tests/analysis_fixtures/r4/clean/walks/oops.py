@@ -1,0 +1,49 @@
+"""R4 clean twin: disciplined error handling."""
+
+from repro.errors import GraphError, ReproError
+
+
+def raises_library_error(x: int) -> int:
+    if x < 0:
+        raise GraphError(f"negative: {x}")
+    return x
+
+
+def narrow_handler(path) -> str:
+    try:
+        return path.read_text()
+    except OSError:
+        return ""
+
+
+def handler_that_does_work(thing) -> bool:
+    # A broad handler whose body acts (capability probe) is allowed.
+    try:
+        thing()
+    except Exception:
+        return False
+    return True
+
+
+def reraise(thing):
+    try:
+        return thing()
+    except Exception:
+        raise
+
+
+def abstract_hook() -> None:
+    raise NotImplementedError
+
+
+class Sequenceish:
+    def __getitem__(self, index: int) -> int:
+        # Protocol-mandated type inside a dunder method.
+        raise IndexError(index)
+
+    def __iter__(self):
+        raise TypeError("not iterable after all")
+
+
+def wrapped_failure(exc: Exception) -> ReproError:
+    return ReproError(str(exc))

@@ -1,0 +1,27 @@
+"""R5 fixture: spec fields whose hash decision is missing or double."""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, FrozenSet
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    family: str
+    walk: str
+    trials: int = 5
+    root_seed: int = 0
+    batch_size: int = 32  # new knob, never given a hash decision
+    target: str = "vertices"  # hashed AND excluded below
+
+    HASH_EXCLUDED_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"trials", "target", "stale_name"}
+    )
+
+    def identity(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "walk": self.walk,
+            "root_seed": self.root_seed,
+            "target": self.target,
+            "ghost_field": None,
+        }

@@ -1,0 +1,24 @@
+"""R5 clean twin: every field hashed or explicitly excluded."""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, FrozenSet
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    family: str
+    walk: str
+    trials: int = 5
+    root_seed: int = 0
+    engine: str = "reference"
+
+    HASH_EXCLUDED_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"trials", "engine"}
+    )
+
+    def identity(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "walk": self.walk,
+            "root_seed": self.root_seed,
+        }
