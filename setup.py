@@ -17,12 +17,16 @@ that some setuptools versions still raise eagerly.
 ``REPRO_SANITIZE=1`` flips both properties: the kernel is compiled under
 AddressSanitizer + UndefinedBehaviorSanitizer and a build failure becomes
 a hard error (a CI lane asking for an instrumented kernel must never
-silently fall back to the uninstrumented numpy path).  Sanitized builds
-are a correctness tool only — the instrumentation overhead disqualifies
-them from any timing measurement.  Loading the instrumented ``.so`` into
-a stock CPython needs the ASan runtime preloaded::
+silently fall back to the uninstrumented numpy path).
+``REPRO_SANITIZE=thread`` does the same under ThreadSanitizer instead —
+ASan and TSan cannot coexist in one binary, so the mode is a choice, not
+a set.  Sanitized builds are a correctness tool only — the
+instrumentation overhead disqualifies them from any timing measurement.
+Loading an instrumented ``.so`` into a stock CPython needs the matching
+runtime preloaded::
 
     LD_PRELOAD=$(gcc -print-file-name=libasan.so) python -m pytest tests/test_native.py
+    LD_PRELOAD=$(gcc -print-file-name=libtsan.so) python -m pytest tests/test_threaded_kernel.py
 """
 
 import os
@@ -30,10 +34,14 @@ import os
 from setuptools import Extension, setup
 from setuptools.command.build_ext import build_ext
 
-SANITIZE = os.environ.get("REPRO_SANITIZE", "").strip().lower() in {"1", "true", "yes", "on"}
+_SANITIZE_MODE = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+SANITIZE_THREAD = _SANITIZE_MODE in {"thread", "tsan"}
+SANITIZE = SANITIZE_THREAD or _SANITIZE_MODE in {"1", "true", "yes", "on"}
+
+_SANITIZER = "thread" if SANITIZE_THREAD else "address,undefined"
 
 _SANITIZE_FLAGS = [
-    "-fsanitize=address,undefined",
+    f"-fsanitize={_SANITIZER}",
     "-fno-sanitize-recover=all",
     "-fno-omit-frame-pointer",
     "-g",
@@ -79,7 +87,7 @@ setup(
             sources=["src/repro/engine/native/_fused.c"],
             optional=not SANITIZE,
             extra_compile_args=_SANITIZE_FLAGS if SANITIZE else [],
-            extra_link_args=["-fsanitize=address,undefined"] if SANITIZE else [],
+            extra_link_args=[f"-fsanitize={_SANITIZER}"] if SANITIZE else [],
         )
     ],
     cmdclass={"build_ext": OptionalBuildExt},

@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TextIO
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.linter import lint_paths
@@ -61,6 +61,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--fix-pragmas",
+        action="store_true",
+        help=(
+            "list removable (dead) suppression pragmas and exit 0; runs "
+            "the full rule set regardless of --select, since a pragma is "
+            "only provably dead against every rule"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_rules(out) -> None:
+def _print_rules(out: TextIO) -> None:
     for rule in ALL_RULES:
         scope = ", ".join(rule.include) if rule.include else "all library code"
         if rule.exclude:
@@ -83,7 +92,10 @@ def _print_rules(out) -> None:
 
 
 def _report(
-    findings: List[Diagnostic], output_format: str, threshold: Severity, out
+    findings: List[Diagnostic],
+    output_format: str,
+    threshold: Severity,
+    out: TextIO,
 ) -> int:
     """Print the report; return the number of gating findings."""
     gating = [d for d in findings if d.severity >= threshold]
@@ -103,11 +115,29 @@ def _report(
     return len(gating)
 
 
-def run(args: argparse.Namespace, out=None) -> int:
+def _report_dead_pragmas(
+    findings: List[Diagnostic], output_format: str, out: TextIO
+) -> None:
+    """Print the removable-pragma listing for ``--fix-pragmas``."""
+    dead = [d for d in findings if d.rule == "P2"]
+    if output_format == "json":
+        print(json.dumps([d.to_json() for d in dead], indent=2), file=out)
+        return
+    for diag in dead:
+        print(diag.format(), file=out)
+    noun = "pragma(s)" if dead else "pragmas"
+    print(f"{len(dead)} removable {noun}", file=out)
+
+
+def run(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
     out = out if out is not None else sys.stdout
     if args.list_rules:
         _print_rules(out)
+        return 0
+    if getattr(args, "fix_pragmas", False):
+        findings = lint_paths(args.paths, rules=ALL_RULES)
+        _report_dead_pragmas(findings, args.output_format, out)
         return 0
     rules = rules_by_selector(args.select or ())
     threshold = Severity.parse(args.fail_on)

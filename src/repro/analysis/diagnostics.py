@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 from repro.errors import ReproError
 
@@ -69,6 +69,6 @@ class Diagnostic:
             "message": self.message,
         }
 
-    def sort_key(self):
+    def sort_key(self) -> Tuple[str, int, int, str]:
         """Stable report order: by file, then position, then rule."""
         return (self.path, self.line, self.col, self.rule)

@@ -14,14 +14,18 @@ the linter maps every filesystem path to a scope path first:
 
 Findings on a line carrying a matching ``# repro: allow[...]`` pragma are
 suppressed; pragmas naming unknown rules are themselves findings (a typo
-must not silently fail to suppress).
+must not silently fail to suppress), and pragmas that suppress *nothing*
+are warnings (``P2``) — a dead pragma is a license nobody is using, left
+to silently bless the next violation someone introduces on that line.
+Dead-pragma detection only runs when the full rule set does: under
+``--select`` a pragma for an unselected rule merely looks unused.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.rules import ALL_RULES, FileContext, Rule
@@ -118,6 +122,42 @@ def _pragma_findings(ctx: FileContext, rules: Sequence[Rule]) -> List[Diagnostic
     return findings
 
 
+def _unused_pragma_findings(
+    ctx: FileContext,
+    rules: Sequence[Rule],
+    used: Dict[int, Set[str]],
+) -> List[Diagnostic]:
+    """Pragmas whose selectors suppressed no finding, as ``P2`` warnings.
+
+    Only well-formed, known selectors are considered (malformed and
+    unknown ones already carry ``P1`` errors); each dead selector is
+    reported individually so ``allow[R2,R7]`` with one live half names
+    exactly the half to delete.
+    """
+    known = _known_selectors(rules)
+    findings = []
+    for line, selectors in sorted(ctx.pragmas.selectors().items()):
+        for selector in sorted(selectors & known):
+            if selector in used.get(line, set()):
+                continue
+            findings.append(
+                Diagnostic(
+                    path=ctx.path,
+                    line=line,
+                    col=1,
+                    rule="P2",
+                    name="unused-pragma",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"pragma allow[{selector}] suppresses no finding on "
+                        "this line; remove it (dead pragmas pre-bless future "
+                        "violations)"
+                    ),
+                )
+            )
+    return findings
+
+
 def lint_source(
     source: str,
     relpath: str,
@@ -142,13 +182,18 @@ def lint_source(
         ]
     ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
     findings = _pragma_findings(ctx, rules)
+    used: Dict[int, Set[str]] = {}
     for rule in rules:
         if not rule.applies_to(relpath):
             continue
         for diag in rule.check(ctx):
-            if ctx.pragmas.allows(diag.line, rule.id, rule.name):
+            matched = ctx.pragmas.matching(diag.line, rule.id, rule.name)
+            if matched:
+                used.setdefault(diag.line, set()).update(matched)
                 continue
             findings.append(diag)
+    if {r.id for r in rules} >= {r.id for r in ALL_RULES}:
+        findings.extend(_unused_pragma_findings(ctx, rules, used))
     findings.sort(key=Diagnostic.sort_key)
     return findings
 

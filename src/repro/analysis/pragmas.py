@@ -36,7 +36,7 @@ class PragmaIndex:
         self,
         allowed: Dict[int, FrozenSet[str]],
         malformed: Tuple[Tuple[int, int, str], ...] = (),
-    ):
+    ) -> None:
         self._allowed = allowed
         #: ``(line, col, comment)`` for allow-pragmas that failed to parse.
         self.malformed = malformed
@@ -66,11 +66,19 @@ class PragmaIndex:
     def allows(self, line: int, rule_id: str, rule_name: str) -> bool:
         """Whether a finding of ``rule_id``/``rule_name`` at ``line`` is
         suppressed (by id, name, or the ``*`` wildcard)."""
+        return bool(self.matching(line, rule_id, rule_name))
+
+    def matching(self, line: int, rule_id: str, rule_name: str) -> FrozenSet[str]:
+        """The selectors at ``line`` that suppress ``rule_id``/``rule_name``.
+
+        The linter uses the returned set to mark selectors *used*, so a
+        pragma that never suppresses anything can be reported as dead.
+        """
         selectors = self._allowed.get(line)
         if not selectors:
-            return False
-        return bool(
-            selectors & {"*", rule_id.lower(), rule_name.lower()}
+            return frozenset()
+        return selectors & frozenset(
+            {"*", rule_id.lower(), rule_name.lower()}
         )
 
     def selectors(self) -> Dict[int, FrozenSet[str]]:

@@ -79,7 +79,10 @@ class Rule:
 def _registry() -> Tuple[Rule, ...]:
     from repro.analysis.rules.determinism import DeterminismRule
     from repro.analysis.rules.errordiscipline import ErrorDisciplineRule
+    from repro.analysis.rules.lock_discipline import LockDisciplineRule
+    from repro.analysis.rules.pool_payload import PoolPayloadRule
     from repro.analysis.rules.rng import RngDisciplineRule
+    from repro.analysis.rules.shared_state import SharedImmutabilityRule
     from repro.analysis.rules.spec_hash import SpecHashRule
     from repro.analysis.rules.telemetry_guard import TelemetryOverheadRule
 
@@ -89,6 +92,9 @@ def _registry() -> Tuple[Rule, ...]:
         TelemetryOverheadRule(),
         ErrorDisciplineRule(),
         SpecHashRule(),
+        SharedImmutabilityRule(),
+        LockDisciplineRule(),
+        PoolPayloadRule(),
     )
 
 

@@ -1,0 +1,143 @@
+"""R7 lock-discipline: store writes happen under the shard lock.
+
+The result store's concurrency contract (PR 8) is that every mutation of
+a spec's shard — appends, compaction rewrites, spec registration — runs
+inside the advisory ``fcntl.flock`` critical section established by
+``with self._lock(...)``.  A file write that slips outside the lock can
+interleave partial lines with a concurrent writer, and the torn-tail
+repair (which assumes "lock held ⇒ no append in flight") would then
+*truncate live data*.
+
+The rule patrols methods of lock-bearing classes (classes defining a
+``_lock`` method).  A file-write call — ``.write()``/``.writelines()``/
+``.write_text()``/``.write_bytes()``, ``os.ftruncate``/``os.pwrite``/
+``os.truncate``/``os.write``, or the store's own ``_atomic_write_text``
+primitive — must be *dominated* by the lock: lexically inside a ``with``
+statement whose context expression calls ``._lock(...)`` (the R3
+guard-domination shape, with the lock acquisition as the guard).
+
+Two sanctioned escapes, both explicit:
+
+* a method named ``*_locked`` asserts the **caller** holds the lock
+  (helpers like ``_repair_tail_locked`` that only ever run inside a
+  locked section);
+* a ``# repro: allow[R7]`` pragma documents a write that is safe without
+  the lock by construction (append-only quarantine lines, fresh
+  uniquely-named manifest files).
+
+Module-level functions and classes without a ``_lock`` method are out of
+scope: the atomic-write primitive itself, lock objects, and plain
+value containers have no shard-locking obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    dotted_name,
+    iter_ancestors,
+    resolve_call_target,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["LockDisciplineRule"]
+
+#: Attribute calls that write file contents, matched on the method name.
+_WRITE_METHODS = frozenset(
+    {"write", "writelines", "write_text", "write_bytes", "truncate"}
+)
+
+#: Canonical os-level write calls (resolved through import aliases).
+_OS_WRITES = frozenset(
+    {"os.ftruncate", "os.pwrite", "os.truncate", "os.write"}
+)
+
+#: In-file write primitives, matched on the bare callee name.
+_LOCAL_WRITERS = frozenset({"_atomic_write_text"})
+
+_LOCK_METHOD = "_lock"
+_LOCKED_SUFFIX = "_locked"
+
+
+def _is_write_call(node: ast.Call, ctx: FileContext) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+        return True
+    if isinstance(func, ast.Name) and func.id in _LOCAL_WRITERS:
+        return True
+    resolved = resolve_call_target(func, ctx.aliases)
+    return resolved in _OS_WRITES
+
+
+def _acquires_lock(expr: ast.expr) -> bool:
+    """Whether a ``with`` item's context expression calls ``._lock(...)``."""
+    if not isinstance(expr, ast.Call):
+        return False
+    dotted = dotted_name(expr.func)
+    return dotted is not None and dotted.split(".")[-1] == _LOCK_METHOD
+
+
+class LockDisciplineRule(Rule):
+    id = "R7"
+    name = "lock-discipline"
+    rationale = (
+        "shard/metadata writes in store methods must run inside the "
+        "`with self._lock(...)` critical section (or in a *_locked helper "
+        "whose caller holds it)"
+    )
+    include = ("experiments/store.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not any(
+                isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and s.name == _LOCK_METHOD
+                for s in cls.body
+            ):
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name.endswith(_LOCKED_SUFFIX):
+                    continue  # caller-holds-lock convention
+                if method.name == _LOCK_METHOD:
+                    continue
+                yield from self._check_method(ctx, method)
+
+    def _check_method(
+        self, ctx: FileContext, method: ast.AST
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_write_call(node, ctx):
+                continue
+            if self._lock_dominated(node, ctx):
+                continue
+            callee = dotted_name(node.func) or "<call>"
+            yield self.diag(
+                ctx,
+                node,
+                f"file write {callee}(...) in a store method is not inside "
+                "a `with self._lock(...)` block; unlocked shard/metadata "
+                "writes can interleave with concurrent writers (rename the "
+                "method *_locked if the caller holds the lock)",
+            )
+
+    @staticmethod
+    def _lock_dominated(node: ast.Call, ctx: FileContext) -> bool:
+        for ancestor in iter_ancestors(node, ctx.parents):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)) and any(
+                _acquires_lock(item.context_expr) for item in ancestor.items
+            ):
+                return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # don't credit an outer function's lock to a closure
+        return False

@@ -46,6 +46,8 @@ a sequential chain).
 from __future__ import annotations
 
 import random
+from typing import Any, Callable, List, Optional, Tuple
+
 from repro.errors import ReproError
 
 __all__ = [
@@ -89,7 +91,7 @@ STOP_VERTICES = 1  # additionally stop the instant all vertices are visited
 STOP_EDGES = 2  # additionally stop the instant all edges are visited
 
 
-def mt_state_to_numpy(internal) -> dict:
+def mt_state_to_numpy(internal: Tuple[int, ...]) -> dict:
     """A numpy ``MT19937.state`` dict from ``random.Random.getstate()[1]``
     (the 625-word internal tuple: 624 key words plus the position)."""
     import numpy as np
@@ -103,7 +105,7 @@ def mt_state_to_numpy(internal) -> dict:
     }
 
 
-def mt_state_from_numpy(mt, base) -> tuple:
+def mt_state_from_numpy(mt: Any, base: Tuple[Any, ...]) -> tuple:
     """A ``random.Random.setstate`` tuple from a numpy ``MT19937``'s
     current state, carrying ``base``'s version and cached-gauss fields."""
     version, _internal, gauss = base
@@ -122,12 +124,12 @@ class MTWordStream:
     (or comparing ``getstate()`` against a reference run) stays exact.
     """
 
-    def __init__(self, rng: random.Random):
+    def __init__(self, rng: random.Random) -> None:
         self._rng = rng
-        self._mt = None  # reusable scratch numpy MT19937 (created lazily)
-        self._base = None
+        self._mt: Any = None  # reusable scratch numpy MT19937 (created lazily)
+        self._base: Any = None
         self._handed = 0
-        self._pre_take_state = None
+        self._pre_take_state: Any = None
         self._last_count = 0
 
     @staticmethod
@@ -163,7 +165,7 @@ class MTWordStream:
         self._pre_take_state = None
         self._last_count = 0
 
-    def take(self, count: int):
+    def take(self, count: int) -> Any:
         """The next ``count`` raw 32-bit words as a numpy array."""
         # Snapshot so end() can rewind to the start of this batch and
         # replay only its consumed prefix (MT cannot run backwards).
@@ -237,7 +239,7 @@ class VisitedSet:
 
     __slots__ = ("nbits", "words", "count", "_checked_out")
 
-    def __init__(self, nbits: int):
+    def __init__(self, nbits: int) -> None:
         import numpy as np
 
         self.nbits = nbits
@@ -259,14 +261,14 @@ class VisitedSet:
         self.count += 1
         return True
 
-    def test_many(self, indices):
+    def test_many(self, indices: Any) -> Any:
         """Boolean array: bit set for each index (vectorized)."""
         import numpy as np
 
         shifts = (indices & 63).astype(np.uint64)
         return ((self.words[indices >> 6] >> shifts) & np.uint64(1)).astype(bool)
 
-    def fresh_indices(self, indices):
+    def fresh_indices(self, indices: Any) -> Any:
         """Positions in ``indices`` whose bit is clear (vectorized)."""
         import numpy as np
 
@@ -274,7 +276,7 @@ class VisitedSet:
         hit = (self.words[indices >> 6] >> shifts) & np.uint64(1)
         return (hit == 0).nonzero()[0]
 
-    def set_many(self, indices) -> int:
+    def set_many(self, indices: Any) -> int:
         """Set all bits in ``indices`` (need not be distinct); returns the
         number that were fresh, updating :attr:`count`."""
         import numpy as np
@@ -308,7 +310,7 @@ class VisitedSet:
         self.count += added
         self._checked_out = False
 
-    def to_bytearray(self, lo: int = 0, hi: int = None) -> bytearray:
+    def to_bytearray(self, lo: int = 0, hi: Optional[int] = None) -> bytearray:
         """Bits ``[lo, hi)`` expanded to one byte each (0/1).
 
         Hand-off adapter: the materialized walks' ``visited_vertices`` is
@@ -343,14 +345,14 @@ class NeighborBackend:
     def resolve(self, vertex: int, slot: int) -> int:
         raise NotImplementedError
 
-    def resolve_many(self, vertices, slots):
+    def resolve_many(self, vertices: Any, slots: Any) -> Any:
         raise NotImplementedError
 
 
 class CSRNeighborBackend(NeighborBackend):
     """Neighbor resolution from a materialized graph's CSR arrays."""
 
-    def __init__(self, graph):
+    def __init__(self, graph: Any) -> None:
         self.graph = graph
         offsets, _eids, neighbors = graph.csr_arrays()
         self._offsets = offsets
@@ -361,7 +363,7 @@ class CSRNeighborBackend(NeighborBackend):
     def resolve(self, vertex: int, slot: int) -> int:
         return self._nbr_list[self._off_list[vertex] + slot]
 
-    def resolve_many(self, vertices, slots):
+    def resolve_many(self, vertices: Any, slots: Any) -> Any:
         return self._neighbors[self._offsets[vertices] + slots]
 
 
@@ -370,17 +372,17 @@ class OracleNeighborBackend(NeighborBackend):
 
     is_oracle = True
 
-    def __init__(self, graph):
+    def __init__(self, graph: Any) -> None:
         self.graph = graph
 
     def resolve(self, vertex: int, slot: int) -> int:
         return self.graph.kth_neighbor(vertex, slot)
 
-    def resolve_many(self, vertices, slots):
+    def resolve_many(self, vertices: Any, slots: Any) -> Any:
         return self.graph.kth_neighbors(vertices, slots)
 
 
-def neighbor_backend(graph) -> NeighborBackend:
+def neighbor_backend(graph: Any) -> NeighborBackend:
     """The right :class:`NeighborBackend` for ``graph``."""
     from repro.graphs.implicit import is_implicit
 
@@ -399,6 +401,15 @@ class ArrayWalkEngine:
     overrides only the bulk runners.  Call :meth:`_init_arrays` at the end
     of ``__init__``.
     """
+
+    # Provided by the reference walk class the mixin is combined with.
+    graph: Any
+    rng: random.Random
+    current: int
+    steps: int
+    step: Callable[[], Any]
+    num_visited_vertices: int
+    num_visited_edges: int
 
     def _init_arrays(self, chunk_size: int) -> None:
         if chunk_size < 1:
@@ -421,8 +432,11 @@ class ArrayWalkEngine:
             self._grb = self.rng.getrandbits
         else:
             self._grb = None  # exotic RNG: chunks fall back to step()
-        self._stream = MTWordStream(self.rng) if MTWordStream.supports(self.rng) else None
-        self._comp_table = None  # lazily built by _position_comp_table
+        self._stream: Optional[MTWordStream] = (
+            MTWordStream(self.rng) if MTWordStream.supports(self.rng) else None
+        )
+        # Lazily built by _position_comp_table.
+        self._comp_table: Optional[Tuple[Any, int]] = None
 
     # ------------------------------------------------------------------
     # Per-engine chunk kernel
@@ -450,7 +464,7 @@ class ArrayWalkEngine:
     # ------------------------------------------------------------------
     # Steady-state kernel (shared): nothing left to record
     # ------------------------------------------------------------------
-    def _position_comp_table(self):
+    def _position_comp_table(self) -> Tuple[Optional[List[int]], int]:
         """Multi-step composition table for regular graphs.
 
         Returns ``(table, width)`` where
@@ -481,6 +495,7 @@ class ArrayWalkEngine:
                     else:
                         self._comp_table = (pair.reshape(-1).tolist(), 2)
                 cache["engine_comp_table"] = self._comp_table
+        assert self._comp_table is not None
         table, width = self._comp_table
         return (table, width) if table else (None, 1)
 
@@ -503,6 +518,7 @@ class ArrayWalkEngine:
         table, width = self._position_comp_table()
         dw = d**width
         stream = self._stream
+        assert stream is not None  # steady dispatch requires word batching
         cur = self.current
         steps = self.steps
         stream.begin()

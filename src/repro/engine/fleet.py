@@ -634,6 +634,10 @@ class FleetWalkBase:
             ).reshape(-1)
             if pad:
                 out = np.concatenate([out, np.zeros(pad, dtype=np.int64)])
+            # Frozen at creation: the cached tile is shared by every fleet
+            # over this graph (and every thread once the kernel drops the
+            # GIL) — all mutation happens on per-fleet state instead.
+            out.setflags(write=False)
             cache[key] = out
             return out
         out = np.concatenate(
@@ -663,12 +667,15 @@ class FleetWalkBase:
             key = ("fleet-local", dmax)
             hit = cache.get(key)
             if hit is None:
-                hit = (
-                    np.concatenate([g.csr_edge_ids, pad]),
-                    np.concatenate([g.csr_neighbors, pad]),
-                    g.csr_offsets[:-1],
-                    np.asarray(g.degrees(), dtype=np.int64),
-                )
+                eids = np.concatenate([g.csr_edge_ids, pad])
+                nbrs = np.concatenate([g.csr_neighbors, pad])
+                rowstart = g.csr_offsets[:-1]
+                degs = np.asarray(g.degrees(), dtype=np.int64)
+                # Frozen at creation: every fleet (and, post-GIL-release,
+                # every thread) over this graph reads the same tuple.
+                for arr in (eids, nbrs, rowstart, degs):
+                    arr.setflags(write=False)
+                hit = (eids, nbrs, rowstart, degs)
                 cache[key] = hit
             self._eids_t, self._nbrs_t, self._rowstart_t, self._degs_t = hit
             self._tiled = False
@@ -1138,6 +1145,8 @@ class FleetSRW(_StepwiseFleet):
             out = (
                 base[None, :] + (np.arange(self.K, dtype=np.int64) * stride)[:, None]
             ).reshape(-1)
+            # Frozen at creation: shared by every fleet/thread on this graph.
+            out.setflags(write=False)
             cache[key] = out
             return out
         return np.concatenate(

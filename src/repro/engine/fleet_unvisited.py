@@ -87,6 +87,11 @@ def _packed_tables(d: int):
         shifts[code] = 32 - q.bit_length()
         for r in range(q):
             select[code * d + r] = bits[r] if code else r
+    # Frozen at creation: the module-level registry is shared by every
+    # fleet of this degree (and by every thread once the fused kernel
+    # drops the GIL) — the tables are pure functions of d, never edited.
+    for arr in (powers, moduli, shifts, select):
+        arr.setflags(write=False)
     hit = (powers, moduli, shifts, select)
     _PACK_TABLES[d] = hit
     return hit

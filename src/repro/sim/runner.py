@@ -89,6 +89,25 @@ __all__ = [
 GraphFactory = Callable[[random.Random], Graph]
 WalkFactory = Callable[[Graph, int, random.Random], WalkProcess]
 
+#: Classes sanctioned to cross the process-pool boundary (lint rule R8).
+#: Everything here pickles *structurally* — plain field tuples, no live
+#: handles — so a worker rebuilt after a crash deserializes bit-identical
+#: payloads:
+#:
+#: * ``TrialOutcome``, ``_TrialSpec`` — NamedTuples of primitives plus the
+#:   entries below (callables ride along by reference, resolved in-worker).
+#: * ``CoverRun`` — frozen dataclass of lists/aggregates (result surface).
+#: * ``Aggregate`` — NamedTuple of floats (:mod:`repro.sim.results`).
+#: * ``Graph`` — defines ``__reduce__`` rebuilding from ``(n, edges, name)``,
+#:   dropping scratch caches so workers never share mutable state.
+POOL_PAYLOAD_ALLOWLIST = (
+    "Aggregate",
+    "CoverRun",
+    "Graph",
+    "TrialOutcome",
+    "_TrialSpec",
+)
+
 
 class TrialOutcome(NamedTuple):
     """Result of one trial: where it sat in the seed tree and what it measured.

@@ -1,0 +1,45 @@
+"""R6 fixture: shared tiles cached or mutated without freezing."""
+
+import numpy as np
+
+_TABLES = {}
+
+
+def cache_unfrozen_array(graph, K):
+    cache = graph.scratch_cache()
+    out = np.concatenate([graph.csr_edge_ids, np.zeros(K, dtype=np.int64)])
+    cache[("tile", K)] = out
+    return out
+
+
+def cache_unfrozen_tuple(graph, K):
+    cache = graph.scratch_cache()
+    eids = np.asarray(graph.csr_edge_ids, dtype=np.int64)
+    nbrs = np.asarray(graph.csr_neighbors, dtype=np.int64)
+    hit = (eids, nbrs)
+    cache[("pair", K)] = hit
+    return hit
+
+
+def fill_module_registry(d):
+    powers = np.arange(d, dtype=np.int64)
+    _TABLES[d] = powers
+    return powers
+
+
+def mutate_shared_alias(graph):
+    nbrs = graph.csr_neighbors
+    nbrs[0] = 3
+    nbrs += 1
+    nbrs.sort()
+
+
+def unfreeze_anywhere(arr):
+    arr.setflags(write=True)
+    return arr
+
+
+def ufunc_into_shared_view(graph):
+    view = graph.csr_offsets[1:]
+    np.add(view, 1, out=view)
+    return view

@@ -1,0 +1,58 @@
+"""R6 clean twin: tiles frozen at creation, writes on per-fleet copies."""
+
+import numpy as np
+
+_TABLES = {}
+
+
+def cache_frozen_array(graph, K):
+    cache = graph.scratch_cache()
+    cached = cache.get(("tile", K))
+    if cached is not None:
+        return cached
+    out = np.concatenate([graph.csr_edge_ids, np.zeros(K, dtype=np.int64)])
+    out.setflags(write=False)
+    cache[("tile", K)] = out
+    return out
+
+
+def cache_frozen_tuple(graph, K):
+    cache = graph.scratch_cache()
+    eids = np.asarray(graph.csr_edge_ids, dtype=np.int64)
+    nbrs = np.asarray(graph.csr_neighbors, dtype=np.int64)
+    for arr in (eids, nbrs):
+        arr.setflags(write=False)
+    hit = (eids, nbrs)
+    cache[("pair", K)] = hit
+    return hit
+
+
+def fill_module_registry(d):
+    powers = np.arange(d, dtype=np.int64)
+    powers.setflags(write=False)
+    _TABLES[d] = powers
+    return powers
+
+
+def memo_fill_is_sanctioned(graph, v):
+    cache = graph.scratch_cache()
+    table = cache.get("neighbors")
+    if table is None:
+        table = cache["neighbors"] = {}
+    table[v] = v + 1
+    return table
+
+
+def mutate_per_fleet_copy(graph):
+    fresh = np.array(graph.csr_neighbors, dtype=np.int64)
+    fresh[0] = 3
+    fresh += 1
+    fresh.sort()
+    np.add(fresh, 1, out=fresh)
+    return fresh
+
+
+def fancy_index_is_a_copy(graph, idx):
+    rows = graph.csr_neighbors[idx]
+    rows += 1
+    return rows

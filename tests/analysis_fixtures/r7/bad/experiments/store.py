@@ -1,0 +1,26 @@
+"""R7 fixture: store-method writes outside the ``_lock`` critical section."""
+
+import os
+
+
+def _atomic_write_text(path, text):
+    path.write_text(text)  # module scope: no shard-locking obligation
+
+
+class BadStore:
+    def __init__(self, root):
+        self.root = root
+
+    def _lock(self, key):
+        raise NotImplementedError
+
+    def record(self, line):
+        shard = self.root / "shard.jsonl"
+        with shard.open("a") as handle:
+            handle.write(line + "\n")
+
+    def register(self, text):
+        _atomic_write_text(self.root / "spec.json", text)
+
+    def truncate_tail(self, fd, size):
+        os.ftruncate(fd, size)

@@ -1,0 +1,35 @@
+"""R7 clean twin: every sanctioned write shape the rule recognizes."""
+
+import os
+
+
+def _atomic_write_text(path, text):
+    path.write_text(text)  # module scope: no shard-locking obligation
+
+
+class GoodStore:
+    def __init__(self, root):
+        self.root = root
+
+    def _lock(self, key):
+        raise NotImplementedError
+
+    def record(self, line):
+        shard = self.root / "shard.jsonl"
+        with self._lock("shard"), shard.open("a") as handle:
+            handle.write(line + "\n")
+
+    def register(self, text):
+        with self._lock("spec"):
+            _atomic_write_text(self.root / "spec.json", text)
+
+    def _repair_tail_locked(self, fd, size):
+        os.ftruncate(fd, size)
+
+    def quarantine(self, handle, line):
+        handle.write(line)  # repro: allow[R7] append-only quarantine
+
+
+class PlainContainer:
+    def flush(self, handle, line):
+        handle.write(line)  # no _lock method: class is out of scope

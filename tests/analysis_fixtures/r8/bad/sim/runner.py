@@ -1,0 +1,24 @@
+"""R8 fixture: pool payloads without (or beyond) the allowlist sanction."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.graphs.graph import Graph
+
+POOL_PAYLOAD_ALLOWLIST = ("Ghost",)
+
+
+class TrialSpec(NamedTuple):
+    workload: Graph
+    trial: int
+
+
+@dataclass
+class Outcome:
+    steps: int
+
+
+def run(specs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(sorted, specs))

@@ -1,0 +1,32 @@
+"""R8 clean twin: every payload sanctioned or structurally reduced."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, NamedTuple, Optional
+
+from repro.graphs.graph import Graph
+
+POOL_PAYLOAD_ALLOWLIST = ("Graph", "Outcome", "TrialSpec")
+
+
+class TrialSpec(NamedTuple):
+    workload: Graph
+    trial: int
+    on_done: Optional[Callable[[Graph], None]]  # Callable internals don't ship
+
+
+@dataclass
+class Outcome:
+    steps: int
+
+
+class Packed(NamedTuple):
+    blob: bytes
+
+    def __reduce__(self):
+        return (Packed, (self.blob,))
+
+
+def run(specs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(sorted, specs))

@@ -39,7 +39,7 @@ def rules_fired(diagnostics):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("rule_id", ["R1", "R2", "R3", "R4", "R5"])
+@pytest.mark.parametrize("rule_id", ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"])
 def test_bad_fixture_fires_its_rule(rule_id):
     found = findings_for(FIXTURES / rule_id.lower() / "bad")
     assert rule_id in rules_fired(found)
@@ -49,7 +49,7 @@ def test_bad_fixture_fires_its_rule(rule_id):
         assert diag.rule in {r.id for r in ALL_RULES}
 
 
-@pytest.mark.parametrize("rule_id", ["R1", "R2", "R3", "R4", "R5"])
+@pytest.mark.parametrize("rule_id", ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"])
 def test_clean_twin_is_silent(rule_id):
     assert findings_for(FIXTURES / rule_id.lower() / "clean") == []
 
@@ -109,6 +109,50 @@ def test_r5_reports_each_inconsistency_kind():
     assert "'ghost_field', which is not an ExperimentSpec field" in messages
 
 
+def test_r6_flags_each_sharing_violation_kind():
+    found = [d for d in findings_for(FIXTURES / "r6" / "bad") if d.rule == "R6"]
+    messages = "\n".join(d.message for d in found)
+    assert "without being frozen" in messages
+    assert "cached tuple element" in messages
+    assert "aliases a shared tile" in messages
+    assert "augmented assignment" in messages
+    assert "nbrs.sort() mutates a shared tile" in messages
+    assert "setflags(write=True) un-freezes" in messages
+    assert "out=view writes into a shared tile" in messages
+    assert len(found) == 9
+
+
+def test_r7_flags_each_unlocked_write_shape():
+    found = [d for d in findings_for(FIXTURES / "r7" / "bad") if d.rule == "R7"]
+    messages = "\n".join(d.message for d in found)
+    assert "handle.write(...)" in messages
+    assert "_atomic_write_text(...)" in messages
+    assert "os.ftruncate(...)" in messages
+    assert len(found) == 3
+
+
+def test_r8_flags_shapes_references_and_stale_entries():
+    found = [d for d in findings_for(FIXTURES / "r8" / "bad") if d.rule == "R8"]
+    messages = "\n".join(d.message for d in found)
+    assert "payload shape 'TrialSpec'" in messages
+    assert "payload shape 'Outcome'" in messages
+    assert "class 'Graph'" in messages
+    assert "names 'Ghost'" in messages
+    assert len(found) == 4
+
+
+def test_r8_missing_allowlist_is_one_finding():
+    source = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "from typing import NamedTuple\n"
+        "class Spec(NamedTuple):\n"
+        "    trial: int\n"
+    )
+    found = lint_source(source, "sim/runner.py")
+    assert [d.rule for d in found] == ["R8"]
+    assert "declares no POOL_PAYLOAD_ALLOWLIST" in found[0].message
+
+
 # ---------------------------------------------------------------------------
 # Scope model
 # ---------------------------------------------------------------------------
@@ -150,8 +194,11 @@ def test_pragma_suppresses_by_id_name_and_wildcard():
     flagged = lint_source(base.format(""), "sim/runner.py")
     assert rules_fired(flagged) == {"R2"}
     for pragma in ("  # repro: allow[R2]", "  # repro: allow[determinism]",
-                   "  # repro: allow[*]", "  # repro: allow[r1, R2]"):
+                   "  # repro: allow[*]"):
         assert lint_source(base.format(pragma), "sim/runner.py") == []
+    # A mixed list suppresses through its live half; the dead half warns.
+    mixed = lint_source(base.format("  # repro: allow[r1, R2]"), "sim/runner.py")
+    assert [d.rule for d in mixed] == ["P2"]
 
 
 def test_pragma_only_covers_its_own_line():
@@ -167,7 +214,8 @@ def test_pragma_only_covers_its_own_line():
 def test_pragma_for_a_different_rule_does_not_suppress():
     source = "import time\nt = time.time()  # repro: allow[R1]\n"
     found = lint_source(source, "sim/runner.py")
-    assert rules_fired(found) == {"R2"}
+    # The R2 finding survives, and the dead R1 pragma is itself flagged.
+    assert rules_fired(found) == {"P2", "R2"}
 
 
 def test_pragma_inside_string_literal_is_inert():
@@ -187,6 +235,28 @@ def test_malformed_pragma_is_itself_a_finding():
     found = lint_source(source, "sim/runner.py")
     assert [d.rule for d in found] == ["P1"]
     assert "malformed" in found[0].message
+
+
+def test_unused_pragma_is_a_warning():
+    source = "import math\nx = math.pi  # repro: allow[R2]\n"
+    found = lint_source(source, "sim/runner.py")
+    assert [d.rule for d in found] == ["P2"]
+    assert found[0].severity is Severity.WARNING
+    assert "suppresses no finding" in found[0].message
+
+
+def test_dead_half_of_pragma_list_is_flagged_individually():
+    source = "import time\nt = time.time()  # repro: allow[R2, R7]\n"
+    found = lint_source(source, "sim/runner.py")
+    assert [d.rule for d in found] == ["P2"]
+    assert "allow[r7]" in found[0].message  # the live R2 half stays
+
+
+def test_unused_pragma_not_reported_under_select():
+    # Under --select a pragma for an unselected rule merely looks dead.
+    source = "import math\nx = math.pi  # repro: allow[R2]\n"
+    found = lint_source(source, "sim/runner.py", rules=rules_by_selector(["R1"]))
+    assert found == []
 
 
 def test_syntax_error_reports_parse_error_diagnostic():
@@ -260,6 +330,34 @@ def test_cli_list_rules(capsys):
         assert rule.name in out
 
 
+def test_cli_accepts_multiple_paths(capsys):
+    code = lint_main([str(FIXTURES / "r1" / "bad"), str(FIXTURES / "r2" / "bad")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "R1[rng-discipline]" in out
+    assert "R2[determinism]" in out
+
+
+def test_cli_defaults_to_src_repro(monkeypatch, capsys):
+    monkeypatch.chdir(Path(__file__).parent.parent)
+    assert lint_main([]) == 0
+
+
+def test_cli_fix_pragmas_lists_dead_pragmas(tmp_path, capsys):
+    module = tmp_path / "sim" / "mod.py"
+    module.parent.mkdir()
+    module.write_text("import math\nx = math.pi  # repro: allow[R2]\ny = 1\n")
+    assert lint_main(["--fix-pragmas", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "P2[unused-pragma]" in out
+    assert "1 removable pragma(s)" in out
+
+
+def test_cli_fix_pragmas_clean_tree(capsys):
+    assert lint_main(["--fix-pragmas", str(FIXTURES / "r1" / "clean")]) == 0
+    assert "0 removable pragmas" in capsys.readouterr().out
+
+
 def test_repro_lint_subcommand(capsys):
     assert repro_main(["lint", str(FIXTURES / "r2" / "clean")]) == 0
     assert repro_main(["lint", str(FIXTURES / "r2" / "bad")]) == 1
@@ -284,3 +382,19 @@ def test_reintroduced_violation_is_caught_in_real_module():
     found = lint_source(tainted, "engine/oracle.py")
     assert rules_fired(found) == {"R1"}
     assert found[0].line > source.count("\n")
+
+
+def test_reintroduced_unfreeze_is_caught_in_fleet_module():
+    # The R6 canary: un-freeze a shared CSR tile inside the real fleet
+    # module and the lint must catch both the un-freeze and the write.
+    source = (SRC_REPRO / "engine" / "fleet.py").read_text()
+    tainted = source + (
+        "\n\ndef _unfreeze_tile(graph):\n"
+        "    eids = graph.csr_edge_ids\n"
+        "    eids.setflags(write=True)\n"
+        "    eids[0] = 7\n"
+    )
+    found = lint_source(tainted, "engine/fleet.py")
+    assert rules_fired(found) == {"R6"}
+    assert len(found) == 2
+    assert all(d.line > source.count("\n") for d in found)

@@ -1,0 +1,218 @@
+"""Free-threaded stress harness: concurrent fleets over shared frozen tiles.
+
+The fused kernel is called through ctypes, which releases the GIL for the
+duration of each ``repro_fused_block`` call — so several fleets stepping
+from a :class:`~concurrent.futures.ThreadPoolExecutor` genuinely execute
+the C kernel *concurrently*, all reading the same cached CSR tiles
+(``Graph.scratch_cache()``), incidence tables, and packed bitmask tables.
+That sharing is safe only because every tile is frozen at creation
+(``setflags(write=False)`` — lint rule R6); this suite is the runtime
+counterpart of that static contract:
+
+* **Bit-identity**: each fleet, driven from its own thread, must finish in
+  exactly the end-state of an identically-seeded fleet run serially —
+  cover times, final positions, generator states, first-visit tables.
+  Any cross-thread mutation of shared state would perturb at least one
+  lane's replay.
+* **Zero data races**: under ``REPRO_SANITIZE=thread`` (see ``setup.py``)
+  the kernel is compiled with ``-fsanitize=thread`` and CI runs this file
+  with ``TSAN_OPTIONS=halt_on_error=1`` — a single racy access aborts the
+  run.  The suite also passes on plain and numpy-only builds, where it
+  still exercises the frozen-tile sharing through the fallback path.
+
+Thread count deliberately exceeds the fleet count on some tests so the
+pool reuses threads across fleets, and the cold-cache tests make several
+threads *build* the shared tiles at once (last write wins; contents are
+identical and frozen, so the race is benign by construction).
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import FleetEdgeProcess, FleetSRW, FleetVProcess, native
+from repro.graphs.graph import Graph
+from repro.graphs.random_regular import random_connected_regular_graph
+
+THREADS = 4
+FLEETS = 6  # > THREADS: forces thread reuse across fleets
+LANES = 5
+
+FLEET_CLASSES = [FleetSRW, FleetEdgeProcess, FleetVProcess]
+
+
+def _regular(n=120, d=4, seed=7):
+    return random_connected_regular_graph(n, d, random.Random(seed))
+
+
+def _irregular(n=90, seed=11):
+    """Connected non-regular graph: exercises the general kernel path."""
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    seen = set(edges)
+    for _ in range(2 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and (u, v) not in seen and (v, u) not in seen:
+            seen.add((u, v))
+            edges.append((u, v))
+    return Graph(n, edges, name=f"irregular-{n}")
+
+
+def _build(cls, graph, fleet_idx):
+    """One fleet plus its rngs, deterministically seeded by ``fleet_idx``."""
+    starts = [
+        random.Random(100 * fleet_idx + k).randrange(graph.n) for k in range(LANES)
+    ]
+    rngs = [random.Random(9_000 + 100 * fleet_idx + k) for k in range(LANES)]
+    kwargs = {"record_phases": False} if cls is FleetEdgeProcess else {}
+    return cls([graph] * LANES, starts, rngs, **kwargs), rngs
+
+
+def _drive(cls, graph, fleet_idx, target):
+    """Run one fleet to cover; returns its complete observable end-state."""
+    fleet, rngs = _build(cls, graph, fleet_idx)
+    cover = fleet.run_until_cover(target=target)
+    state = {
+        "cover": list(cover),
+        "positions": list(fleet.positions),
+        "rng": [r.getstate() for r in rngs],
+    }
+    if isinstance(fleet, FleetSRW):
+        state["first_visit"] = [fleet.first_visit_time(k) for k in range(fleet.K)]
+    return state
+
+
+def _serial_vs_threaded(cls, graph_factory, target):
+    """End-states of FLEETS serial runs vs. the same fleets threaded.
+
+    Distinct graph objects per pass (same seed, same topology) so the
+    threaded pass populates its shared caches itself — from several
+    threads at once — rather than inheriting warm tiles.
+    """
+    serial_graph = graph_factory()
+    serial = [_drive(cls, serial_graph, i, target) for i in range(FLEETS)]
+
+    threaded_graph = graph_factory()
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        futures = [
+            pool.submit(_drive, cls, threaded_graph, i, target)
+            for i in range(FLEETS)
+        ]
+        threaded = [f.result() for f in futures]
+    return serial, threaded, threaded_graph
+
+
+def _assert_frozen_tiles(graph):
+    """Every array tile cached on the shared graph must be read-only."""
+    import numpy as np
+
+    def _flat(obj):
+        if isinstance(obj, np.ndarray):
+            yield obj
+        elif isinstance(obj, (tuple, list)):
+            for item in obj:
+                yield from _flat(item)
+
+    frozen = 0
+    for key, value in graph.scratch_cache().items():
+        for arr in _flat(value):
+            assert not arr.flags.writeable, f"writable shared tile under {key!r}"
+            frozen += 1
+    assert frozen > 0, "expected the run to cache shared tiles"
+
+
+class TestThreadedFleets:
+    @pytest.mark.parametrize("cls", FLEET_CLASSES)
+    def test_regular_graph_bit_identical(self, cls):
+        serial, threaded, graph = _serial_vs_threaded(cls, _regular, "vertices")
+        assert threaded == serial
+        _assert_frozen_tiles(graph)
+
+    def test_edge_cover_bit_identical(self):
+        serial, threaded, graph = _serial_vs_threaded(
+            FleetSRW, _regular, "edges"
+        )
+        assert threaded == serial
+        _assert_frozen_tiles(graph)
+
+    def test_irregular_graph_bit_identical(self):
+        serial, threaded, graph = _serial_vs_threaded(
+            FleetSRW, _irregular, "vertices"
+        )
+        assert threaded == serial
+        _assert_frozen_tiles(graph)
+
+    def test_threaded_matches_numpy_reference(self, monkeypatch):
+        """Threaded native end-states equal the single-threaded numpy path.
+
+        Closes the loop across *both* axes at once (threading and kernel):
+        if the native kernel raced anywhere, matching the numpy fallback
+        bit-for-bit from a threaded run would require the race to be
+        exactly invisible — TSan catches the rest.
+        """
+        serial_graph = _regular(seed=23)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native._reset_probe_for_testing()
+        try:
+            reference = [
+                _drive(FleetSRW, serial_graph, i, "vertices") for i in range(FLEETS)
+            ]
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE")
+            native._reset_probe_for_testing()
+
+        threaded_graph = _regular(seed=23)
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [
+                pool.submit(_drive, FleetSRW, threaded_graph, i, "vertices")
+                for i in range(FLEETS)
+            ]
+            threaded = [f.result() for f in futures]
+        assert threaded == reference
+
+    def test_repeated_threaded_runs_are_stable(self):
+        """Two threaded passes over one warm shared graph agree exactly.
+
+        Same graph object both times: the second pass consumes tiles the
+        first pass cached, catching any mutation the first pass leaked
+        into shared state.
+        """
+        graph = _regular(seed=31)
+        results = []
+        for _ in range(2):
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                futures = [
+                    pool.submit(_drive, FleetSRW, graph, i, "vertices")
+                    for i in range(FLEETS)
+                ]
+                results.append([f.result() for f in futures])
+        assert results[0] == results[1]
+        _assert_frozen_tiles(graph)
+
+
+class TestSharedTileContract:
+    def test_shared_tiles_reject_writes(self):
+        """Frozen tiles raise on mutation — the R6 contract at runtime."""
+        import numpy as np
+
+        graph = _regular(seed=5)
+        fleet, _ = _build(FleetSRW, graph, 0)
+        fleet.run_until_cover(target="vertices")
+        arrays = [
+            arr
+            for value in graph.scratch_cache().values()
+            for arr in (value if isinstance(value, tuple) else (value,))
+            if isinstance(arr, np.ndarray)
+        ]
+        assert arrays
+        for arr in arrays:
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[...] = 0
+
+    @pytest.mark.skipif(not native.available(), reason="native kernel not built")
+    def test_native_kernel_in_use(self):
+        """The harness actually exercises the fused kernel when built."""
+        graph = _regular(seed=3)
+        fleet, _ = _build(FleetSRW, graph, 0)
+        assert fleet._native_setup() is not None
